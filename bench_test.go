@@ -1,0 +1,273 @@
+package jungle
+
+// One benchmark per table/figure of the paper's evaluation (§6), plus
+// micro-benchmarks of the substrates. The headline experiment benchmarks
+// report *virtual* seconds per iteration via b.ReportMetric (the paper's
+// metric); wall-clock ns/op measures the reproduction itself.
+//
+// The full calibrated workload (scale 1) runs real physics for ~10 s per
+// scenario; benchmarks default to a reduced scale and the jungle-bench
+// command covers scale 1.
+
+import (
+	"fmt"
+	"testing"
+
+	"jungle/internal/amuse/ic"
+	"jungle/internal/core"
+	"jungle/internal/exp"
+	"jungle/internal/mpisim"
+	"jungle/internal/phys/nbody"
+	"jungle/internal/phys/sph"
+	"jungle/internal/phys/tree"
+	"jungle/internal/vnet"
+	"jungle/internal/vtime"
+)
+
+const benchScale = 0.1 // workload fraction for the scenario benchmarks
+
+// BenchmarkE1LabConditions regenerates the §6.2 table: one sub-benchmark
+// per scenario, virtual seconds per iteration as the reported metric.
+func BenchmarkE1LabConditions(b *testing.B) {
+	w := exp.DefaultWorkload().Scaled(benchScale)
+	names := []string{"cpu-only", "local-gpu", "remote-gpu", "jungle"}
+	for _, name := range names {
+		b.Run(name, func(b *testing.B) {
+			var virtual float64
+			for i := 0; i < b.N; i++ {
+				tb, err := core.NewLabTestbed()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var placement exp.Placement
+				for _, p := range exp.LabScenarios(tb) {
+					if p.Name == name {
+						placement = p
+					}
+				}
+				res, err := exp.RunScenario(tb, w, placement, 1)
+				tb.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual = res.PerIteration.Seconds()
+			}
+			b.ReportMetric(virtual, "virtual-s/iter")
+			b.ReportMetric(exp.E1PaperSeconds[name], "paper-s/iter")
+		})
+	}
+}
+
+// BenchmarkE2SC11 regenerates the Fig. 9 worst case: the transatlantic
+// coupler.
+func BenchmarkE2SC11(b *testing.B) {
+	w := exp.DefaultWorkload().Scaled(benchScale)
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		tb, err := core.NewSC11Testbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exp.RunScenario(tb, w, exp.SC11Placement(tb), 1)
+		tb.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual = res.PerIteration.Seconds()
+	}
+	b.ReportMetric(virtual, "virtual-s/iter")
+}
+
+// BenchmarkE3Overlay measures SmartSockets overlay construction on the
+// SC11 network (Fig. 10): hubs, tunnels, gossip convergence.
+func BenchmarkE3Overlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := core.NewSC11Testbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tb.Deployment.Overlay().Connected() {
+			b.Fatal("overlay not connected")
+		}
+		tb.Close()
+	}
+}
+
+// BenchmarkE5Evolution regenerates the Fig. 6 physics: embedded cluster
+// with supernova-driven gas expulsion.
+func BenchmarkE5Evolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, stages, err := exp.E5(40, 400, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stages) != 4 {
+			b.Fatal("missing stages")
+		}
+	}
+}
+
+// BenchmarkE7Loopback measures the real-TCP loopback channel of §5 (the
+// paper: ">8 Gbit/s ... extremely small latency").
+func BenchmarkE7Loopback(b *testing.B) {
+	var last exp.E7Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunE7(64<<20, 1<<20, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ThroughputGbit, "Gbit/s")
+	b.ReportMetric(float64(last.RTT.Nanoseconds()), "rtt-ns")
+}
+
+// BenchmarkE8ScaleUp measures the workload at growing scales (the §7
+// scale-up direction) on the jungle placement.
+func BenchmarkE8ScaleUp(b *testing.B) {
+	for _, scale := range []float64{0.05, 0.1, 0.2} {
+		b.Run(fmt.Sprintf("scale-%g", scale), func(b *testing.B) {
+			w := exp.DefaultWorkload().Scaled(scale)
+			var virtual float64
+			for i := 0; i < b.N; i++ {
+				tb, err := core.NewLabTestbed()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := exp.RunScenario(tb, w, exp.LabScenarios(tb)[3], 1)
+				tb.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual = res.PerIteration.Seconds()
+			}
+			b.ReportMetric(virtual, "virtual-s/iter")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func cpuDev() *vtime.Device {
+	return &vtime.Device{Name: "cpu", Kind: vtime.CPU, Gflops: 8, Cores: 4}
+}
+
+// BenchmarkHermiteStep measures one shared Hermite step at N=1000 (the
+// PhiGRAPE inner loop).
+func BenchmarkHermiteStep(b *testing.B) {
+	stars := ic.Plummer(1000, 1)
+	s := nbody.NewSystem(nbody.NewCPUKernel(cpuDev()), 0.01)
+	s.SetParticles(stars)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeField measures one Octgrav/Fi coupling evaluation: 10k gas
+// sources onto 1k star targets.
+func BenchmarkTreeField(b *testing.B) {
+	stars, gas, err := ic.EmbeddedCluster(ic.ClusterSpec{Stars: 1000, Gas: 10000, GasFrac: 0.9, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := tree.NewFi(cpuDev())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.FieldAt(gas.Mass, gas.Pos, stars.Pos, 0.05)
+	}
+}
+
+// BenchmarkSPHStep measures one SPH step at N=10000 (the Gadget inner
+// loop).
+func BenchmarkSPHStep(b *testing.B) {
+	_, gas, err := ic.EmbeddedCluster(ic.ClusterSpec{Stars: 1, Gas: 10000, GasFrac: 0.9, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sph.New()
+	if err := g.SetParticles(gas); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	target := 0.0
+	for i := 0; i < b.N; i++ {
+		target += 1e-4
+		if err := g.EvolveTo(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmartSocketsConnect measures virtual connection setup through
+// the overlay (reverse connection to a firewalled host).
+func BenchmarkSmartSocketsConnect(b *testing.B) {
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := tb.Net.Dial("desktop", "das4-vu.fe", vnet.SSHPort)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+// BenchmarkMPIAllreduce measures an 8-rank allreduce over the virtual
+// cluster network (the SPH worker's hot collective).
+func BenchmarkMPIAllreduce(b *testing.B) {
+	net := vnet.New()
+	c, err := net.AddCluster(vnet.ClusterSpec{Name: "bench", Site: "s", Nodes: 8,
+		FrontendPolicy: vnet.Open, NodePolicy: vnet.Open})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpisim.NewWorld(net, c.NodeName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	x := make([]float64, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(r *mpisim.Rank) error {
+			_, err := r.AllreduceSum(x)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIbisChannelRoundTrip measures one coupler->daemon->IPL->proxy->
+// worker RPC round trip (the Fig. 5 path).
+func BenchmarkIbisChannelRoundTrip(b *testing.B) {
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	sim := core.NewSimulation(tb.Daemon, nil)
+	defer sim.Stop()
+	g, err := sim.NewGravity(core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.SetParticles(ic.Plummer(16, 4)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Masses() == nil {
+			b.Fatal(g.Err())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command amuse-run is the config-driven simulation runner: the user
+// experience of §5's four steps. Resources come from an IbisDeploy-style
+// configuration file (or the built-in lab testbed), the placement is a
+// scenario name, and the simulation is the paper's embedded star cluster.
+//
+//	amuse-run -placement jungle -stars 200 -gas 2000 -iters 2
+//	amuse-run -config resources.conf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jungle/internal/core"
+	"jungle/internal/deploy"
+	"jungle/internal/exp"
+)
+
+func main() {
+	configPath := flag.String("config", "", "IbisDeploy resource config to add to the testbed")
+	placement := flag.String("placement", "jungle", "cpu-only | local-gpu | remote-gpu | jungle")
+	stars := flag.Int("stars", 100, "number of stars")
+	gas := flag.Int("gas", 1000, "number of gas particles")
+	iters := flag.Int("iters", 1, "bridge iterations")
+	list := flag.Bool("list", false, "list resources and exit")
+	flag.Parse()
+
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+
+	if *configPath != "" {
+		text, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatalf("config: %v", err)
+		}
+		resources, err := deploy.ParseConfig(string(text))
+		if err != nil {
+			log.Fatalf("config: %v", err)
+		}
+		for _, r := range resources {
+			if err := tb.Deployment.AddResource(r); err != nil {
+				log.Fatalf("add resource %s: %v", r.Name, err)
+			}
+			fmt.Printf("added resource %s (%s on %s)\n", r.Name, r.Middleware, r.Frontend)
+		}
+	}
+
+	if *list {
+		fmt.Println(tb.Deployment.RenderStatus())
+		return
+	}
+
+	var chosen *exp.Placement
+	for _, p := range exp.LabScenarios(tb) {
+		if p.Name == *placement {
+			chosen = &p
+			break
+		}
+	}
+	if chosen == nil {
+		log.Fatalf("unknown placement %q (want cpu-only, local-gpu, remote-gpu or jungle)", *placement)
+	}
+
+	w := exp.Workload{Stars: *stars, Gas: *gas, GasFrac: 0.9, Seed: 42, DT: 1.0 / 64, Eps: 0.05}
+	res, err := exp.RunScenario(tb, w, *chosen, *iters)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("placement %s: %v per iteration (setup %v, %d supernovae)\n",
+		res.Scenario, res.PerIteration, res.Setup, res.Supernovae)
+	fmt.Println()
+	fmt.Println(tb.Deployment.RenderStatus())
+}

@@ -1,0 +1,89 @@
+// Command jungle-bench regenerates the paper's evaluation: every table and
+// figure of §6 has an experiment id (see DESIGN.md §4). Examples:
+//
+//	jungle-bench -e e1 -scale 1 -iters 1     # §6.2 lab table at full scale
+//	jungle-bench -e e3,e6,e7                 # overlay, call sequence, loopback
+//	jungle-bench -e all -scale 0.1           # everything, reduced workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jungle/internal/exp"
+)
+
+func main() {
+	experiments := flag.String("e", "all", "comma-separated experiment ids (e1..e8, all)")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = calibrated paper workload)")
+	iters := flag.Int("iters", 1, "bridge iterations per measurement")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiments, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	failed := false
+
+	run := func(id string, fn func() (string, error)) {
+		if !all && !want[id] {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed = true
+			return
+		}
+		fmt.Println(out)
+	}
+
+	run("e1", func() (string, error) {
+		table, _, err := exp.E1(*scale, *iters)
+		return table, err
+	})
+	run("e2", func() (string, error) { return exp.E2(*scale, *iters) })
+	run("e3", exp.E3)
+	run("e4", func() (string, error) { return exp.E4(*scale) })
+	run("e5", func() (string, error) {
+		table, _, err := exp.E5(100, 1000, 2.0)
+		return table, err
+	})
+	run("e6", func() (string, error) {
+		out, _, err := exp.E6()
+		return out, err
+	})
+	run("e7", func() (string, error) {
+		res, err := exp.RunE7(256<<20, 1<<20, 500)
+		if err != nil {
+			return "", err
+		}
+		return exp.E7Report(res), nil
+	})
+	run("e8", func() (string, error) { return exp.E8(*iters) })
+
+	// Design ablations (DESIGN.md §6): not paper artifacts, so they run
+	// only when requested explicitly.
+	if want["ablations"] {
+		for _, fn := range []func() (string, error){
+			func() (string, error) { t, _, err := exp.AblateTheta(2000, 200); return t, err },
+			func() (string, error) { t, _, err := exp.AblateBridgeDT(30, 150, 0.5); return t, err },
+			func() (string, error) { t, _, err := exp.AblateChannels(); return t, err },
+		} {
+			out, err := fn()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ablation failed: %v\n", err)
+				failed = true
+				continue
+			}
+			fmt.Println(out)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command jungled is the stand-alone Ibis daemon process of §5 over a real
+// TCP loopback socket: "The user must start this daemon on his or her
+// machine before running any simulation, but it can be re-used for all
+// simulations run."
+//
+// It serves the daemon channel's length-prefixed frame protocol on
+// 127.0.0.1 and echoes control frames, which is exactly the path the paper
+// benchmarks ("over 8 Gbit/second even on a modest laptop"); run with
+// -selftest to reproduce that measurement against an in-process client.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+
+	"jungle/internal/exp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:17979", "loopback address to serve")
+	selftest := flag.Bool("selftest", false, "run the §5 loopback benchmark and exit")
+	flag.Parse()
+
+	if *selftest {
+		res, err := exp.RunE7(256<<20, 1<<20, 500)
+		if err != nil {
+			log.Fatalf("selftest: %v", err)
+		}
+		fmt.Print(exp.E7Report(res))
+		if res.ThroughputGbit < 8 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("jungled: serving daemon channel on %s", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go serve(conn)
+	}
+}
+
+// serve echoes framed messages: 4-byte little-endian length + payload. The
+// real daemon relays to IPL; the stand-alone binary echoes so clients can
+// measure the loopback hop in isolation.
+func serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+	var hdr [4]byte
+	buf := make([]byte, 1<<20)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n > len(buf) {
+			buf = make([]byte, n)
+		}
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return
+		}
+		if _, err := w.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

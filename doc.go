@@ -1,0 +1,21 @@
+// Package jungle is a Go reproduction of "High-Performance Distributed
+// Multi-Model / Multi-Kernel Simulations: A Case-Study in Jungle Computing"
+// (Drost et al., IPDPS workshops 2012, arXiv:1203.0321).
+//
+// The repository rebuilds the paper's full software stack from scratch:
+// the Ibis middleware (SmartSockets connectivity, the IPL communication
+// layer, JavaGAT resource access, Zorilla P2P middleware, IbisDeploy), a
+// distributed version of the AMUSE astrophysical coupling framework (the
+// paper's contribution), the physics kernels its evaluation uses (PhiGRAPE,
+// Gadget, SSE, Octgrav/Fi equivalents under internal/phys), and a
+// CESM-style climate exemplar. Physical testbeds (DAS-4 clusters,
+// GPU machines, transatlantic lightpaths, firewalls) are substituted by a
+// virtual network and device model (internal/vnet, internal/vtime): the
+// physics runs for real and bit-identically across kernels and placements,
+// while time and traffic are accounted virtually.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and the examples directory for runnable
+// entry points. bench_test.go in this directory regenerates every table
+// and figure of the paper's evaluation (run: go test -bench=. -benchmem).
+package jungle

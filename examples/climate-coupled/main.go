@@ -1,0 +1,90 @@
+// Climate-coupled: the paper's second 3MK exemplar (§4.2) — a CESM-style
+// earth system of atmosphere, ocean, land and sea ice around a central
+// coupler. Demonstrates the multi-kernel property for climate (active vs
+// data ocean) and the node-layout tuning problem the paper describes
+// ("it may take a user quite a bit of experimenting to find an efficient
+// configuration").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jungle/internal/climate"
+	"jungle/internal/vtime"
+)
+
+func build(oceanData bool) *climate.CESM {
+	var ocn climate.Component = climate.NewOcean(72, 36)
+	if oceanData {
+		// Data ocean: replay a fixed climatology (zonally uniform, warm
+		// equator / cold poles).
+		clim := climate.NewGrid(72, 36, 0)
+		for j := 0; j < 36; j++ {
+			for i := 0; i < 72; i++ {
+				clim.Set(i, j, 25-30*absf(float64(j)-17.5)/17.5)
+			}
+		}
+		ocn = climate.NewDataComponent("ocn", clim)
+	}
+	m, err := climate.New(
+		climate.NewAtmosphere(36, 18, "cam5"),
+		ocn,
+		climate.NewLand(36, 18),
+		climate.NewSeaIce(36, 18),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func main() {
+	fmt.Println("CESM-style coupled climate (Fig. 4): 10 model years")
+
+	active := build(false)
+	if err := active.Run(3650); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("active ocean:  global mean %.1f °C, ice area %.3f\n",
+		active.GlobalMeanTemp(), active.IceArea())
+
+	dataOcn := build(true)
+	if err := dataOcn.Run(3650); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data ocean:    global mean %.1f °C, ice area %.3f\n",
+		dataOcn.GlobalMeanTemp(), dataOcn.IceArea())
+
+	fmt.Println("\ncomponent cost (flops):")
+	for name, f := range active.Flops() {
+		fmt.Printf("  %-4s %.3e\n", name, f)
+	}
+
+	// Layout experiment: partitioned vs shared nodes (§4.2).
+	dev := &vtime.Device{Name: "node", Kind: vtime.CPU, Gflops: 1e-3, Cores: 8}
+	layouts := map[string]climate.Layout{
+		"shared (1 node)": {Device: dev, Nodes: map[string][]string{
+			"atm": {"n0"}, "ocn": {"n0"}, "lnd": {"n0"}, "ice": {"n0"}, "cpl": {"n0"},
+		}},
+		"partitioned (5 nodes)": {Device: dev, Nodes: map[string][]string{
+			"atm": {"n0"}, "ocn": {"n1", "n2"}, "lnd": {"n3"}, "ice": {"n4"}, "cpl": {"n0"},
+		}},
+	}
+	fmt.Println("\nnode layout experiment (30 model days):")
+	for name, l := range layouts {
+		m := build(false)
+		wall, err := m.RunTimed(30, l, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %v virtual wall time\n", name, wall)
+	}
+}

@@ -1,0 +1,104 @@
+package data
+
+import (
+	"fmt"
+)
+
+// Attribute names understood by channels.
+const (
+	AttrMass           = "mass"
+	AttrPos            = "position"
+	AttrVel            = "velocity"
+	AttrInternalEnergy = "u"
+	AttrDensity        = "density"
+	AttrSmoothingLen   = "h_smooth"
+	AttrRadius         = "radius"
+	AttrLuminosity     = "luminosity"
+	AttrTemperature    = "temperature"
+	AttrStellarType    = "stellar_type"
+	AttrAge            = "age"
+)
+
+// Channel copies attributes from one particle set to another, matching
+// particles by key. It is AMUSE's new_channel_to: the coupler keeps a master
+// set and pushes/pulls state to each model's set around every coupled step.
+type Channel struct {
+	from, to *Particles
+	fromIdx  []int // per from-particle index into to
+}
+
+// NewChannel builds a channel from -> to. Every key in from must exist in
+// to; extra particles in to are allowed and untouched.
+func NewChannel(from, to *Particles) (*Channel, error) {
+	c := &Channel{from: from, to: to}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Refresh recomputes the key mapping after either set changed membership.
+func (c *Channel) Refresh() error {
+	c.fromIdx = make([]int, c.from.Len())
+	for i, k := range c.from.Key {
+		j := c.to.IndexOf(k)
+		if j < 0 {
+			return fmt.Errorf("%w: key %d", ErrKeyMismatch, k)
+		}
+		c.fromIdx[i] = j
+	}
+	return nil
+}
+
+// Copy transfers the named attributes for all mapped particles. With no
+// attributes it copies mass, position and velocity (the common dynamics
+// exchange).
+func (c *Channel) Copy(attrs ...string) error {
+	if len(c.fromIdx) != c.from.Len() {
+		if err := c.Refresh(); err != nil {
+			return err
+		}
+	}
+	if len(attrs) == 0 {
+		attrs = []string{AttrMass, AttrPos, AttrVel}
+	}
+	for _, a := range attrs {
+		if err := c.copyOne(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Channel) copyOne(attr string) error {
+	f, t := c.from, c.to
+	for i, j := range c.fromIdx {
+		switch attr {
+		case AttrMass:
+			t.Mass[j] = f.Mass[i]
+		case AttrPos:
+			t.Pos[j] = f.Pos[i]
+		case AttrVel:
+			t.Vel[j] = f.Vel[i]
+		case AttrInternalEnergy:
+			t.InternalEnergy[j] = f.InternalEnergy[i]
+		case AttrDensity:
+			t.Density[j] = f.Density[i]
+		case AttrSmoothingLen:
+			t.SmoothingLen[j] = f.SmoothingLen[i]
+		case AttrRadius:
+			t.Radius[j] = f.Radius[i]
+		case AttrLuminosity:
+			t.Luminosity[j] = f.Luminosity[i]
+		case AttrTemperature:
+			t.Temperature[j] = f.Temperature[i]
+		case AttrStellarType:
+			t.StellarType[j] = f.StellarType[i]
+		case AttrAge:
+			t.Age[j] = f.Age[i]
+		default:
+			return fmt.Errorf("data: unknown attribute %q", attr)
+		}
+	}
+	return nil
+}

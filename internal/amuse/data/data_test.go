@@ -1,0 +1,291 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSet(rng *rand.Rand, n int) *Particles {
+	p := NewParticles(n)
+	for i := 0; i < n; i++ {
+		p.Mass[i] = rng.Float64() + 0.1
+		p.Pos[i] = Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		p.Vel[i] = Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return p
+}
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("add: %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Fatalf("sub: %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("dot: %v", got)
+	}
+	if got := a.Cross(b); got != (Vec3{-3, 6, -3}) {
+		t.Fatalf("cross: %v", got)
+	}
+	if got := a.Scale(2).Norm2(); got != 4*14 {
+		t.Fatalf("scale/norm2: %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Fatalf("norm: %v", got)
+	}
+}
+
+func TestAddRemoveKeepsKeysUnique(t *testing.T) {
+	p := NewParticles(3)
+	i := p.Add(1, Vec3{1, 0, 0}, Vec3{})
+	if p.Key[i] != 4 {
+		t.Fatalf("new key = %d, want 4", p.Key[i])
+	}
+	p.Remove(0)
+	if p.Len() != 3 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	seen := map[uint64]bool{}
+	for _, k := range p.Key {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if p.IndexOf(1) != -1 {
+		t.Fatal("removed key still indexed")
+	}
+	j := p.Add(2, Vec3{}, Vec3{})
+	if p.Key[j] == 0 || seen[p.Key[j]] {
+		t.Fatalf("reused key %d", p.Key[j])
+	}
+}
+
+func TestCenterOfMass(t *testing.T) {
+	p := NewParticles(2)
+	p.Mass[0], p.Mass[1] = 1, 3
+	p.Pos[0], p.Pos[1] = Vec3{0, 0, 0}, Vec3{4, 0, 0}
+	if com := p.CenterOfMass(); com != (Vec3{3, 0, 0}) {
+		t.Fatalf("com = %v", com)
+	}
+	p.Vel[0], p.Vel[1] = Vec3{4, 0, 0}, Vec3{0, 0, 0}
+	if cov := p.CenterOfMassVelocity(); cov != (Vec3{1, 0, 0}) {
+		t.Fatalf("cov = %v", cov)
+	}
+	p.MoveToCenter()
+	if com := p.CenterOfMass(); com.Norm() > 1e-14 {
+		t.Fatalf("after MoveToCenter com = %v", com)
+	}
+}
+
+func TestEnergies(t *testing.T) {
+	// Two unit masses at distance 2, at rest: U = -G/2, T = 0.
+	p := NewParticles(2)
+	p.Mass[0], p.Mass[1] = 1, 1
+	p.Pos[1] = Vec3{2, 0, 0}
+	if u := p.PotentialEnergy(1, 0); math.Abs(u+0.5) > 1e-14 {
+		t.Fatalf("U = %v, want -0.5", u)
+	}
+	p.Vel[0] = Vec3{0, 1, 0}
+	if ke := p.KineticEnergy(); ke != 0.5 {
+		t.Fatalf("T = %v, want 0.5", ke)
+	}
+	p.InternalEnergy[0] = 2
+	if te := p.ThermalEnergy(); te != 2 {
+		t.Fatalf("thermal = %v, want 2", te)
+	}
+}
+
+func TestScaleToStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomSet(rng, 64)
+	p.ScaleToStandard(0)
+	if m := p.TotalMass(); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("total mass = %v", m)
+	}
+	e := p.KineticEnergy() + p.PotentialEnergy(1, 0)
+	if math.Abs(e+0.25) > 1e-10 {
+		t.Fatalf("E = %v, want -0.25", e)
+	}
+	// Virial ratio: T/|U| should be close to 0.5 after scaling (exact at
+	// the scaling moment).
+	q := p.KineticEnergy() / -p.PotentialEnergy(1, 0)
+	if math.Abs(q-0.5) > 1e-10 {
+		t.Fatalf("virial ratio = %v", q)
+	}
+}
+
+func TestHalfMassRadius(t *testing.T) {
+	// Shell of 4 at r=1, shell of 4 at r=3 → half-mass radius is 1.
+	p := NewParticles(8)
+	dirs := []Vec3{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}}
+	for i := 0; i < 4; i++ {
+		p.Mass[i] = 1
+		p.Pos[i] = dirs[i]
+	}
+	for i := 4; i < 8; i++ {
+		p.Mass[i] = 1
+		p.Pos[i] = dirs[i-4].Scale(3)
+	}
+	if r := p.HalfMassRadius(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("half-mass radius = %v", r)
+	}
+}
+
+func TestBoundMassFraction(t *testing.T) {
+	// A tight binary is bound; a distant fast escaper is not.
+	p := NewParticles(3)
+	p.Mass[0], p.Mass[1], p.Mass[2] = 1, 1, 1e-4
+	p.Pos[0], p.Pos[1] = Vec3{-0.05, 0, 0}, Vec3{0.05, 0, 0}
+	p.Pos[2] = Vec3{100, 0, 0}
+	p.Vel[2] = Vec3{100, 0, 0}
+	f := p.BoundMassFraction(0)
+	want := 2.0 / (2 + 1e-4)
+	if math.Abs(f-want) > 1e-6 {
+		t.Fatalf("bound fraction = %v, want %v", f, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewParticles(2)
+	p.Mass[0] = 5
+	q := p.Clone()
+	q.Mass[0] = 7
+	q.Pos[0] = Vec3{1, 1, 1}
+	if p.Mass[0] != 5 || p.Pos[0] != (Vec3{}) {
+		t.Fatal("clone shares storage")
+	}
+	if q.IndexOf(p.Key[1]) != 1 {
+		t.Fatal("clone index broken")
+	}
+}
+
+func TestChannelCopiesByKey(t *testing.T) {
+	p := NewParticles(3)
+	for i := range p.Mass {
+		p.Mass[i] = float64(i + 1)
+		p.Pos[i] = Vec3{float64(i), 0, 0}
+	}
+	q := p.Clone()
+	// Shuffle q's storage order by removing and re-adding behaviors:
+	// simulate with a manual swap of entries 0 and 2.
+	q.Key[0], q.Key[2] = q.Key[2], q.Key[0]
+	q.Mass[0], q.Mass[2] = q.Mass[2], q.Mass[0]
+	q.Pos[0], q.Pos[2] = q.Pos[2], q.Pos[0]
+	q.reindex()
+
+	p.Mass[0] = 100 // update master
+	ch, err := NewChannel(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Copy(AttrMass); err != nil {
+		t.Fatal(err)
+	}
+	j := q.IndexOf(p.Key[0])
+	if q.Mass[j] != 100 {
+		t.Fatalf("channel copy by key failed: %v", q.Mass)
+	}
+	// Positions were not copied: key 1 sits at index 2 of q after the swap,
+	// still holding its original position {0,0,0}.
+	if q.Pos[j] != (Vec3{0, 0, 0}) {
+		t.Fatalf("channel touched position: %v", q.Pos[j])
+	}
+}
+
+func TestChannelDefaultAttrs(t *testing.T) {
+	p := NewParticles(2)
+	q := p.Clone()
+	p.Mass[1] = 9
+	p.Pos[1] = Vec3{1, 2, 3}
+	p.Vel[1] = Vec3{4, 5, 6}
+	p.InternalEnergy[1] = 7
+	ch, err := NewChannel(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Copy(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Mass[1] != 9 || q.Pos[1] != (Vec3{1, 2, 3}) || q.Vel[1] != (Vec3{4, 5, 6}) {
+		t.Fatal("default copy missed dynamics attributes")
+	}
+	if q.InternalEnergy[1] != 0 {
+		t.Fatal("default copy included u")
+	}
+}
+
+func TestChannelMissingKey(t *testing.T) {
+	p := NewParticles(2)
+	q := NewParticles(1) // keys {1}, missing 2
+	if _, err := NewChannel(p, q); err == nil {
+		t.Fatal("channel built despite missing key")
+	}
+}
+
+func TestChannelUnknownAttr(t *testing.T) {
+	p := NewParticles(1)
+	q := p.Clone()
+	ch, err := NewChannel(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Copy("spin"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestChannelRefreshAfterGrowth(t *testing.T) {
+	p := NewParticles(2)
+	q := p.Clone()
+	ch, err := NewChannel(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := p.Add(3, Vec3{}, Vec3{})
+	q.Add(0, Vec3{}, Vec3{})
+	q.Key[q.Len()-1] = p.Key[i] // mirror the key
+	q.reindex()
+	if err := ch.Copy(AttrMass); err != nil {
+		t.Fatal(err)
+	}
+	if q.Mass[q.IndexOf(p.Key[i])] != 3 {
+		t.Fatal("refresh after growth failed")
+	}
+}
+
+// Property: for any random set, MoveToCenter zeroes the COM and COM-velocity
+// and preserves kinetic energy in the COM frame relationship T' <= T.
+func TestMoveToCenterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSet(rng, 2+rng.Intn(30))
+		t0 := p.KineticEnergy()
+		p.MoveToCenter()
+		return p.CenterOfMass().Norm() < 1e-10 &&
+			p.CenterOfMassVelocity().Norm() < 1e-10 &&
+			p.KineticEnergy() <= t0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: potential energy is negative, monotone in softening (more
+// softening, shallower potential).
+func TestPotentialSofteningProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSet(rng, 2+rng.Intn(20))
+		u0 := p.PotentialEnergy(1, 0)
+		u1 := p.PotentialEnergy(1, 0.5)
+		return u0 < 0 && u1 > u0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

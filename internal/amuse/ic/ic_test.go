@@ -1,0 +1,165 @@
+package ic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlummerBasicProperties(t *testing.T) {
+	p := Plummer(500, 42)
+	if p.Len() != 500 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if m := p.TotalMass(); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("total mass = %v", m)
+	}
+	if com := p.CenterOfMass().Norm(); com > 1e-10 {
+		t.Fatalf("|com| = %v", com)
+	}
+	// Near virial equilibrium: Q = T/|U| in [0.35, 0.65] for finite N.
+	q := p.KineticEnergy() / -p.PotentialEnergy(1, 0)
+	if q < 0.35 || q > 0.65 {
+		t.Fatalf("virial ratio = %v", q)
+	}
+	// Half-mass radius of the standard Plummer model is ~0.77.
+	if r := p.HalfMassRadius(); r < 0.4 || r > 1.3 {
+		t.Fatalf("half-mass radius = %v", r)
+	}
+}
+
+func TestPlummerDeterministic(t *testing.T) {
+	a, b := Plummer(100, 7), Plummer(100, 7)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("same seed produced different sets")
+		}
+	}
+	c := Plummer(100, 8)
+	same := true
+	for i := range a.Pos {
+		if a.Pos[i] != c.Pos[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+func TestPlummerAllBound(t *testing.T) {
+	p := Plummer(300, 3)
+	// No sampled star exceeds local escape speed: per-particle energy < 0
+	// against the analytic potential is guaranteed by construction (v<vesc);
+	// check the N-body realization is overwhelmingly bound.
+	if f := p.BoundMassFraction(0); f < 0.9 {
+		t.Fatalf("bound fraction = %v", f)
+	}
+}
+
+func TestSalpeterIMF(t *testing.T) {
+	masses := SalpeterIMF(20000, 0.3, 25, 1)
+	var lo, hi int
+	var mean float64
+	for _, m := range masses {
+		if m < 0.3 || m > 25 {
+			t.Fatalf("mass %v outside bounds", m)
+		}
+		if m < 1 {
+			lo++
+		}
+		if m > 8 {
+			hi++
+		}
+		mean += m
+	}
+	mean /= float64(len(masses))
+	// Salpeter with these bounds: mean ~0.87 MSun, heavily bottom-weighted.
+	if mean < 0.6 || mean > 1.2 {
+		t.Fatalf("mean mass = %v", mean)
+	}
+	if lo < hi {
+		t.Fatalf("IMF not bottom-heavy: %d below 1 MSun, %d above 8", lo, hi)
+	}
+}
+
+func TestEmbeddedCluster(t *testing.T) {
+	stars, gas, err := EmbeddedCluster(ClusterSpec{
+		Stars: 200, Gas: 1000, GasFrac: 0.9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, gm := stars.TotalMass(), gas.TotalMass()
+	if math.Abs(sm-0.1) > 1e-9 {
+		t.Fatalf("star mass = %v, want 0.1", sm)
+	}
+	if math.Abs(gm-0.9) > 1e-9 {
+		t.Fatalf("gas mass = %v, want 0.9", gm)
+	}
+	for i := range gas.Mass {
+		if gas.InternalEnergy[i] <= 0 || gas.SmoothingLen[i] <= 0 {
+			t.Fatal("gas particle missing u or h")
+		}
+	}
+	// Star masses vary (IMF), gas masses equal.
+	if stars.Mass[0] == stars.Mass[1] && stars.Mass[1] == stars.Mass[2] {
+		t.Fatal("star masses look equal; IMF not applied")
+	}
+	if gas.Mass[0] != gas.Mass[1] {
+		t.Fatal("gas masses unequal")
+	}
+}
+
+func TestEmbeddedClusterValidation(t *testing.T) {
+	if _, _, err := EmbeddedCluster(ClusterSpec{Stars: 0, Gas: 10}); err == nil {
+		t.Fatal("zero stars accepted")
+	}
+	if _, _, err := EmbeddedCluster(ClusterSpec{Stars: 10, Gas: 10, GasFrac: 1.5}); err == nil {
+		t.Fatal("gas fraction 1.5 accepted")
+	}
+	if _, _, err := EmbeddedCluster(ClusterSpec{Stars: 10, Gas: -1}); err == nil {
+		t.Fatal("negative gas accepted")
+	}
+}
+
+func TestEmbeddedClusterNoGas(t *testing.T) {
+	stars, gas, err := EmbeddedCluster(ClusterSpec{Stars: 50, Gas: 0, GasFrac: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gas.Len() != 0 {
+		t.Fatalf("gas len = %d", gas.Len())
+	}
+	if math.Abs(stars.TotalMass()-1) > 1e-9 {
+		t.Fatalf("star mass = %v", stars.TotalMass())
+	}
+}
+
+func TestUniformSphere(t *testing.T) {
+	p := UniformSphere(2000, 5, 2, 9)
+	if math.Abs(p.TotalMass()-5) > 1e-9 {
+		t.Fatalf("mass = %v", p.TotalMass())
+	}
+	var maxR float64
+	for i := range p.Pos {
+		if r := p.Pos[i].Norm(); r > maxR {
+			maxR = r
+		}
+		if p.Vel[i].Norm() != 0 {
+			t.Fatal("uniform sphere not cold")
+		}
+	}
+	if maxR > 2.1 {
+		t.Fatalf("particle outside radius: %v", maxR)
+	}
+	// Mean radius of a uniform sphere is 3/4 R.
+	var mean float64
+	for i := range p.Pos {
+		mean += p.Pos[i].Norm()
+	}
+	mean /= float64(p.Len())
+	if mean < 1.3 || mean > 1.7 {
+		t.Fatalf("mean radius = %v, want ~1.5", mean)
+	}
+}

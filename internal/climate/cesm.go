@@ -1,0 +1,233 @@
+package climate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jungle/internal/mpisim"
+	"jungle/internal/vtime"
+)
+
+// CESM assembles the coupled earth system of Fig. 4: four components
+// around a central coupler. Unlike AMUSE's Python coupler, CESM's CPL is a
+// parallel component that itself gets compute resources — Run models that
+// by assigning every component (and the coupler) a node set and accounting
+// their compute in virtual time, concurrently for partitioned layouts and
+// serialized for shared nodes.
+type CESM struct {
+	Atm, Ocn, Lnd, Ice Component
+
+	// CouplingInterval is the coupler exchange period in days.
+	CouplingInterval float64
+	// StepsPerInterval is how many component steps run between exchanges.
+	StepsPerInterval int
+
+	fluxes *Fluxes
+	time   float64 // days
+	flops  map[string]float64
+}
+
+// Errors.
+var (
+	ErrMissingComponent = errors.New("climate: all four components are required")
+	ErrBadLayout        = errors.New("climate: layout missing a component")
+)
+
+// New assembles a CESM run. The fluxes live on the atmosphere grid (the
+// coupler's exchange grid, as in CESM).
+func New(atm, ocn, lnd, ice Component) (*CESM, error) {
+	if atm == nil || ocn == nil || lnd == nil || ice == nil {
+		return nil, ErrMissingComponent
+	}
+	ag := atm.Temp()
+	f := &Fluxes{
+		SurfaceTemp: NewGrid(ag.NLon, ag.NLat, 8),
+		AirTemp:     NewGrid(ag.NLon, ag.NLat, 5),
+		IceFraction: NewGrid(ag.NLon, ag.NLat, 0),
+	}
+	return &CESM{
+		Atm: atm, Ocn: ocn, Lnd: lnd, Ice: ice,
+		CouplingInterval: 1, StepsPerInterval: 4,
+		fluxes: f, flops: make(map[string]float64),
+	}, nil
+}
+
+// Time returns the model time in days.
+func (m *CESM) Time() float64 { return m.time }
+
+// Flops returns accumulated flops per component (including "cpl").
+func (m *CESM) Flops() map[string]float64 {
+	out := make(map[string]float64, len(m.flops))
+	for k, v := range m.flops {
+		out[k] = v
+	}
+	return out
+}
+
+// GlobalMeanTemp returns the area-weighted mean surface temperature (the
+// headline diagnostic).
+func (m *CESM) GlobalMeanTemp() float64 {
+	return m.fluxes.SurfaceTemp.Mean()
+}
+
+// IceArea returns the mean ice fraction.
+func (m *CESM) IceArea() float64 { return m.Ice.Temp().Mean() }
+
+// couple performs one CPL exchange: regrid component states onto the
+// exchange grid and blend the surface (the coupler's compute, accounted
+// under "cpl").
+func (m *CESM) couple() (float64, error) {
+	ag := m.fluxes.AirTemp
+	if err := Regrid(m.Atm.Temp(), ag); err != nil {
+		return 0, fmt.Errorf("atm regrid: %w", err)
+	}
+	ocn := NewGrid(ag.NLon, ag.NLat, 0)
+	if err := Regrid(m.Ocn.Temp(), ocn); err != nil {
+		return 0, fmt.Errorf("ocn regrid: %w", err)
+	}
+	lnd := NewGrid(ag.NLon, ag.NLat, 0)
+	if err := Regrid(m.Lnd.Temp(), lnd); err != nil {
+		return 0, fmt.Errorf("lnd regrid: %w", err)
+	}
+	if err := Regrid(m.Ice.Temp(), m.fluxes.IceFraction); err != nil {
+		return 0, fmt.Errorf("ice regrid: %w", err)
+	}
+	// Blend surface: 70% ocean, 30% land (fixed land mask fraction).
+	for idx := range m.fluxes.SurfaceTemp.Cells {
+		m.fluxes.SurfaceTemp.Cells[idx] = 0.7*ocn.Cells[idx] + 0.3*lnd.Cells[idx]
+	}
+	return 10 * float64(len(ag.Cells)), nil // regrid + blend cost
+}
+
+// Step advances the system by one coupling interval: the coupler
+// exchanges, then every component steps StepsPerInterval times.
+func (m *CESM) Step() error {
+	cplFlops, err := m.couple()
+	if err != nil {
+		return err
+	}
+	m.flops["cpl"] += cplFlops
+	dt := m.CouplingInterval / float64(m.StepsPerInterval)
+	for s := 0; s < m.StepsPerInterval; s++ {
+		for _, c := range []Component{m.Atm, m.Ocn, m.Lnd, m.Ice} {
+			m.flops[c.Name()] += c.Step(dt, m.fluxes)
+		}
+	}
+	m.time += m.CouplingInterval
+	return nil
+}
+
+// Run advances the model by the given number of days.
+func (m *CESM) Run(days float64) error {
+	for m.time < days-1e-9 {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Layout assigns components to node sets — CESM's configuration problem:
+// "the compute nodes can either be partitioned, each running (part of) one
+// model, shared, each running (part of) multiple models, or use a
+// combination" (§4.2). Components on disjoint node sets run concurrently in
+// virtual time; components sharing nodes serialize.
+type Layout struct {
+	// Nodes maps component name ("atm","ocn","lnd","ice","cpl") to the
+	// host names it occupies.
+	Nodes map[string][]string
+	// Device is the per-node compute model.
+	Device *vtime.Device
+}
+
+// Validate checks all five entries exist.
+func (l *Layout) Validate() error {
+	for _, name := range []string{"atm", "ocn", "lnd", "ice", "cpl"} {
+		if len(l.Nodes[name]) == 0 {
+			return fmt.Errorf("%w: %q", ErrBadLayout, name)
+		}
+	}
+	if l.Device == nil {
+		return errors.New("climate: layout needs a device model")
+	}
+	return nil
+}
+
+// RunTimed advances the model by days under the given layout and returns
+// the virtual wall time of the run. Per coupling interval the coupler's
+// work runs first (it is a dependency of every component), then component
+// work runs with per-node serialization: the interval's virtual duration is
+// the maximum over nodes of the summed work assigned to that node.
+func (m *CESM) RunTimed(days float64, l Layout, w *mpisim.World) (time.Duration, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	var wall time.Duration
+	for m.time < days-1e-9 {
+		cplFlops, err := m.couple()
+		if err != nil {
+			return wall, err
+		}
+		m.flops["cpl"] += cplFlops
+		perNode := make(map[string]time.Duration)
+		cplNodes := l.Nodes["cpl"]
+		cplShare := cplFlops / float64(len(cplNodes))
+		for _, h := range cplNodes {
+			perNode[h] += l.Device.Time(cplShare, l.Device.Cores)
+		}
+		var cplTime time.Duration
+		for _, h := range cplNodes {
+			if perNode[h] > cplTime {
+				cplTime = perNode[h]
+			}
+		}
+
+		// Component compute: real stepping plus virtual accounting.
+		dt := m.CouplingInterval / float64(m.StepsPerInterval)
+		compNode := make(map[string]time.Duration)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		comps := []Component{m.Atm, m.Ocn, m.Lnd, m.Ice}
+		flopsDone := make([]float64, len(comps))
+		for i, c := range comps {
+			wg.Add(1)
+			go func(i int, c Component) {
+				defer wg.Done()
+				var f float64
+				for s := 0; s < m.StepsPerInterval; s++ {
+					f += c.Step(dt, m.fluxes)
+				}
+				flopsDone[i] = f
+			}(i, c)
+		}
+		wg.Wait()
+		for i, c := range comps {
+			m.flops[c.Name()] += flopsDone[i]
+			nodes := l.Nodes[c.Name()]
+			share := flopsDone[i] / float64(len(nodes))
+			mu.Lock()
+			for _, h := range nodes {
+				compNode[h] += l.Device.Time(share, l.Device.Cores)
+			}
+			mu.Unlock()
+		}
+		var compTime time.Duration
+		for _, d := range compNode {
+			if d > compTime {
+				compTime = d
+			}
+		}
+		// Exchange cost over the world (the coupler's gathers), if given.
+		var commTime time.Duration
+		if w != nil {
+			// One exchange ~ the flux grids crossing the interconnect.
+			bytes := 8 * len(m.fluxes.SurfaceTemp.Cells) * 3
+			commTime = time.Duration(float64(bytes) / 1.25e9 * float64(time.Second) * float64(w.Size()))
+		}
+		wall += cplTime + compTime + commTime
+		m.time += m.CouplingInterval
+	}
+	return wall, nil
+}

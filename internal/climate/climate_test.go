@@ -1,0 +1,237 @@
+package climate
+
+import (
+	"math"
+	"testing"
+
+	"jungle/internal/vtime"
+)
+
+func activeSystem(t *testing.T) *CESM {
+	t.Helper()
+	m, err := New(
+		NewAtmosphere(36, 18, "cam4"),
+		NewOcean(72, 36), // finer grid: exercises regridding
+		NewLand(36, 18),
+		NewSeaIce(36, 18),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(8, 4, 2)
+	if g.Mean() != 2 {
+		t.Fatalf("mean = %v", g.Mean())
+	}
+	g.Set(0, 0, 10)
+	if g.At(8, 0) != 10 { // wraparound
+		t.Fatal("longitude wraparound broken")
+	}
+	if g.At(0, -1) != 10 { // pole clamp
+		t.Fatal("pole clamp broken")
+	}
+	if lat := g.Lat(0); lat >= 0 {
+		t.Fatalf("south row latitude = %v", lat)
+	}
+	if lat := g.Lat(3); lat <= 0 {
+		t.Fatalf("north row latitude = %v", lat)
+	}
+}
+
+func TestLaplacianOfConstantIsZero(t *testing.T) {
+	g := NewGrid(16, 8, 7)
+	out := NewGrid(16, 8, 99)
+	g.Laplacian(out)
+	for _, v := range out.Cells {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("laplacian of constant = %v", v)
+		}
+	}
+}
+
+func TestRegridRoundTrip(t *testing.T) {
+	src := NewGrid(72, 36, 0)
+	for j := 0; j < 36; j++ {
+		for i := 0; i < 72; i++ {
+			src.Set(i, j, float64(j))
+		}
+	}
+	coarse := NewGrid(36, 18, 0)
+	if err := Regrid(src, coarse); err != nil {
+		t.Fatal(err)
+	}
+	// Block average of rows (2j, 2j+1) = 2j + 0.5.
+	if got := coarse.At(0, 0); got != 0.5 {
+		t.Fatalf("coarse(0,0) = %v", got)
+	}
+	fine := NewGrid(72, 36, 0)
+	if err := Regrid(coarse, fine); err != nil {
+		t.Fatal(err)
+	}
+	if got := fine.At(0, 0); got != 0.5 {
+		t.Fatalf("fine(0,0) = %v", got)
+	}
+	bad := NewGrid(50, 30, 0)
+	if err := Regrid(src, bad); err == nil {
+		t.Fatal("incommensurate regrid accepted")
+	}
+}
+
+func TestInsolationProfile(t *testing.T) {
+	if insolation(0) <= insolation(math.Pi/2) {
+		t.Fatal("equator not sunnier than pole")
+	}
+	if insolation(math.Pi/3) != insolation(-math.Pi/3) {
+		t.Fatal("insolation not symmetric")
+	}
+}
+
+func TestNewRequiresAllComponents(t *testing.T) {
+	if _, err := New(nil, NewOcean(8, 4), NewLand(8, 4), NewSeaIce(8, 4)); err != ErrMissingComponent {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClimateEquilibrium(t *testing.T) {
+	m := activeSystem(t)
+	if err := m.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	mean := m.GlobalMeanTemp()
+	// An earth-like equilibrium: global mean surface temperature in a
+	// plausible band, warm equator, cold poles, some polar ice.
+	if mean < 0 || mean > 30 {
+		t.Fatalf("global mean temperature = %v °C", mean)
+	}
+	ocn := m.Ocn.Temp()
+	equator := ocn.At(0, ocn.NLat/2)
+	pole := ocn.At(0, ocn.NLat-1)
+	if equator <= pole {
+		t.Fatalf("equator (%v) not warmer than pole (%v)", equator, pole)
+	}
+	ice := m.Ice.Temp()
+	if ice.At(0, ice.NLat-1) <= ice.At(0, ice.NLat/2) {
+		t.Fatal("ice not concentrated at the poles")
+	}
+	for _, name := range []string{"atm", "ocn", "lnd", "ice", "cpl"} {
+		if m.Flops()[name] <= 0 {
+			t.Fatalf("no flops accounted for %s", name)
+		}
+	}
+}
+
+func TestIceAlbedoFeedbackCoolsOcean(t *testing.T) {
+	// With ice present the polar ocean must receive less heat than with
+	// ice forcibly removed.
+	withIce := activeSystem(t)
+	if err := withIce.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	noIce, err := New(
+		NewAtmosphere(36, 18, "cam4"),
+		NewOcean(72, 36),
+		NewLand(36, 18),
+		NewDataComponent("ice", NewGrid(36, 18, 0)), // ice remains zero
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noIce.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	polarWith := withIce.Ocn.Temp().At(0, 35)
+	polarWithout := noIce.Ocn.Temp().At(0, 35)
+	if polarWith >= polarWithout {
+		t.Fatalf("ice-albedo feedback missing: %v vs %v", polarWith, polarWithout)
+	}
+}
+
+func TestDataComponentReplay(t *testing.T) {
+	clim := NewGrid(36, 18, 4)
+	d := NewDataComponent("ocn", clim)
+	if d.Active() {
+		t.Fatal("data component claims active")
+	}
+	f := &Fluxes{SurfaceTemp: NewGrid(36, 18, 0), AirTemp: NewGrid(36, 18, 0), IceFraction: NewGrid(36, 18, 0)}
+	flops := d.Step(1, f)
+	if flops >= FlopsPerCellStep*float64(36*18) {
+		t.Fatalf("data component too expensive: %v", flops)
+	}
+	if d.Temp().Mean() != 4 {
+		t.Fatal("climatology changed")
+	}
+	// Swapping active -> data must not break the coupling (Multi-Kernel).
+	m, err := New(NewAtmosphere(36, 18, "cam4"), d, NewLand(36, 18), NewSeaIce(36, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCAMVariantsDiffer(t *testing.T) {
+	a4 := NewAtmosphere(36, 18, "cam4")
+	a5 := NewAtmosphere(36, 18, "cam5")
+	if a4.Diff >= a5.Diff {
+		t.Fatal("cam5 should transport more heat")
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	l := Layout{Nodes: map[string][]string{"atm": {"n0"}}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("incomplete layout accepted")
+	}
+}
+
+func TestPartitionedBeatsSharedLayout(t *testing.T) {
+	dev := &vtime.Device{Name: "node", Kind: vtime.CPU, Gflops: 1e-3, Cores: 8}
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+
+	run := func(layout Layout) float64 {
+		m := activeSystem(t)
+		wall, err := m.RunTimed(20, layout, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wall.Seconds()
+	}
+
+	partitioned := run(Layout{Device: dev, Nodes: map[string][]string{
+		"atm": {nodes[0]}, "ocn": {nodes[1], nodes[2]}, "lnd": {nodes[3]},
+		"ice": {nodes[4]}, "cpl": {nodes[0]},
+	}})
+	shared := run(Layout{Device: dev, Nodes: map[string][]string{
+		"atm": {nodes[0]}, "ocn": {nodes[0]}, "lnd": {nodes[0]},
+		"ice": {nodes[0]}, "cpl": {nodes[0]},
+	}})
+	if partitioned >= shared {
+		t.Fatalf("partitioned (%v) not faster than shared single node (%v)", partitioned, shared)
+	}
+}
+
+func TestResultsIndependentOfLayout(t *testing.T) {
+	// Layouts change time, never physics: same model state after RunTimed
+	// under different layouts.
+	dev := &vtime.Device{Name: "node", Kind: vtime.CPU, Gflops: 1e-3, Cores: 8}
+	runState := func(layout Layout) float64 {
+		m := activeSystem(t)
+		if _, err := m.RunTimed(30, layout, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m.GlobalMeanTemp()
+	}
+	a := runState(Layout{Device: dev, Nodes: map[string][]string{
+		"atm": {"a"}, "ocn": {"b"}, "lnd": {"c"}, "ice": {"d"}, "cpl": {"a"},
+	}})
+	b := runState(Layout{Device: dev, Nodes: map[string][]string{
+		"atm": {"x"}, "ocn": {"x"}, "lnd": {"x"}, "ice": {"x"}, "cpl": {"x"},
+	}})
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("layout changed physics: %v vs %v", a, b)
+	}
+}

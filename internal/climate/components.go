@@ -1,0 +1,265 @@
+package climate
+
+import (
+	"math"
+)
+
+// Physical constants of the energy-balance formulation (W/m², °C).
+const (
+	solarConstant = 1361.0
+	olrA          = 203.3 // linearized outgoing longwave: A + B·T
+	olrB          = 2.09
+	exchangeCoeff = 15.0 // surface-atmosphere heat exchange (W/m²/°C)
+	freezePoint   = -2.0 // seawater freezing (°C)
+)
+
+// FlopsPerCellStep is the accounted cost of one cell update.
+const FlopsPerCellStep = 40
+
+// Fluxes is the state exchanged through the coupler at the
+// surface-atmosphere interface, on the coupler's grid.
+type Fluxes struct {
+	// SurfaceTemp is the blended surface temperature seen by the
+	// atmosphere.
+	SurfaceTemp *Grid
+	// AirTemp is the atmospheric temperature seen by the surfaces.
+	AirTemp *Grid
+	// IceFraction raises the albedo where sea ice exists.
+	IceFraction *Grid
+}
+
+// Component is one model of the earth system (Fig. 4's boxes).
+type Component interface {
+	// Name identifies the component ("atm", "ocn", "lnd", "ice").
+	Name() string
+	// Active reports whether this is a computing variant (vs data).
+	Active() bool
+	// Step advances the component by dt days, given the current coupler
+	// fluxes; it returns the accounted flop count.
+	Step(dt float64, f *Fluxes) float64
+	// Temp exposes the component's temperature grid.
+	Temp() *Grid
+}
+
+// insolation returns annual-mean solar flux at latitude φ:
+// S0/4 · (1 − 0.48·P₂(sin φ)).
+func insolation(lat float64) float64 {
+	s := math.Sin(lat)
+	p2 := 0.5 * (3*s*s - 1)
+	return solarConstant / 4 * (1 - 0.48*p2)
+}
+
+// Atmosphere is the active atmosphere model (CAM-equivalent): diffusive
+// heat transport plus radiative balance and surface exchange.
+type Atmosphere struct {
+	T       *Grid
+	lap     *Grid
+	Diff    float64 // diffusivity
+	HeatCap float64 // column heat capacity (W·day/m²/°C)
+	variant string
+}
+
+// NewAtmosphere returns an active atmosphere on an nlon×nlat grid. variant
+// names the kernel generation ("cam4", "cam5") — different diffusivity, as
+// the paper notes different model versions exist.
+func NewAtmosphere(nlon, nlat int, variant string) *Atmosphere {
+	diff := 0.6
+	if variant == "cam5" {
+		diff = 0.75 // stronger transport
+	}
+	return &Atmosphere{
+		T: NewGrid(nlon, nlat, 5), lap: NewGrid(nlon, nlat, 0),
+		Diff: diff, HeatCap: 10, variant: variant,
+	}
+}
+
+// Name implements Component.
+func (a *Atmosphere) Name() string { return "atm" }
+
+// Active implements Component.
+func (a *Atmosphere) Active() bool { return true }
+
+// Temp implements Component.
+func (a *Atmosphere) Temp() *Grid { return a.T }
+
+// Step implements Component.
+func (a *Atmosphere) Step(dt float64, f *Fluxes) float64 {
+	a.T.Laplacian(a.lap)
+	for j := 0; j < a.T.NLat; j++ {
+		for i := 0; i < a.T.NLon; i++ {
+			t := a.T.At(i, j)
+			sfc := f.SurfaceTemp.At(i, j)
+			// Shortwave absorbed aloft is small; most heating comes via
+			// the surface exchange and OLR loss at the top. The diffusion
+			// scale keeps dt·k/C < 0.5 (explicit stability).
+			dq := a.Diff*a.lap.At(i, j)*5 +
+				exchangeCoeff*(sfc-t) -
+				(olrA + olrB*t) + 180 // 180: mean back-radiation closure
+			a.T.Set(i, j, t+dt*dq/a.HeatCap)
+		}
+	}
+	return FlopsPerCellStep * float64(len(a.T.Cells))
+}
+
+// Ocean is the active ocean model (POP-equivalent): large heat capacity,
+// slow diffusive transport, ice-albedo coupling.
+type Ocean struct {
+	T       *Grid
+	lap     *Grid
+	Diff    float64
+	HeatCap float64
+}
+
+// NewOcean returns an active ocean on an nlon×nlat grid (typically finer
+// than the atmosphere, exercising the coupler's regridding).
+func NewOcean(nlon, nlat int) *Ocean {
+	return &Ocean{
+		T: NewGrid(nlon, nlat, 8), lap: NewGrid(nlon, nlat, 0),
+		Diff: 0.2, HeatCap: 200,
+	}
+}
+
+// Name implements Component.
+func (o *Ocean) Name() string { return "ocn" }
+
+// Active implements Component.
+func (o *Ocean) Active() bool { return true }
+
+// Temp implements Component.
+func (o *Ocean) Temp() *Grid { return o.T }
+
+// Step implements Component.
+func (o *Ocean) Step(dt float64, f *Fluxes) float64 {
+	o.T.Laplacian(o.lap)
+	for j := 0; j < o.T.NLat; j++ {
+		lat := o.T.Lat(j)
+		for i := 0; i < o.T.NLon; i++ {
+			t := o.T.At(i, j)
+			air := f.AirTemp.At(i*f.AirTemp.NLon/o.T.NLon, j*f.AirTemp.NLat/o.T.NLat)
+			albedo := 0.1
+			if f.IceFraction != nil {
+				ice := f.IceFraction.At(i*f.IceFraction.NLon/o.T.NLon, j*f.IceFraction.NLat/o.T.NLat)
+				albedo = 0.1 + 0.5*ice // ice-albedo feedback
+			}
+			dq := o.Diff*o.lap.At(i, j)*5 +
+				insolation(lat)*(1-albedo)*0.7 -
+				exchangeCoeff*(t-air) - 150 // 150: closure for absorbed fraction
+			o.T.Set(i, j, t+dt*dq/o.HeatCap)
+		}
+	}
+	return FlopsPerCellStep * float64(len(o.T.Cells))
+}
+
+// Land is the active land model (CLM-equivalent): small heat capacity,
+// no lateral transport.
+type Land struct {
+	T       *Grid
+	HeatCap float64
+}
+
+// NewLand returns an active land component.
+func NewLand(nlon, nlat int) *Land {
+	return &Land{T: NewGrid(nlon, nlat, 10), HeatCap: 3}
+}
+
+// Name implements Component.
+func (l *Land) Name() string { return "lnd" }
+
+// Active implements Component.
+func (l *Land) Active() bool { return true }
+
+// Temp implements Component.
+func (l *Land) Temp() *Grid { return l.T }
+
+// Step implements Component.
+func (l *Land) Step(dt float64, f *Fluxes) float64 {
+	for j := 0; j < l.T.NLat; j++ {
+		lat := l.T.Lat(j)
+		for i := 0; i < l.T.NLon; i++ {
+			t := l.T.At(i, j)
+			air := f.AirTemp.At(i*f.AirTemp.NLon/l.T.NLon, j*f.AirTemp.NLat/l.T.NLat)
+			dq := insolation(lat)*(1-0.25)*0.7 - exchangeCoeff*(t-air) - 150
+			l.T.Set(i, j, t+dt*dq/l.HeatCap)
+		}
+	}
+	return FlopsPerCellStep * float64(len(l.T.Cells))
+}
+
+// SeaIce is the active sea-ice model (CICE-equivalent): thermodynamic ice
+// fraction driven by ocean temperature.
+type SeaIce struct {
+	Fraction *Grid
+	growth   float64
+}
+
+// NewSeaIce returns an active sea-ice component.
+func NewSeaIce(nlon, nlat int) *SeaIce {
+	return &SeaIce{Fraction: NewGrid(nlon, nlat, 0), growth: 0.2}
+}
+
+// Name implements Component.
+func (s *SeaIce) Name() string { return "ice" }
+
+// Active implements Component.
+func (s *SeaIce) Active() bool { return true }
+
+// Temp implements Component — for sea ice the "temperature" grid is the
+// ice fraction (what the coupler exchanges).
+func (s *SeaIce) Temp() *Grid { return s.Fraction }
+
+// Step implements Component: ice grows where the (regridded) surface
+// temperature is below freezing and melts above it.
+func (s *SeaIce) Step(dt float64, f *Fluxes) float64 {
+	for j := 0; j < s.Fraction.NLat; j++ {
+		for i := 0; i < s.Fraction.NLon; i++ {
+			sfc := f.SurfaceTemp.At(i*f.SurfaceTemp.NLon/s.Fraction.NLon, j*f.SurfaceTemp.NLat/s.Fraction.NLat)
+			frac := s.Fraction.At(i, j)
+			if sfc < freezePoint {
+				frac += s.growth * dt * (freezePoint - sfc) / 10
+			} else {
+				frac -= s.growth * dt * (sfc - freezePoint) / 5
+			}
+			s.Fraction.Set(i, j, clamp01(frac))
+		}
+	}
+	return FlopsPerCellStep * float64(len(s.Fraction.Cells))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// DataComponent replays a fixed climatology instead of computing — CESM's
+// "data implementations ... simply replay precomputed data" (§4.2). It
+// satisfies Component for any position in the coupling.
+type DataComponent struct {
+	name string
+	clim *Grid
+}
+
+// NewDataComponent wraps a climatology grid as a data model.
+func NewDataComponent(name string, climatology *Grid) *DataComponent {
+	c := *climatology
+	c.Cells = append([]float64(nil), climatology.Cells...)
+	return &DataComponent{name: name, clim: &c}
+}
+
+// Name implements Component.
+func (d *DataComponent) Name() string { return d.name }
+
+// Active implements Component.
+func (d *DataComponent) Active() bool { return false }
+
+// Temp implements Component.
+func (d *DataComponent) Temp() *Grid { return d.clim }
+
+// Step implements Component: data models do (almost) no work.
+func (d *DataComponent) Step(dt float64, f *Fluxes) float64 {
+	return float64(len(d.clim.Cells)) // copy-out cost only
+}

@@ -1,0 +1,117 @@
+// Package climate implements the paper's second Multi-Model / Multi-Kernel
+// exemplar (§4.2): a CESM-style earth system of atmosphere, ocean, land and
+// sea-ice components coupled through a central coupler (CPL, Fig. 4). Each
+// component is an energy-balance model on a latitude–longitude grid;
+// components exist in an *active* variant that computes and a *data*
+// variant that replays a climatology — the paper's multi-kernel property
+// for climate. Node layouts (partitioned / shared) mirror CESM's
+// configuration space, and component work is accounted in virtual time so
+// layout experiments reproduce the tuning problem the paper describes.
+package climate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a regular latitude–longitude grid with one scalar per cell,
+// indexed row-major: cell(i,j) = j*NLon + i with j=0 at the south pole.
+type Grid struct {
+	NLon, NLat int
+	Cells      []float64
+}
+
+// NewGrid allocates an NLon×NLat grid initialized to v.
+func NewGrid(nlon, nlat int, v float64) *Grid {
+	g := &Grid{NLon: nlon, NLat: nlat, Cells: make([]float64, nlon*nlat)}
+	for i := range g.Cells {
+		g.Cells[i] = v
+	}
+	return g
+}
+
+// At returns the value at (i, j) with longitudinal wraparound.
+func (g *Grid) At(i, j int) float64 {
+	i = ((i % g.NLon) + g.NLon) % g.NLon
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.NLat {
+		j = g.NLat - 1
+	}
+	return g.Cells[j*g.NLon+i]
+}
+
+// Set stores v at (i, j).
+func (g *Grid) Set(i, j int, v float64) { g.Cells[j*g.NLon+i] = v }
+
+// Lat returns the latitude (radians) of row j, cell centers.
+func (g *Grid) Lat(j int) float64 {
+	return -math.Pi/2 + (float64(j)+0.5)*math.Pi/float64(g.NLat)
+}
+
+// Mean returns the area-weighted global mean (weights ∝ cos φ).
+func (g *Grid) Mean() float64 {
+	var sum, wsum float64
+	for j := 0; j < g.NLat; j++ {
+		w := math.Cos(g.Lat(j))
+		for i := 0; i < g.NLon; i++ {
+			sum += w * g.At(i, j)
+			wsum += w
+		}
+	}
+	return sum / wsum
+}
+
+// Laplacian computes the five-point Laplacian in index space into out
+// (periodic in longitude, clamped at the poles). Index-space spacing keeps
+// explicit diffusion unconditionally mild near the poles — the usual choice
+// for coarse energy-balance models; spherical metric terms would demand
+// implicit stepping for stability.
+func (g *Grid) Laplacian(out *Grid) {
+	for j := 0; j < g.NLat; j++ {
+		for i := 0; i < g.NLon; i++ {
+			d2lon := g.At(i-1, j) - 2*g.At(i, j) + g.At(i+1, j)
+			d2lat := g.At(i, j-1) - 2*g.At(i, j) + g.At(i, j+1)
+			out.Set(i, j, d2lon+d2lat)
+		}
+	}
+}
+
+// Regrid block-averages (or injects) src into dst; grids must be integer
+// multiples of each other in both directions — the coupler's regridding
+// step between components on different resolutions.
+func Regrid(src, dst *Grid) error {
+	if src.NLon == dst.NLon && src.NLat == dst.NLat {
+		copy(dst.Cells, src.Cells)
+		return nil
+	}
+	if src.NLon%dst.NLon == 0 && src.NLat%dst.NLat == 0 {
+		// Coarsen by block average.
+		fx, fy := src.NLon/dst.NLon, src.NLat/dst.NLat
+		for j := 0; j < dst.NLat; j++ {
+			for i := 0; i < dst.NLon; i++ {
+				var sum float64
+				for dj := 0; dj < fy; dj++ {
+					for di := 0; di < fx; di++ {
+						sum += src.At(i*fx+di, j*fy+dj)
+					}
+				}
+				dst.Set(i, j, sum/float64(fx*fy))
+			}
+		}
+		return nil
+	}
+	if dst.NLon%src.NLon == 0 && dst.NLat%src.NLat == 0 {
+		// Refine by injection.
+		fx, fy := dst.NLon/src.NLon, dst.NLat/src.NLat
+		for j := 0; j < dst.NLat; j++ {
+			for i := 0; i < dst.NLon; i++ {
+				dst.Set(i, j, src.At(i/fx, j/fy))
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("climate: cannot regrid %dx%d to %dx%d",
+		src.NLon, src.NLat, dst.NLon, dst.NLat)
+}

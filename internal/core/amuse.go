@@ -1,0 +1,598 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/amuse/units"
+	"jungle/internal/phys/bridge"
+	"jungle/internal/vnet"
+	"jungle/internal/vtime"
+)
+
+// Simulation is the coupler: the Go equivalent of an AMUSE Python script's
+// session. It owns the virtual clock, a unit converter for checked
+// conversions at the API boundary, and the workers it started. Models
+// created here implement the bridge interfaces, so phys/bridge composes
+// them exactly like Fig. 7 — whether the model is in-process or a continent
+// away behind the ibis channel.
+type Simulation struct {
+	daemon *Daemon
+	conv   *units.Converter
+	clock  *vtime.Clock
+
+	// Trace, when set, receives coupler-level events (worker starts,
+	// replacements); the bridge's own trace covers Fig. 7's call sequence.
+	Trace func(event string)
+
+	mu     sync.Mutex
+	models []*modelProxy
+}
+
+// NewSimulation creates a coupler session on a running daemon. The
+// converter defines the simulation's physical scale (may be nil for pure
+// N-body work).
+func NewSimulation(d *Daemon, conv *units.Converter) *Simulation {
+	return &Simulation{daemon: d, conv: conv, clock: vtime.NewClock()}
+}
+
+// Clock returns the coupler's virtual clock.
+func (s *Simulation) Clock() *vtime.Clock { return s.clock }
+
+// Elapsed returns the coupler's virtual time — the per-iteration wall time
+// the paper reports in §6.2.
+func (s *Simulation) Elapsed() time.Duration { return s.clock.Now() }
+
+// Converter returns the unit converter (may be nil).
+func (s *Simulation) Converter() *units.Converter { return s.conv }
+
+// Daemon returns the daemon this simulation talks to.
+func (s *Simulation) Daemon() *Daemon { return s.daemon }
+
+func (s *Simulation) trace(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// TimeQuantity converts a physical time into N-body time using the
+// session converter — the checked conversion AMUSE performs on every
+// boundary crossing.
+func (s *Simulation) TimeQuantity(q units.Quantity) (float64, error) {
+	if s.conv == nil {
+		return 0, errors.New("core: simulation has no unit converter")
+	}
+	if q.Unit.Dim != (units.Dim{Time: 1}) {
+		return 0, fmt.Errorf("%w: %s is not a time", units.ErrDimension, q)
+	}
+	return s.conv.ToNBody(q)
+}
+
+// Stop shuts down all models (workers stop; the daemon survives for the
+// next simulation, as the paper prescribes).
+func (s *Simulation) Stop() {
+	s.mu.Lock()
+	models := append([]*modelProxy(nil), s.models...)
+	s.models = nil
+	s.mu.Unlock()
+	for _, m := range models {
+		m.shutdown()
+	}
+}
+
+// modelProxy is the coupler-side endpoint of one worker.
+type modelProxy struct {
+	sim    *Simulation
+	kind   Kind
+	spec   WorkerSpec
+	ch     channel
+	worker int
+
+	mu      sync.Mutex
+	n       int
+	lastErr error
+	// replacement support (§5 future work, implemented here).
+	replaceable bool
+	setupArgs   any
+	lastState   *particlesPayload
+}
+
+// newModel starts a worker per spec and opens its channel.
+func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProxy, error) {
+	spec.Kind = kind
+	if spec.Channel == "" {
+		spec.Channel = ChannelIbis
+	}
+	m := &modelProxy{sim: s, kind: kind, spec: spec, setupArgs: setup}
+	if err := m.start(); err != nil {
+		return nil, err
+	}
+	if err := m.call("setup", setup, &empty{}); err != nil {
+		m.shutdown()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.models = append(s.models, m)
+	s.mu.Unlock()
+	s.trace("worker started kind=%s kernel=%s resource=%s channel=%s",
+		kind, spec.Kernel, m.spec.Resource, spec.Channel)
+	return m, nil
+}
+
+// start launches the worker and opens the channel (used again on
+// replacement).
+func (m *modelProxy) start() error {
+	s := m.sim
+	switch m.spec.Channel {
+	case ChannelMPI:
+		// In-process worker on the local resource (AMUSE's default
+		// channel): resolve the resource for device models.
+		resource := m.spec.Resource
+		if resource == "" {
+			var err error
+			resource, err = SelectResource(s.daemon.Deployment(), m.spec)
+			if err != nil {
+				return err
+			}
+			m.spec.Resource = resource
+		}
+		res, err := s.daemon.Deployment().Resource(resource)
+		if err != nil {
+			return err
+		}
+		svc, err := newService(m.kind, res, []string{s.daemon.Deployment().LocalHost()}, s.daemon.Env())
+		if err != nil {
+			return err
+		}
+		m.ch = newLocalChannel(svc)
+		return nil
+	case ChannelSockets:
+		id, err := s.daemon.StartWorker(m.spec)
+		if err != nil {
+			return err
+		}
+		m.worker = id
+		host, port, err := s.daemon.workerSocketAddr(id)
+		if err != nil {
+			return err
+		}
+		conn, err := dialRetry(s, host, port, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		m.ch = newConnChannel(ChannelSockets, conn)
+		return nil
+	case ChannelIbis:
+		id, err := s.daemon.StartWorker(m.spec)
+		if err != nil {
+			return err
+		}
+		m.worker = id
+		local := s.daemon.Deployment().LocalHost()
+		conn, err := s.daemon.Deployment().Net.Dial(local, local, DaemonPort)
+		if err != nil {
+			return err
+		}
+		conn.SetClass("loopback")
+		m.ch = newConnChannel(ChannelIbis, conn)
+		return nil
+	default:
+		return fmt.Errorf("core: unknown channel %q", m.spec.Channel)
+	}
+}
+
+// dialRetry dials a loopback worker that may still be starting.
+func dialRetry(s *Simulation, host string, port int, budget time.Duration) (conn *vnet.Conn, err error) {
+	net := s.daemon.Deployment().Net
+	deadline := time.Now().Add(budget)
+	for {
+		c, derr := net.Dial(host, host, port)
+		if derr == nil {
+			c.SetClass("loopback")
+			return c, nil
+		}
+		err = derr
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: sockets worker never listened: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// shutdown closes the channel and stops the worker.
+func (m *modelProxy) shutdown() {
+	if m.ch != nil {
+		m.ch.close()
+	}
+	if m.worker != 0 {
+		m.sim.daemon.StopWorker(m.worker)
+	}
+}
+
+// EnableReplacement turns on transparent worker replacement (§5: "in
+// theory it should be possible to transparently find a replacement
+// machine" — the prototype could not; this implementation can). On worker
+// death the next call restarts the worker (resource re-selected) and
+// replays setup plus the last synchronized particle state.
+func (m *modelProxy) EnableReplacement() {
+	m.mu.Lock()
+	m.replaceable = true
+	m.mu.Unlock()
+}
+
+// Err returns the sticky error, if any.
+func (m *modelProxy) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+func (m *modelProxy) setErr(err error) {
+	m.mu.Lock()
+	if m.lastErr == nil {
+		m.lastErr = err
+	}
+	m.mu.Unlock()
+}
+
+// call performs one RPC; on worker death with replacement enabled it
+// restarts the worker and retries once.
+func (m *modelProxy) call(method string, args any, reply any) error {
+	err := m.callOnce(method, args, reply)
+	if err == nil {
+		return nil
+	}
+	m.mu.Lock()
+	canReplace := m.replaceable
+	m.mu.Unlock()
+	if canReplace && errors.Is(err, ErrWorkerDied) {
+		if rerr := m.replace(); rerr != nil {
+			m.setErr(rerr)
+			return fmt.Errorf("core: replacement failed: %w (after %v)", rerr, err)
+		}
+		err = m.callOnce(method, args, reply)
+		if err == nil {
+			return nil
+		}
+	}
+	m.setErr(err)
+	return err
+}
+
+func (m *modelProxy) callOnce(method string, args any, reply any) error {
+	req := request{
+		ID: reqIDs.Add(1), Worker: m.worker, Method: method,
+		Args: encode(args), SentAt: m.sim.clock.Now(),
+	}
+	resp, arrival, err := m.ch.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	m.sim.clock.AdvanceTo(arrival)
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, ErrWorkerDied.Error()) {
+			return fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrWorkerDied)
+		}
+		return fmt.Errorf("core: %s.%s: %s", m.kind, method, resp.Err)
+	}
+	if reply != nil {
+		return decode(resp.Result, reply)
+	}
+	return nil
+}
+
+// replace starts a substitute worker and replays state.
+func (m *modelProxy) replace() error {
+	m.sim.trace("worker %d died; starting replacement (kind=%s)", m.worker, m.kind)
+	if m.ch != nil {
+		m.ch.close()
+	}
+	// Re-select the resource: the failed one may be gone.
+	spec := m.spec
+	spec.Resource = ""
+	resource, err := SelectResource(m.sim.daemon.Deployment(), spec)
+	if err != nil {
+		return err
+	}
+	m.spec.Resource = resource
+	if err := m.start(); err != nil {
+		return err
+	}
+	if err := m.callOnce("setup", m.setupArgs, &empty{}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	state := m.lastState
+	m.mu.Unlock()
+	if state != nil {
+		if err := m.callOnce("set_particles", *state, &empty{}); err != nil {
+			return err
+		}
+	}
+	m.sim.trace("worker replaced on resource %s", resource)
+	return nil
+}
+
+// cacheState remembers the last known particle state for replacement.
+func (m *modelProxy) cacheState(pl particlesPayload) {
+	m.mu.Lock()
+	m.lastState = &pl
+	m.n = len(pl.Mass)
+	m.mu.Unlock()
+}
+
+// Common Dynamics plumbing shared by Gravity and Hydro.
+
+func (m *modelProxy) setParticles(p *data.Particles) error {
+	pl := particlesToPayload(p)
+	if err := m.call("set_particles", pl, &empty{}); err != nil {
+		return err
+	}
+	m.cacheState(pl)
+	return nil
+}
+
+func (m *modelProxy) evolveTo(t float64) error {
+	return m.call("evolve", evolveArgs{T: t}, &empty{})
+}
+
+func (m *modelProxy) kick(dv []data.Vec3) error {
+	return m.call("kick", kickArgs{DV: dv}, &empty{})
+}
+
+func (m *modelProxy) positions() []data.Vec3 {
+	var out vecResult
+	if err := m.call("get_positions", empty{}, &out); err != nil {
+		return nil
+	}
+	return out.V
+}
+
+func (m *modelProxy) masses() []float64 {
+	var out floatsResult
+	if err := m.call("get_masses", empty{}, &out); err != nil {
+		return nil
+	}
+	return out.X
+}
+
+func (m *modelProxy) particleCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Gravity is the coupler-side PhiGRAPE model (bridge.Dynamics +
+// bridge.MassSettable).
+type Gravity struct {
+	*modelProxy
+}
+
+// GravityOptions configure NewGravity.
+type GravityOptions struct {
+	Kernel string  // "phigrape-cpu" (default) or "phigrape-gpu"
+	Eps    float64 // softening
+	Eta    float64 // timestep parameter (0 = default)
+}
+
+// NewGravity starts a gravitational-dynamics worker.
+func (s *Simulation) NewGravity(spec WorkerSpec, opt GravityOptions) (*Gravity, error) {
+	if opt.Kernel == "" {
+		opt.Kernel = "phigrape-cpu"
+	}
+	spec.Kernel = opt.Kernel
+	m, err := s.newModel(KindGravity, spec, setupGravityArgs{
+		Kernel: opt.Kernel, Eps: opt.Eps, Eta: opt.Eta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Gravity{modelProxy: m}, nil
+}
+
+// SetParticles uploads the master set.
+func (g *Gravity) SetParticles(p *data.Particles) error { return g.setParticles(p) }
+
+// EvolveTo implements bridge.Dynamics.
+func (g *Gravity) EvolveTo(t float64) error { return g.evolveTo(t) }
+
+// Kick implements bridge.Dynamics.
+func (g *Gravity) Kick(dv []data.Vec3) error { return g.kick(dv) }
+
+// Positions implements bridge.Dynamics (nil on RPC failure; see Err).
+func (g *Gravity) Positions() []data.Vec3 { return g.positions() }
+
+// Masses implements bridge.Dynamics.
+func (g *Gravity) Masses() []float64 { return g.masses() }
+
+// N implements bridge.Dynamics.
+func (g *Gravity) N() int { return g.particleCount() }
+
+// SetMass implements bridge.MassSettable (errors are sticky; see Err).
+func (g *Gravity) SetMass(i int, mass float64) {
+	g.call("set_mass", setMassArgs{Index: i, Mass: mass}, &empty{})
+}
+
+// Energy returns (kinetic, potential).
+func (g *Gravity) Energy() (float64, float64, error) {
+	var out energiesResult
+	if err := g.call("energies", empty{}, &out); err != nil {
+		return 0, 0, err
+	}
+	return out.Kinetic, out.Potential, nil
+}
+
+// Sync pulls positions, velocities and masses into the given master set
+// (and refreshes the replacement cache).
+func (g *Gravity) Sync(p *data.Particles) error {
+	var pos, vel vecResult
+	var mass floatsResult
+	if err := g.call("get_positions", empty{}, &pos); err != nil {
+		return err
+	}
+	if err := g.call("get_velocities", empty{}, &vel); err != nil {
+		return err
+	}
+	if err := g.call("get_masses", empty{}, &mass); err != nil {
+		return err
+	}
+	if len(pos.V) != p.Len() {
+		return fmt.Errorf("core: sync: worker has %d particles, set has %d", len(pos.V), p.Len())
+	}
+	copy(p.Pos, pos.V)
+	copy(p.Vel, vel.V)
+	copy(p.Mass, mass.X)
+	g.cacheState(particlesToPayload(p))
+	return nil
+}
+
+// Hydro is the coupler-side Gadget model (bridge.Dynamics +
+// bridge.EnergyInjector).
+type Hydro struct {
+	*modelProxy
+}
+
+// HydroOptions configure NewHydro.
+type HydroOptions struct {
+	SelfGravity bool
+	EpsGrav     float64
+	NTarget     int
+}
+
+// NewHydro starts an SPH worker (set spec.Nodes > 1 for an MPI worker).
+func (s *Simulation) NewHydro(spec WorkerSpec, opt HydroOptions) (*Hydro, error) {
+	m, err := s.newModel(KindHydro, spec, setupHydroArgs{
+		SelfGravity: opt.SelfGravity, EpsGrav: opt.EpsGrav, NTarget: opt.NTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hydro{modelProxy: m}, nil
+}
+
+// SetParticles uploads the gas set.
+func (h *Hydro) SetParticles(p *data.Particles) error { return h.setParticles(p) }
+
+// EvolveTo implements bridge.Dynamics.
+func (h *Hydro) EvolveTo(t float64) error { return h.evolveTo(t) }
+
+// Kick implements bridge.Dynamics.
+func (h *Hydro) Kick(dv []data.Vec3) error { return h.kick(dv) }
+
+// Positions implements bridge.Dynamics.
+func (h *Hydro) Positions() []data.Vec3 { return h.positions() }
+
+// Masses implements bridge.Dynamics.
+func (h *Hydro) Masses() []float64 { return h.masses() }
+
+// N implements bridge.Dynamics.
+func (h *Hydro) N() int { return h.particleCount() }
+
+// InjectEnergy implements bridge.EnergyInjector.
+func (h *Hydro) InjectEnergy(center data.Vec3, radius, e float64) int {
+	h.call("inject_energy", injectArgs{Center: center, Radius: radius, E: e}, &empty{})
+	return 0
+}
+
+// Energy returns (kinetic, thermal, potential).
+func (h *Hydro) Energy() (float64, float64, float64, error) {
+	var out energiesResult
+	if err := h.call("energies", empty{}, &out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.Kinetic, out.Thermal, out.Potential, nil
+}
+
+// StellarModel is the coupler-side SSE model (bridge.Stellar).
+type StellarModel struct {
+	*modelProxy
+}
+
+// NewStellar starts a stellar-evolution worker for the given ZAMS masses
+// (in MSun). myrPerTime and nbodyPerMSun are the unit scales the bridge
+// needs; with a session converter use NewStellarFromConverter.
+func (s *Simulation) NewStellar(spec WorkerSpec, massesMSun []float64, myrPerTime, nbodyPerMSun float64) (*StellarModel, error) {
+	m, err := s.newModel(KindStellar, spec, setupStellarArgs{
+		MassesMSun: massesMSun, MyrPerTime: myrPerTime, NBodyPerMSun: nbodyPerMSun,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StellarModel{modelProxy: m}, nil
+}
+
+// NewStellarFromConverter derives the unit scales from the session
+// converter (checked conversions, as AMUSE requires).
+func (s *Simulation) NewStellarFromConverter(spec WorkerSpec, massesMSun []float64) (*StellarModel, error) {
+	if s.conv == nil {
+		return nil, errors.New("core: stellar model needs a unit converter")
+	}
+	myr, err := s.conv.TimeScale().ValueIn(units.Myr)
+	if err != nil {
+		return nil, err
+	}
+	msun, err := s.conv.MassScale().ValueIn(units.MSun)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewStellar(spec, massesMSun, myr, 1/msun)
+}
+
+// EvolveTo implements bridge.Stellar.
+func (st *StellarModel) EvolveTo(t float64) ([]bridge.StellarEvent, error) {
+	var out stellarEvolveResult
+	if err := st.call("evolve", evolveArgs{T: t}, &out); err != nil {
+		return nil, err
+	}
+	events := make([]bridge.StellarEvent, 0, len(out.Events))
+	for _, ev := range out.Events {
+		events = append(events, bridge.StellarEvent{Index: ev.Index, MassLoss: ev.MassLoss, SN: ev.SN})
+	}
+	return events, nil
+}
+
+// FieldModel is the coupler-side coupling model (bridge.Field): Octgrav or
+// Fi.
+type FieldModel struct {
+	*modelProxy
+	kernelName string
+}
+
+// FieldOptions configure NewField.
+type FieldOptions struct {
+	Kernel string  // "octgrav" (GPU) or "fi" (CPU, default)
+	Theta  float64 // opening angle
+	Eps    float64 // coupling softening
+}
+
+// NewField starts a coupling worker.
+func (s *Simulation) NewField(spec WorkerSpec, opt FieldOptions) (*FieldModel, error) {
+	if opt.Kernel == "" {
+		opt.Kernel = "fi"
+	}
+	spec.Kernel = opt.Kernel
+	m, err := s.newModel(KindField, spec, setupFieldArgs{
+		Kernel: opt.Kernel, Theta: opt.Theta, Eps: opt.Eps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FieldModel{modelProxy: m, kernelName: opt.Kernel}, nil
+}
+
+// Name implements bridge.Field.
+func (f *FieldModel) Name() string { return f.kernelName }
+
+// FieldAt implements bridge.Field. The eps argument is fixed at setup; the
+// bridge passes its own but the worker applies the configured one.
+func (f *FieldModel) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+	var out fieldAtResult
+	if err := f.call("field_at", fieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: targets}, &out); err != nil {
+		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
+	}
+	return out.Acc, out.Pot, 0
+}

@@ -1,0 +1,47 @@
+package core
+
+import "jungle/internal/vtime"
+
+// Kernel efficiency calibration.
+//
+// Virtual compute time is flops / (device Gflops × efficiency). Device
+// Gflops are honest relative peak figures for the paper's hardware (a
+// GeForce 9600GT vs a Tesla C2050 vs Core2/Xeon cores), so *ratios* between
+// devices — who wins when a kernel moves — come from the hardware model.
+// The per-kernel-family efficiency constants below are the calibration
+// knobs fitted once against §6.2's scenario 1–3 numbers (353 / 89 / 84
+// seconds per iteration at the E1 workload: 1000 stars, 10000 gas
+// particles, one bridge step of 1/64): solving the three scenario equations
+// gives per-phase targets t_fi(desktop)=84 s, t_phigrape-cpu(desktop)=212 s,
+// t_gadget(desktop)=57.3 s, t_octgrav(9600GT)=9 s, t_octgrav(C2050)=2.7 s.
+// Scenario 4 then *follows from the model* (no per-scenario tuning), which
+// is the claim the reproduction checks. See EXPERIMENTS.md.
+//
+// The fitted efficiencies are far below 1 because the real codes spend most
+// of an iteration outside the counted flops (Python coupler overhead, I/O,
+// tree walks' memory stalls); the constant absorbs all of it uniformly per
+// kernel family, which preserves cross-device shape.
+// Fitted in two passes: first from standalone per-iteration flop counts at
+// the E1 workload (phigrape 1.558e9, sph 1.439e9, coupling 3.62e8
+// flops/iter — see TestCalibrationMeasurements), then refined against the
+// measured in-bridge phase decomposition (coupled steps take different
+// adaptive-step counts than standalone ones). Final fit targets
+// t_fi(desktop)=84 s, t_phigrape-cpu(desktop)=212 s, t_gadget(desktop)=57.3 s.
+var kernelEfficiency = map[Kind]float64{
+	KindGravity: 1.842e-4, // Hermite direct summation (PhiGRAPE)
+	KindField:   1.395e-4, // Barnes–Hut tree (Fi / Octgrav)
+	KindHydro:   5.313e-4, // SPH + tree (Gadget)
+	KindStellar: 1,        // lookups; negligible either way
+}
+
+// effectiveDevice returns a copy of dev derated to the kernel family's
+// sustained efficiency.
+func effectiveDevice(dev *vtime.Device, kind Kind) *vtime.Device {
+	eff := kernelEfficiency[kind]
+	if eff <= 0 {
+		eff = 1
+	}
+	d := *dev
+	d.Gflops = dev.Gflops * eff
+	return &d
+}

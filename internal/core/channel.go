@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// channel moves RPC round trips between the coupler and one worker. The
+// three implementations mirror AMUSE's channels: "mpi" (in-process, the
+// default), "sockets" (loopback connection to a local worker process) and
+// "ibis" (via the daemon over IPL to a remote resource — this paper's
+// addition).
+type channel interface {
+	name() string
+	// roundTrip performs one call; arrival is the coupler-side virtual
+	// time at which the response landed.
+	roundTrip(req request) (response, time.Duration, error)
+	close() error
+}
+
+// Channel names.
+const (
+	ChannelMPI     = "mpi"
+	ChannelSockets = "sockets"
+	ChannelIbis    = "ibis"
+)
+
+// localChannel calls the service in-process. AMUSE's MPI channel costs a
+// small per-message latency; calls are serialized like a single-threaded
+// worker.
+type localChannel struct {
+	mu      sync.Mutex
+	svc     service
+	closed  bool
+	latency time.Duration
+}
+
+// mpiMessageLatency is the per-call cost of the local MPI channel.
+const mpiMessageLatency = 5 * time.Microsecond
+
+func newLocalChannel(svc service) *localChannel {
+	return &localChannel{svc: svc, latency: mpiMessageLatency}
+}
+
+func (c *localChannel) name() string { return ChannelMPI }
+
+func (c *localChannel) roundTrip(req request) (response, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return response{}, 0, ErrChannelClosed
+	}
+	result, doneAt, err := c.svc.dispatch(req.Method, req.Args, req.SentAt+c.latency)
+	resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp, doneAt + c.latency, nil
+}
+
+func (c *localChannel) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		c.svc.close()
+	}
+	return nil
+}
+
+// connChannel frames requests over a vnet connection and matches responses
+// by ID; it serves both the sockets channel (conn straight to a worker) and
+// the coupler side of the ibis channel (conn to the local daemon).
+type connChannel struct {
+	chName string
+	conn   *vnet.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan respArrival
+	closed  bool
+	readErr error
+}
+
+type respArrival struct {
+	resp    response
+	arrival time.Duration
+}
+
+func newConnChannel(name string, conn *vnet.Conn) *connChannel {
+	c := &connChannel{chName: name, conn: conn, pending: make(map[uint64]chan respArrival)}
+	go c.readLoop()
+	return c
+}
+
+func (c *connChannel) name() string { return c.chName }
+
+func (c *connChannel) readLoop() {
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			if c.readErr == nil {
+				c.readErr = ErrWorkerDied
+			}
+			for id, ch := range c.pending {
+				delete(c.pending, id)
+				close(ch)
+			}
+			c.mu.Unlock()
+			return
+		}
+		var resp response
+		if err := decode(msg.Data, &resp); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- respArrival{resp: resp, arrival: msg.Arrival}
+		}
+	}
+}
+
+func (c *connChannel) roundTrip(req request) (response, time.Duration, error) {
+	ch := make(chan respArrival, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrChannelClosed
+		}
+		return response{}, 0, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	if _, err := c.conn.Send(encode(&req), req.SentAt); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return response{}, 0, fmt.Errorf("core: %s channel send: %w", c.chName, err)
+	}
+	ra, ok := <-ch
+	if !ok {
+		return response{}, 0, ErrWorkerDied
+	}
+	return ra.resp, ra.arrival, nil
+}
+
+func (c *connChannel) close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+// serveConn is the worker-process side of a conn channel: read requests,
+// dispatch sequentially, reply. It returns when the connection closes.
+func serveConn(conn *vnet.Conn, svc service) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var req request
+		if err := decode(msg.Data, &req); err != nil {
+			continue
+		}
+		result, doneAt, derr := svc.dispatch(req.Method, req.Args, msg.Arrival)
+		resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
+		if derr != nil {
+			resp.Err = derr.Error()
+		}
+		if _, err := conn.Send(encode(&resp), doneAt); err != nil {
+			return
+		}
+	}
+}

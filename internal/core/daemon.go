@@ -1,0 +1,453 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jungle/internal/deploy"
+	"jungle/internal/gat"
+	"jungle/internal/ipl"
+	"jungle/internal/vnet"
+)
+
+// Daemon is the per-user Ibis daemon of Fig. 5: it runs on the user's
+// machine, accepts coupler connections over a local loopback socket, starts
+// workers on remote resources through IbisDeploy/JavaGAT, and relays RPC to
+// each worker's proxy over IPL. "The user must start this daemon on his or
+// her machine before running any simulation, but it can be re-used for all
+// simulations run."
+type Daemon struct {
+	env        *Env
+	deployment *deploy.Deployment
+	registry   *ipl.Registry
+	ibis       *ipl.Ibis
+	listener   *vnet.Listener
+
+	mu       sync.Mutex
+	workers  map[int]*workerHandle
+	byMember map[string]*workerHandle // member identifier string -> handle
+	nextID   int
+	closed   bool
+
+	// ReadyTimeout bounds (in real time) how long StartWorker waits for a
+	// worker to announce itself.
+	ReadyTimeout time.Duration
+
+	// OnWorkerDied is invoked (if set) when the pool reports a worker
+	// death; used for monitoring and by the replacement logic.
+	OnWorkerDied func(id int)
+
+	wg sync.WaitGroup
+}
+
+// workerHandle is the daemon-side state for one worker.
+type workerHandle struct {
+	id   int
+	spec WorkerSpec
+	job  *gat.Job
+
+	mu       sync.Mutex
+	member   ipl.Identifier
+	sendPort *ipl.SendPort
+	pending  map[uint64]*vnet.Conn // request id -> coupler conn awaiting reply
+	dead     bool
+
+	ready chan ipl.Identifier
+	// sockets channel: the worker's direct address instead of IPL state.
+	socketHost string
+	socketPort int
+}
+
+// WorkerSpec describes a worker to start — the per-worker properties the
+// paper's users put in their simulation scripts (§5: channel, resource
+// name, node count).
+type WorkerSpec struct {
+	Kind     Kind
+	Kernel   string // "phigrape-cpu" | "phigrape-gpu" | "octgrav" | "fi" | "" (hydro/stellar)
+	Resource string // deployment resource name; "" = automatic selection
+	Nodes    int    // nodes for the worker's job (MPI workers use >1)
+	Channel  string // "mpi" | "sockets" | "ibis" (default "ibis")
+}
+
+// NewDaemon starts the daemon for a deployment: an IPL registry and the
+// daemon's own pool instance on the local host, plus the loopback RPC
+// listener the coupler connects to.
+func NewDaemon(dep *deploy.Deployment, pool string) (*Daemon, error) {
+	local := dep.LocalHost()
+	reg, err := ipl.NewRegistry(dep.Net, local, local)
+	if err != nil {
+		return nil, fmt.Errorf("core: daemon registry: %w", err)
+	}
+	env := &Env{Net: dep.Net, Deployment: dep, Pool: pool, Registry: reg.Addr()}
+	d := &Daemon{
+		env: env, deployment: dep, registry: reg,
+		workers:      make(map[int]*workerHandle),
+		byMember:     make(map[string]*workerHandle),
+		ReadyTimeout: 30 * time.Second,
+	}
+
+	dep.Catalog.Register("amuse-worker", func(ctx *gat.Context) error {
+		return workerMain(env, ctx)
+	})
+	dep.Catalog.Register("amuse-socket-worker", func(ctx *gat.Context) error {
+		return socketWorkerMain(env, ctx)
+	})
+
+	ib, err := ipl.Create(dep.Net, ipl.Config{
+		Pool: pool, Host: local, BasePort: workerPortBase - 100,
+		HubHost: local, Registry: reg.Addr(),
+	})
+	if err != nil {
+		reg.Close()
+		return nil, fmt.Errorf("core: daemon pool join: %w", err)
+	}
+	d.ibis = ib
+	if _, err := ib.Elect(electionDaemon); err != nil {
+		ib.End()
+		reg.Close()
+		return nil, err
+	}
+
+	l, err := dep.Net.Listen(local, DaemonPort)
+	if err != nil {
+		ib.End()
+		reg.Close()
+		return nil, fmt.Errorf("core: daemon listener: %w", err)
+	}
+	d.listener = l
+	d.wg.Add(2)
+	go d.acceptLoop()
+	go d.eventLoop()
+	return d, nil
+}
+
+// Env returns the daemon's worker environment.
+func (d *Daemon) Env() *Env { return d.env }
+
+// Deployment returns the deployment the daemon manages.
+func (d *Daemon) Deployment() *deploy.Deployment { return d.deployment }
+
+// Close shuts the daemon down: workers' ports close, jobs are canceled.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	handles := make([]*workerHandle, 0, len(d.workers))
+	for _, wh := range d.workers {
+		handles = append(handles, wh)
+	}
+	d.mu.Unlock()
+	for _, wh := range handles {
+		wh.mu.Lock()
+		sp := wh.sendPort
+		job := wh.job
+		wh.mu.Unlock()
+		if sp != nil {
+			sp.Close()
+		}
+		if job != nil {
+			job.Cancel()
+		}
+	}
+	d.listener.Close()
+	d.ibis.End()
+	d.registry.Close()
+	d.wg.Wait()
+}
+
+var reqIDs atomic.Uint64
+
+// acceptLoop serves coupler connections on the loopback socket.
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.listener.Accept()
+		if err != nil {
+			return
+		}
+		conn.SetClass("loopback")
+		d.wg.Add(1)
+		go d.serveCoupler(conn)
+	}
+}
+
+// serveCoupler relays one coupler channel's requests to worker proxies.
+func (d *Daemon) serveCoupler(conn *vnet.Conn) {
+	defer d.wg.Done()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var req request
+		if err := decode(msg.Data, &req); err != nil {
+			continue
+		}
+		d.mu.Lock()
+		wh := d.workers[req.Worker]
+		d.mu.Unlock()
+		if wh == nil {
+			d.reply(conn, req.ID, msg.Arrival, fmt.Sprintf("core: no worker %d", req.Worker))
+			continue
+		}
+		wh.mu.Lock()
+		dead, sp := wh.dead, wh.sendPort
+		if !dead && sp != nil {
+			wh.pending[req.ID] = conn
+		}
+		wh.mu.Unlock()
+		if dead || sp == nil {
+			d.reply(conn, req.ID, msg.Arrival, ErrWorkerDied.Error())
+			continue
+		}
+		if err := sp.Write(msg.Data, msg.Arrival); err != nil {
+			wh.mu.Lock()
+			delete(wh.pending, req.ID)
+			wh.mu.Unlock()
+			d.reply(conn, req.ID, msg.Arrival, ErrWorkerDied.Error())
+		}
+	}
+}
+
+// reply sends an error response back to a coupler connection.
+func (d *Daemon) reply(conn *vnet.Conn, id uint64, at time.Duration, errStr string) {
+	resp := &response{ID: id, Err: errStr, DoneAt: at}
+	conn.Send(encode(resp), at)
+}
+
+// onResponse handles a proxy's response (or ready announcement).
+func (d *Daemon) onResponse(wh *workerHandle, rm ipl.ReadMessage) {
+	var resp response
+	if err := decode(rm.Data, &resp); err != nil {
+		return
+	}
+	if resp.ID == 0 { // ready marker
+		select {
+		case wh.ready <- rm.From:
+		default:
+		}
+		return
+	}
+	wh.mu.Lock()
+	conn := wh.pending[resp.ID]
+	delete(wh.pending, resp.ID)
+	wh.mu.Unlock()
+	if conn != nil {
+		conn.Send(rm.Data, rm.Arrival)
+	}
+}
+
+// eventLoop watches pool membership: a Died member fails its worker —
+// requirement 4's monitoring hook and the paper's fault behaviour.
+func (d *Daemon) eventLoop() {
+	defer d.wg.Done()
+	for ev := range d.ibis.Events() {
+		if ev.Kind != ipl.Died {
+			continue
+		}
+		d.mu.Lock()
+		wh := d.byMember[ev.Member.String()]
+		hook := d.OnWorkerDied
+		d.mu.Unlock()
+		if wh == nil {
+			continue
+		}
+		if newly := d.failWorker(wh); newly && hook != nil {
+			hook(wh.id)
+		}
+	}
+}
+
+// failWorker marks a worker dead and fails all pending calls. It reports
+// whether the worker was newly failed (false for expected stops).
+func (d *Daemon) failWorker(wh *workerHandle) bool {
+	wh.mu.Lock()
+	newly := !wh.dead
+	wh.dead = true
+	pend := wh.pending
+	wh.pending = make(map[uint64]*vnet.Conn)
+	sp := wh.sendPort
+	wh.mu.Unlock()
+	if sp != nil {
+		sp.Close()
+	}
+	for id, conn := range pend {
+		d.reply(conn, id, 0, ErrWorkerDied.Error())
+	}
+	return newly
+}
+
+// StartWorker launches a worker per spec and returns its id. For the ibis
+// channel this is Fig. 5 end to end: submit job via IbisDeploy, wait for
+// the proxy to join the pool and announce, then connect the request port.
+func (d *Daemon) StartWorker(spec WorkerSpec) (int, error) {
+	if spec.Channel == "" {
+		spec.Channel = ChannelIbis
+	}
+	if spec.Nodes < 1 {
+		spec.Nodes = 1
+	}
+	resource := spec.Resource
+	if resource == "" {
+		var err error
+		resource, err = SelectResource(d.deployment, spec)
+		if err != nil {
+			return 0, err
+		}
+		spec.Resource = resource
+	}
+	if _, err := d.deployment.Resource(resource); err != nil {
+		return 0, err
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrChannelClosed
+	}
+	d.nextID++
+	id := d.nextID
+	wh := &workerHandle{
+		id: id, spec: spec,
+		pending: make(map[uint64]*vnet.Conn),
+		ready:   make(chan ipl.Identifier, 1),
+	}
+	d.workers[id] = wh
+	d.mu.Unlock()
+
+	exe := "amuse-worker"
+	if spec.Channel == ChannelSockets {
+		exe = "amuse-socket-worker"
+	}
+	desc := gat.JobDescription{
+		Executable: exe,
+		Args:       workerJobArgs(spec.Kind, spec.Kernel, id, resource),
+		Nodes:      spec.Nodes,
+	}
+
+	if spec.Channel == ChannelSockets {
+		job, err := d.deployment.Submit(resource, desc)
+		if err != nil {
+			return 0, err
+		}
+		wh.mu.Lock()
+		wh.job = job
+		wh.socketHost = d.deployment.LocalHost()
+		wh.socketPort = socketWorkerPort(id)
+		wh.mu.Unlock()
+		return id, nil
+	}
+
+	// Ibis channel: response port first, then the job.
+	rp, err := d.ibis.CreateReceivePort(ipl.ManyToOne, respPortName(id), func(rm ipl.ReadMessage) {
+		d.onResponse(wh, rm)
+	})
+	if err != nil {
+		return 0, err
+	}
+	_ = rp
+	job, err := d.deployment.Submit(resource, desc)
+	if err != nil {
+		return 0, err
+	}
+	wh.mu.Lock()
+	wh.job = job
+	wh.mu.Unlock()
+
+	select {
+	case member := <-wh.ready:
+		sp := d.ibis.CreateSendPort(ipl.OneToOne, reqPortName(id))
+		if err := sp.Connect(member, reqPortName(id), 0); err != nil {
+			job.Cancel()
+			return 0, fmt.Errorf("core: connect to worker %d: %w", id, err)
+		}
+		wh.mu.Lock()
+		wh.member = member
+		wh.sendPort = sp
+		wh.mu.Unlock()
+		d.mu.Lock()
+		d.byMember[member.String()] = wh
+		d.mu.Unlock()
+		return id, nil
+	case <-job.Done():
+		err := job.Err()
+		if err == nil {
+			err = errors.New("core: worker job stopped before announcing")
+		}
+		return 0, fmt.Errorf("core: worker %d failed to start: %w", id, err)
+	case <-time.After(d.ReadyTimeout):
+		job.Cancel()
+		return 0, fmt.Errorf("core: worker %d did not announce within %v", id, d.ReadyTimeout)
+	}
+}
+
+// StopWorker shuts one worker down gracefully (its ports close, the job
+// finishes).
+func (d *Daemon) StopWorker(id int) {
+	d.mu.Lock()
+	wh := d.workers[id]
+	d.mu.Unlock()
+	if wh == nil {
+		return
+	}
+	wh.mu.Lock()
+	sp := wh.sendPort
+	job := wh.job
+	wh.dead = true
+	wh.mu.Unlock()
+	if sp != nil {
+		sp.Close()
+	}
+	if job != nil {
+		job.Cancel() // the proxy observes Cancel and tears itself down
+	}
+}
+
+// KillWorker abruptly cancels a worker's job (the scheduler-kill fault of
+// §5); the pool observes a death.
+func (d *Daemon) KillWorker(id int) {
+	d.mu.Lock()
+	wh := d.workers[id]
+	d.mu.Unlock()
+	if wh == nil {
+		return
+	}
+	wh.mu.Lock()
+	job := wh.job
+	wh.mu.Unlock()
+	if job != nil {
+		job.Cancel()
+	}
+}
+
+// WorkerJob returns the gat job behind a worker (diagnostics).
+func (d *Daemon) WorkerJob(id int) *gat.Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if wh := d.workers[id]; wh != nil {
+		return wh.job
+	}
+	return nil
+}
+
+// workerSocketAddr returns host/port for a sockets-channel worker.
+func (d *Daemon) workerSocketAddr(id int) (string, int, error) {
+	d.mu.Lock()
+	wh := d.workers[id]
+	d.mu.Unlock()
+	if wh == nil {
+		return "", 0, fmt.Errorf("core: no worker %d", id)
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	if wh.socketPort == 0 {
+		return "", 0, fmt.Errorf("core: worker %d is not a sockets worker", id)
+	}
+	return wh.socketHost, wh.socketPort, nil
+}

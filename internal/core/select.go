@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"jungle/internal/deploy"
+)
+
+// ErrNoResource is returned when no registered resource fits a spec.
+var ErrNoResource = errors.New("core: no suitable resource")
+
+// wantsGPU reports whether a kernel runs on an accelerator.
+func wantsGPU(kernel string) bool {
+	return kernel == "phigrape-gpu" || kernel == "octgrav"
+}
+
+// SelectResource implements §4.3's requirement 5, which the paper's
+// prototype leaves to the user: "given the list of resources a user has
+// access to, ideally, software should find suitable resources itself". The
+// policy is device-aware scoring: GPU kernels demand a GPU resource (best
+// GPU wins); multi-node workers demand enough nodes (most aggregate compute
+// wins); everything else goes to the fastest available CPU.
+func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
+	var bestName string
+	var bestScore float64
+	needGPU := wantsGPU(spec.Kernel)
+	nodes := spec.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	for _, name := range d.Resources() {
+		r, err := d.Resource(name)
+		if err != nil {
+			continue
+		}
+		if needGPU && !r.HasGPU() {
+			continue
+		}
+		if r.NodeCount() < nodes {
+			continue
+		}
+		score := 0.0
+		switch {
+		case needGPU:
+			score = r.GPU.Gflops
+		case r.CPU != nil:
+			score = r.CPU.Gflops * float64(r.CPU.Cores) * float64(r.NodeCount())
+		}
+		if score > bestScore {
+			bestScore, bestName = score, name
+		}
+	}
+	if bestName == "" {
+		return "", fmt.Errorf("%w: kind=%s kernel=%q nodes=%d gpu=%v",
+			ErrNoResource, spec.Kind, spec.Kernel, nodes, needGPU)
+	}
+	return bestName, nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jungle/internal/deploy"
+	"jungle/internal/trace"
+	"jungle/internal/vnet"
+	"jungle/internal/vtime"
+)
+
+// Testbed is the shared experimental setup: the paper's machines, networks
+// and resource descriptions, plus a running daemon. All experiments (E1–E8)
+// build on one of its two variants.
+type Testbed struct {
+	Net        *vnet.Network
+	Recorder   *trace.Recorder
+	Deployment *deploy.Deployment
+	Daemon     *Daemon
+
+	// Resource names registered with the deployment.
+	Client string // "desktop" (lab) or "laptop" (SC11)
+	VU     string // DAS-4 VU: 8-node cluster (Gadget)
+	UvA    string // DAS-4 UvA: 1 node (SSE)
+	TUD    string // DAS-4 TUD: 2 GPU nodes (Octgrav)
+	LGM    string // Little Green Machine: Tesla C2050 (PhiGRAPE)
+}
+
+// Device models: honest relative peaks for the paper's hardware.
+func desktopCPU() *vtime.Device {
+	return &vtime.Device{Name: "core2-quad", Kind: vtime.CPU, Gflops: 8, Cores: 4}
+}
+func laptopCPU() *vtime.Device {
+	return &vtime.Device{Name: "laptop", Kind: vtime.CPU, Gflops: 6, Cores: 2}
+}
+func geforce9600GT() *vtime.Device {
+	return &vtime.Device{Name: "9600gt", Kind: vtime.GPU, Gflops: 300, Cores: 1,
+		LaunchLatency: 60 * time.Microsecond}
+}
+func teslaC2050() *vtime.Device {
+	return &vtime.Device{Name: "c2050", Kind: vtime.GPU, Gflops: 1000, Cores: 1,
+		LaunchLatency: 30 * time.Microsecond}
+}
+func gtx480() *vtime.Device {
+	return &vtime.Device{Name: "gtx480", Kind: vtime.GPU, Gflops: 1300, Cores: 1,
+		LaunchLatency: 30 * time.Microsecond}
+}
+func das4Node() *vtime.Device {
+	return &vtime.Device{Name: "das4-xeon", Kind: vtime.CPU, Gflops: 10, Cores: 8}
+}
+
+// Link classes (bandwidth in bytes/s).
+const (
+	gbE        = 1.25e8 // 1 GbE / 1G lightpath
+	tenG       = 1.25e9 // 10G STARplane lightpaths
+	lanLat     = 100 * time.Microsecond
+	metroLat   = 1 * time.Millisecond  // between Dutch sites
+	transatLat = 40 * time.Millisecond // Seattle <-> Amsterdam one way
+)
+
+// buildDutchSites creates the Fig. 9/12 resources shared by both testbeds:
+// the three DAS-4 clusters and the LGM, wired by lightpaths. It returns the
+// frontends' names for linking the client in.
+func buildDutchSites(n *vnet.Network) (vu, uva, tud *vnet.Cluster, err error) {
+	vu, err = n.AddCluster(vnet.ClusterSpec{
+		Name: "das4-vu", Site: "vu", Nodes: 8,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return
+	}
+	uva, err = n.AddCluster(vnet.ClusterSpec{
+		Name: "das4-uva", Site: "uva", Nodes: 1,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return
+	}
+	tud, err = n.AddCluster(vnet.ClusterSpec{
+		Name: "das4-tud", Site: "tud", Nodes: 2,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return
+	}
+	if _, err = n.AddHost("lgm", "leiden", vnet.SSHOnly); err != nil {
+		return
+	}
+	// 10G STARplane between DAS-4 sites; 1G lightpath to the LGM (Fig. 12).
+	links := []struct {
+		a, b string
+		lat  time.Duration
+		bw   float64
+	}{
+		{vu.Frontend, uva.Frontend, metroLat, tenG},
+		{vu.Frontend, tud.Frontend, metroLat, tenG},
+		{uva.Frontend, tud.Frontend, metroLat, tenG},
+		{vu.Frontend, "lgm", metroLat, gbE},
+	}
+	for _, l := range links {
+		if err = n.AddLink(l.a, l.b, l.lat, l.bw); err != nil {
+			return
+		}
+	}
+	return vu, uva, tud, nil
+}
+
+// registerDutchResources adds the four Dutch resources to the deployment.
+func (tb *Testbed) registerDutchResources(vu, uva, tud *vnet.Cluster) error {
+	resources := []deploy.Resource{
+		{Name: "das4-vu", Middleware: "sge", Frontend: vu.Frontend, Nodes: vu.NodeName, CPU: das4Node()},
+		{Name: "das4-uva", Middleware: "sge", Frontend: uva.Frontend, Nodes: uva.NodeName, CPU: das4Node()},
+		{Name: "das4-tud", Middleware: "sge", Frontend: tud.Frontend, Nodes: tud.NodeName, CPU: das4Node(), GPU: gtx480()},
+		{Name: "lgm", Middleware: "ssh", Frontend: "lgm", CPU: das4Node(), GPU: teslaC2050()},
+	}
+	for _, r := range resources {
+		if err := tb.Deployment.AddResource(r); err != nil {
+			return err
+		}
+	}
+	tb.VU, tb.UvA, tb.TUD, tb.LGM = "das4-vu", "das4-uva", "das4-tud", "lgm"
+	return nil
+}
+
+// NewLabTestbed builds the Fig. 12 setup: a quad-core desktop with a
+// GeForce 9600GT at the VU on 1 GbE, the DAS-4 sites and the LGM.
+func NewLabTestbed() (*Testbed, error) {
+	n := vnet.New()
+	rec := trace.New()
+	n.SetRecorder(rec)
+	if _, err := n.AddHost("desktop", "vu", vnet.Open); err != nil {
+		return nil, err
+	}
+	vu, uva, tud, err := buildDutchSites(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.AddLink("desktop", vu.Frontend, lanLat, gbE); err != nil {
+		return nil, err
+	}
+
+	dep, err := deploy.New(n, "desktop")
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Net: n, Recorder: rec, Deployment: dep, Client: "desktop"}
+	if err := dep.AddResource(deploy.Resource{
+		Name: "desktop", Middleware: "local", Frontend: "desktop",
+		CPU: desktopCPU(), GPU: geforce9600GT(),
+	}); err != nil {
+		return nil, err
+	}
+	if err := tb.registerDutchResources(vu, uva, tud); err != nil {
+		return nil, err
+	}
+	d, err := NewDaemon(dep, "amuse")
+	if err != nil {
+		return nil, err
+	}
+	tb.Daemon = d
+	return tb, nil
+}
+
+// NewSC11Testbed builds the Fig. 9 setup: the laptop at the SC11 booth in
+// Seattle behind the conference NAT, a transatlantic 1G lightpath to
+// Amsterdam, and the Dutch resources. The render/visualization clusters of
+// the demo are added as hosts for topology fidelity but host no workers.
+func NewSC11Testbed() (*Testbed, error) {
+	n := vnet.New()
+	rec := trace.New()
+	n.SetRecorder(rec)
+	// The laptop sits behind the exhibition-floor NAT: outbound only —
+	// exactly the situation SmartSockets' reverse/routed setup exists for.
+	if _, err := n.AddHost("laptop", "seattle", vnet.OutboundOnly); err != nil {
+		return nil, err
+	}
+	vu, uva, tud, err := buildDutchSites(n)
+	if err != nil {
+		return nil, err
+	}
+	// Transatlantic 1G lightpath lands at the VU.
+	if err := n.AddLink("laptop", vu.Frontend, transatLat, gbE); err != nil {
+		return nil, err
+	}
+	// SARA render cluster + tiled display head node (Fig. 9, right).
+	if _, err := n.AddHost("rvs-sara", "amsterdam", vnet.SSHOnly); err != nil {
+		return nil, err
+	}
+	if err := n.AddLink("rvs-sara", vu.Frontend, metroLat, tenG); err != nil {
+		return nil, err
+	}
+
+	dep, err := deploy.New(n, "laptop")
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Net: n, Recorder: rec, Deployment: dep, Client: "laptop"}
+	if err := dep.AddResource(deploy.Resource{
+		Name: "laptop", Middleware: "local", Frontend: "laptop", CPU: laptopCPU(),
+	}); err != nil {
+		return nil, err
+	}
+	if err := tb.registerDutchResources(vu, uva, tud); err != nil {
+		return nil, err
+	}
+	d, err := NewDaemon(dep, "amuse")
+	if err != nil {
+		return nil, err
+	}
+	tb.Daemon = d
+	return tb, nil
+}
+
+// AddSupercomputer registers the §7 scale-up resource: a 64-node
+// PBS-managed machine at SARA ("using the infrastructure that we recently
+// acquired access to ... including a supercomputer"). Returns the resource
+// name. PBS is the one middleware the standard testbeds do not otherwise
+// exercise.
+func (tb *Testbed) AddSupercomputer() (string, error) {
+	sc, err := tb.Net.AddCluster(vnet.ClusterSpec{
+		Name: "huygens", Site: "sara", Nodes: 64,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return "", err
+	}
+	// The supercomputer hangs off the VU frontend's lightpath hub.
+	vuFE := "das4-vu.fe"
+	if err := tb.Net.AddLink(sc.Frontend, vuFE, metroLat, tenG); err != nil {
+		return "", err
+	}
+	if err := tb.Deployment.AddResource(deploy.Resource{
+		Name: "huygens", Middleware: "pbs", Frontend: sc.Frontend, Nodes: sc.NodeName,
+		CPU: &vtime.Device{Name: "power6", Kind: vtime.CPU, Gflops: 12, Cores: 16},
+	}); err != nil {
+		return "", err
+	}
+	return "huygens", nil
+}
+
+// Close shuts the daemon and deployment down.
+func (tb *Testbed) Close() {
+	if tb.Daemon != nil {
+		tb.Daemon.Close()
+	}
+	tb.Deployment.Stop()
+}
+
+// String summarizes the testbed.
+func (tb *Testbed) String() string {
+	return fmt.Sprintf("testbed client=%s resources=%v", tb.Client, tb.Deployment.Resources())
+}

@@ -1,0 +1,133 @@
+package deploy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"jungle/internal/vtime"
+)
+
+// ParseConfig reads IbisDeploy-style resource descriptions: an INI-like
+// format with one [resource <name>] section per resource — the "small
+// number of simple configuration files" of §3.
+//
+//	# comment
+//	[resource das4-vu]
+//	middleware = sge
+//	frontend   = das4-vu.fe
+//	nodes      = das4-vu.node00, das4-vu.node01
+//	cpu        = xeon 5.0 8          # name gflops cores [launch-us]
+//	gpu        = gtx480 350          # name gflops [launch-us]
+//	hub        = das4-vu.fe
+func ParseConfig(text string) ([]Resource, error) {
+	var out []Resource
+	var cur *Resource
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("deploy: config line %d: unterminated section %q", lineNo+1, raw)
+			}
+			parts := strings.Fields(line[1 : len(line)-1])
+			if len(parts) != 2 || parts[0] != "resource" {
+				return nil, fmt.Errorf("deploy: config line %d: expected [resource <name>], got %q", lineNo+1, raw)
+			}
+			flush()
+			cur = &Resource{Name: parts[1]}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("deploy: config line %d: key outside a section: %q", lineNo+1, raw)
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("deploy: config line %d: expected key = value, got %q", lineNo+1, raw)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "middleware":
+			cur.Middleware = value
+		case "frontend":
+			cur.Frontend = value
+		case "hub":
+			cur.HubHost = value
+		case "nodes":
+			for _, n := range strings.Split(value, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					cur.Nodes = append(cur.Nodes, n)
+				}
+			}
+		case "cpu":
+			dev, err := parseDevice(value, vtime.CPU)
+			if err != nil {
+				return nil, fmt.Errorf("deploy: config line %d: %w", lineNo+1, err)
+			}
+			cur.CPU = dev
+		case "gpu":
+			dev, err := parseDevice(value, vtime.GPU)
+			if err != nil {
+				return nil, fmt.Errorf("deploy: config line %d: %w", lineNo+1, err)
+			}
+			cur.GPU = dev
+		default:
+			return nil, fmt.Errorf("deploy: config line %d: unknown key %q", lineNo+1, key)
+		}
+	}
+	flush()
+	for i := range out {
+		if out[i].Middleware == "" || out[i].Frontend == "" {
+			return nil, fmt.Errorf("deploy: resource %q missing middleware or frontend", out[i].Name)
+		}
+	}
+	return out, nil
+}
+
+// parseDevice parses "name gflops [cores] [launch-us]". GPUs default to one
+// logical core; CPUs default to one core.
+func parseDevice(s string, kind vtime.DeviceKind) (*vtime.Device, error) {
+	f := strings.Fields(s)
+	if len(f) < 2 {
+		return nil, fmt.Errorf("device %q: want name gflops [cores] [launch-us]", s)
+	}
+	gflops, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("device %q: bad gflops: %v", s, err)
+	}
+	dev := &vtime.Device{Name: f[0], Kind: kind, Gflops: gflops, Cores: 1}
+	idx := 2
+	if kind == vtime.CPU && len(f) > idx {
+		cores, err := strconv.Atoi(f[idx])
+		if err != nil {
+			return nil, fmt.Errorf("device %q: bad cores: %v", s, err)
+		}
+		dev.Cores = cores
+		idx++
+	}
+	if len(f) > idx {
+		us, err := strconv.ParseFloat(f[idx], 64)
+		if err != nil {
+			return nil, fmt.Errorf("device %q: bad launch latency: %v", s, err)
+		}
+		dev.LaunchLatency = time.Duration(us * float64(time.Microsecond))
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}

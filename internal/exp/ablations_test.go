@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateTheta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation")
+	}
+	table, rows, err := AblateTheta(2000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Monotone trade-off: growing theta must cut flops and raise error.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Flops >= rows[i-1].Flops {
+			t.Fatalf("flops not decreasing at theta=%v:\n%s", rows[i].Theta, table)
+		}
+		if rows[i].MaxError < rows[i-1].MaxError*0.5 {
+			t.Fatalf("error collapsed at theta=%v:\n%s", rows[i].Theta, table)
+		}
+	}
+	// theta=0.2 stays accurate.
+	if rows[0].MaxError > 0.01 {
+		t.Fatalf("theta=0.2 error %v too big", rows[0].MaxError)
+	}
+}
+
+func TestAblateBridgeDT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation")
+	}
+	table, rows, err := AblateBridgeDT(30, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer coupling calls at larger DT.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FieldCalls >= rows[i-1].FieldCalls {
+			t.Fatalf("field calls not decreasing:\n%s", table)
+		}
+	}
+	// The coarsest coupling must be measurably worse than the finest.
+	if rows[len(rows)-1].EnergyError <= rows[0].EnergyError {
+		t.Fatalf("energy error did not grow with DT:\n%s", table)
+	}
+}
+
+func TestAblateChannels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation")
+	}
+	table, rows, err := AblateChannels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Channel] = float64(r.PerCall)
+	}
+	// The Fig. 5 hop hierarchy: in-process < local loopback < same-site
+	// WAN < remote site.
+	mpi := byName["mpi (in-process)"]
+	sock := byName["sockets (local process)"]
+	near := byName["ibis -> das4-vu (same site)"]
+	far := byName["ibis -> lgm (remote site)"]
+	if !(mpi < sock && sock < near && near < far) {
+		t.Fatalf("channel cost hierarchy violated:\n%s", table)
+	}
+}
+
+func TestRenderProjection(t *testing.T) {
+	_, stages, err := E5(20, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatal("stages missing")
+	}
+}
+
+func TestRenderProjectionDirect(t *testing.T) {
+	stars, gas, err := DefaultWorkload().Scaled(0.02).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderProjection(stars, gas, 2, 40, 12)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("no stars rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "+----") {
+		t.Fatalf("no frame:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}

@@ -1,0 +1,229 @@
+// Package exp implements the paper's evaluation (§6): one runner per table
+// or figure, each returning a report with the same rows/series the paper
+// shows. The experiment index lives in DESIGN.md; paper-vs-measured results
+// are recorded in EXPERIMENTS.md. cmd/jungle-bench executes these runners
+// from the command line and bench_test.go wraps them as Go benchmarks.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/amuse/ic"
+	"jungle/internal/core"
+	"jungle/internal/phys/bridge"
+)
+
+// Workload is the embedded-star-cluster evaluation simulation (§6: "For
+// all our experiments, we use the same simulation").
+type Workload struct {
+	Stars   int
+	Gas     int
+	GasFrac float64
+	Seed    int64
+	DT      float64
+	Eps     float64
+}
+
+// DefaultWorkload is the calibrated E1 scale: 1000 stars + 10000 SPH gas
+// particles, bridge step 1/64.
+func DefaultWorkload() Workload {
+	return Workload{Stars: 1000, Gas: 10000, GasFrac: 0.9, Seed: 42, DT: 1.0 / 64, Eps: 0.05}
+}
+
+// Scaled returns the workload with particle counts scaled by f (tests use
+// small fractions; E8 uses >1).
+func (w Workload) Scaled(f float64) Workload {
+	w.Stars = max(int(float64(w.Stars)*f), 10)
+	w.Gas = max(int(float64(w.Gas)*f), 20)
+	return w
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Build generates the initial conditions.
+func (w Workload) Build() (stars, gas *data.Particles, err error) {
+	return ic.EmbeddedCluster(ic.ClusterSpec{
+		Stars: w.Stars, Gas: w.Gas, GasFrac: w.GasFrac, Seed: w.Seed,
+	})
+}
+
+// Placement assigns each model to a resource + channel — one §6.2 scenario.
+type Placement struct {
+	Name          string
+	Gravity       core.WorkerSpec
+	GravityKernel string
+	Hydro         core.WorkerSpec
+	Field         core.WorkerSpec
+	FieldKernel   string
+	Stellar       core.WorkerSpec
+}
+
+// scenario helpers build the four §6.2 placements against a testbed.
+func local(resource string) core.WorkerSpec {
+	return core.WorkerSpec{Resource: resource, Channel: core.ChannelMPI}
+}
+func remote(resource string, nodes int) core.WorkerSpec {
+	return core.WorkerSpec{Resource: resource, Nodes: nodes, Channel: core.ChannelIbis}
+}
+
+// LabScenarios returns the §6.2 scenarios in paper order for a lab testbed.
+func LabScenarios(tb *core.Testbed) []Placement {
+	desktop := tb.Client
+	return []Placement{
+		{
+			Name:    "cpu-only",
+			Gravity: local(desktop), GravityKernel: "phigrape-cpu",
+			Hydro: local(desktop),
+			Field: local(desktop), FieldKernel: "fi",
+			Stellar: local(desktop),
+		},
+		{
+			Name:    "local-gpu",
+			Gravity: local(desktop), GravityKernel: "phigrape-gpu",
+			Hydro: local(desktop),
+			Field: local(desktop), FieldKernel: "octgrav",
+			Stellar: local(desktop),
+		},
+		{
+			Name:    "remote-gpu",
+			Gravity: local(desktop), GravityKernel: "phigrape-gpu",
+			Hydro: local(desktop),
+			Field: remote(tb.LGM, 1), FieldKernel: "octgrav",
+			Stellar: local(desktop),
+		},
+		{
+			Name:    "jungle",
+			Gravity: remote(tb.LGM, 1), GravityKernel: "phigrape-gpu",
+			Hydro: remote(tb.VU, 8),
+			Field: remote(tb.TUD, 2), FieldKernel: "octgrav",
+			Stellar: remote(tb.UvA, 1),
+		},
+	}
+}
+
+// SC11Placement is the Fig. 9 worst case: coupler in Seattle, every model
+// in The Netherlands.
+func SC11Placement(tb *core.Testbed) Placement {
+	p := LabScenarios(tb)[3]
+	p.Name = "sc11-worst-case"
+	return p
+}
+
+// RunResult is one measured scenario.
+type RunResult struct {
+	Scenario     string
+	Iterations   int
+	PerIteration time.Duration // virtual seconds per bridge iteration
+	Setup        time.Duration // virtual time to start all workers
+	Supernovae   int
+}
+
+// RunScenario executes the workload under a placement on the testbed and
+// measures virtual per-iteration time, mirroring §6.2's methodology ("we
+// ran a single iteration (time step) of the simulation").
+func RunScenario(tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
+	stars, gas, err := w.Build()
+	if err != nil {
+		return RunResult{}, err
+	}
+	sim := core.NewSimulation(tb.Daemon, nil)
+	defer sim.Stop()
+
+	g, err := sim.NewGravity(p.Gravity, core.GravityOptions{Kernel: p.GravityKernel, Eps: 0.01})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("gravity: %w", err)
+	}
+	if err := g.SetParticles(stars); err != nil {
+		return RunResult{}, err
+	}
+	h, err := sim.NewHydro(p.Hydro, core.HydroOptions{SelfGravity: true, EpsGrav: 0.01})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("hydro: %w", err)
+	}
+	if err := h.SetParticles(gas); err != nil {
+		return RunResult{}, err
+	}
+	f, err := sim.NewField(p.Field, core.FieldOptions{Kernel: p.FieldKernel, Eps: w.Eps})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("field: %w", err)
+	}
+	// The workload's IMF masses are in N-body units; recover MSun values by
+	// anchoring the smallest sampled star at the IMF's 0.3 MSun lower bound
+	// (EmbeddedCluster normalizes total mass away, so the anchor restores
+	// the physical scale).
+	minMass := stars.Mass[0]
+	for _, m := range stars.Mass {
+		if m < minMass {
+			minMass = m
+		}
+	}
+	msunPerNBody := 0.3 / minMass
+	masses := make([]float64, stars.Len())
+	for i := range masses {
+		masses[i] = stars.Mass[i] * msunPerNBody
+	}
+	st, err := sim.NewStellar(p.Stellar, masses, 2.0 /* Myr per unit */, 1/msunPerNBody)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("stellar: %w", err)
+	}
+
+	br, err := bridge.New(bridge.Config{
+		Stars: g, Gas: h, Coupler: f, Stellar: st,
+		DT: w.DT, Eps: w.Eps, StellarEvery: 4,
+		SNEnergy: 0.1, SNRadius: 0.3,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	setup := sim.Elapsed()
+	for i := 0; i < iterations; i++ {
+		if err := br.Step(); err != nil {
+			return RunResult{}, fmt.Errorf("scenario %s iteration %d: %w", p.Name, i, err)
+		}
+	}
+	total := sim.Elapsed() - setup
+	return RunResult{
+		Scenario:     p.Name,
+		Iterations:   iterations,
+		PerIteration: total / time.Duration(iterations),
+		Setup:        setup,
+		Supernovae:   br.Supernovae(),
+	}, nil
+}
+
+// Table renders rows of (scenario, paper, measured) with a ratio column.
+func Table(title string, headers []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(headers)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jungle/internal/amuse/data"
+)
+
+// RenderProjection draws an ASCII x–y projection of gas (density shading)
+// with stars overlaid — the reproduction of the Fig. 6 visualization frames
+// (the paper rendered these on a 16-node GPU cluster; a terminal has to
+// do here). halfSize sets the plotted half-width in N-body lengths.
+func RenderProjection(stars, gas *data.Particles, halfSize float64, cols, rows int) string {
+	if cols < 8 {
+		cols = 8
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	grid := make([]float64, cols*rows)
+	plot := func(p data.Vec3) (int, int, bool) {
+		x := (p[0] + halfSize) / (2 * halfSize)
+		y := (p[1] + halfSize) / (2 * halfSize)
+		if x < 0 || x >= 1 || y < 0 || y >= 1 {
+			return 0, 0, false
+		}
+		return int(x * float64(cols)), int(y * float64(rows)), true
+	}
+	for i := range gas.Pos {
+		if cx, cy, ok := plot(gas.Pos[i]); ok {
+			grid[cy*cols+cx] += gas.Mass[i]
+		}
+	}
+	var maxD float64
+	for _, d := range grid {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	canvas := make([][]byte, rows)
+	for y := range canvas {
+		canvas[y] = make([]byte, cols)
+		for x := range canvas[y] {
+			c := byte(' ')
+			if maxD > 0 {
+				d := grid[y*cols+x] / maxD
+				// Log-ish scaling keeps the faint outskirts visible.
+				idx := int(math.Sqrt(d) * float64(len(shades)-1))
+				c = shades[idx]
+			}
+			canvas[y][x] = c
+		}
+	}
+	for i := range stars.Pos {
+		if cx, cy, ok := plot(stars.Pos[i]); ok {
+			canvas[cy][cx] = 'o'
+		}
+	}
+	var b strings.Builder
+	border := "+" + strings.Repeat("-", cols) + "+\n"
+	b.WriteString(border)
+	for y := rows - 1; y >= 0; y-- { // y up
+		b.WriteString("|")
+		b.Write(canvas[y])
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	fmt.Fprintf(&b, "(%.1fx%.1f N-body lengths; shading = gas column density, o = stars)\n",
+		2*halfSize, 2*halfSize)
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"testing"
+
+	"jungle/internal/core"
+)
+
+// TestSupercomputerScaleUp is the §7 direction made concrete: adding the
+// supercomputer to the jungle and moving the SPH worker onto 32 of its
+// nodes must beat the 8-node DAS-4 VU placement at the same workload, and
+// the PBS middleware path must work end to end.
+func TestSupercomputerScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	w := DefaultWorkload().Scaled(0.1)
+
+	run := func(usesSC bool) float64 {
+		tb, err := core.NewLabTestbed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		p := LabScenarios(tb)[3] // jungle
+		if usesSC {
+			name, err := tb.AddSupercomputer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Hydro = core.WorkerSpec{Resource: name, Nodes: 32, Channel: core.ChannelIbis}
+			p.Name = "jungle+supercomputer"
+		}
+		res, err := RunScenario(tb, w, p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// PBS queue delay shows up in worker startup, not per-iteration.
+		if usesSC && res.Setup <= 0 {
+			t.Fatal("no setup cost recorded for PBS submission")
+		}
+		return res.PerIteration.Seconds()
+	}
+
+	das4 := run(false)
+	sc := run(true)
+	if sc >= das4 {
+		t.Fatalf("supercomputer hydro (%.3f s/iter) not faster than 8-node DAS-4 (%.3f s/iter)", sc, das4)
+	}
+}
+
+// TestSelectPrefersSupercomputerForWideJobs: once registered, automatic
+// selection must route a 32-node worker to the only resource that can host
+// it.
+func TestSelectPrefersSupercomputerForWideJobs(t *testing.T) {
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if _, err := tb.AddSupercomputer(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.SelectResource(tb.Deployment, core.WorkerSpec{Kind: core.KindHydro, Nodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "huygens" {
+		t.Fatalf("selected %q, want huygens", r)
+	}
+}

@@ -1,0 +1,199 @@
+package mpisim
+
+import (
+	"fmt"
+)
+
+// Collective operations. All are implemented over the point-to-point layer
+// with rank 0 (or the given root) acting as coordinator, so virtual clocks
+// synchronize exactly the way a flat-tree MPI implementation would: the
+// root's clock advances to the latest arrival, and every participant's clock
+// advances to the arrival of the root's release/broadcast message.
+//
+// Every rank of the world must call the same collective in the same order,
+// as in MPI. Mismatched calls deadlock, also as in MPI.
+
+// Barrier blocks until all ranks arrive. Clocks: all ranks leave the barrier
+// at (root receipt of last arrival) + release delivery time to them.
+func (r *Rank) Barrier() error {
+	const root = 0
+	if r.Size() == 1 {
+		return nil
+	}
+	if r.id == root {
+		for p := 1; p < r.Size(); p++ {
+			if _, err := r.Recv(p); err != nil {
+				return fmt.Errorf("mpisim: barrier gather from %d: %w", p, err)
+			}
+		}
+		for p := 1; p < r.Size(); p++ {
+			if err := r.Send(p, nil); err != nil {
+				return fmt.Errorf("mpisim: barrier release to %d: %w", p, err)
+			}
+		}
+		return nil
+	}
+	if err := r.Send(root, nil); err != nil {
+		return err
+	}
+	_, err := r.Recv(root)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank; non-root ranks pass nil (or
+// anything — their argument is ignored) and receive the broadcast value.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	if r.Size() == 1 {
+		return data, nil
+	}
+	if r.id == root {
+		for p := 0; p < r.Size(); p++ {
+			if p == root {
+				continue
+			}
+			if err := r.Send(p, data); err != nil {
+				return nil, fmt.Errorf("mpisim: bcast to %d: %w", p, err)
+			}
+		}
+		return data, nil
+	}
+	return r.Recv(root)
+}
+
+// BcastFloats broadcasts a float64 slice from root.
+func (r *Rank) BcastFloats(root int, x []float64) ([]float64, error) {
+	if r.Size() == 1 {
+		return x, nil
+	}
+	if r.id == root {
+		_, err := r.Bcast(root, floatsToBytes(x))
+		return x, err
+	}
+	b, err := r.Bcast(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	return bytesToFloats(b)
+}
+
+// AllreduceSum element-wise sums x across ranks; every rank receives the
+// total. Implemented as reduce-to-0 + bcast. The summation order is fixed by
+// rank, so the result is bitwise deterministic.
+func (r *Rank) AllreduceSum(x []float64) ([]float64, error) {
+	const root = 0
+	if r.Size() == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if r.id == root {
+		sum := make([]float64, len(x))
+		copy(sum, x)
+		for p := 1; p < r.Size(); p++ {
+			part, err := r.RecvFloats(p)
+			if err != nil {
+				return nil, fmt.Errorf("mpisim: allreduce gather from %d: %w", p, err)
+			}
+			if len(part) != len(sum) {
+				return nil, fmt.Errorf("mpisim: allreduce length mismatch: rank %d sent %d, want %d", p, len(part), len(sum))
+			}
+			for i := range sum {
+				sum[i] += part[i]
+			}
+		}
+		return r.BcastFloats(root, sum)
+	}
+	if err := r.SendFloats(root, x); err != nil {
+		return nil, err
+	}
+	return r.BcastFloats(root, nil)
+}
+
+// AllreduceMax element-wise maximizes x across ranks.
+func (r *Rank) AllreduceMax(x []float64) ([]float64, error) {
+	const root = 0
+	if r.Size() == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if r.id == root {
+		acc := make([]float64, len(x))
+		copy(acc, x)
+		for p := 1; p < r.Size(); p++ {
+			part, err := r.RecvFloats(p)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(acc) {
+				return nil, fmt.Errorf("mpisim: allreduce length mismatch: rank %d sent %d, want %d", p, len(part), len(acc))
+			}
+			for i := range acc {
+				if part[i] > acc[i] {
+					acc[i] = part[i]
+				}
+			}
+		}
+		return r.BcastFloats(root, acc)
+	}
+	if err := r.SendFloats(root, x); err != nil {
+		return nil, err
+	}
+	return r.BcastFloats(root, nil)
+}
+
+// AllgatherFloats concatenates every rank's slice in rank order; all ranks
+// receive the full concatenation. Slices may have different lengths (the
+// slab decomposition's remainder blocks differ by one).
+func (r *Rank) AllgatherFloats(x []float64) ([]float64, error) {
+	const root = 0
+	if r.Size() == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if r.id == root {
+		parts := make([][]float64, r.Size())
+		parts[root] = x
+		for p := 1; p < r.Size(); p++ {
+			part, err := r.RecvFloats(p)
+			if err != nil {
+				return nil, fmt.Errorf("mpisim: allgather from %d: %w", p, err)
+			}
+			parts[p] = part
+		}
+		var all []float64
+		for _, part := range parts {
+			all = append(all, part...)
+		}
+		return r.BcastFloats(root, all)
+	}
+	if err := r.SendFloats(root, x); err != nil {
+		return nil, err
+	}
+	return r.BcastFloats(root, nil)
+}
+
+// SendRecv exchanges buffers with a partner rank (both sides must call it
+// with each other's rank). Deadlock is avoided by ordering on rank number.
+func (r *Rank) SendRecv(peer int, data []byte) ([]byte, error) {
+	if peer == r.id {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return cp, nil
+	}
+	if r.id < peer {
+		if err := r.Send(peer, data); err != nil {
+			return nil, err
+		}
+		return r.Recv(peer)
+	}
+	in, err := r.Recv(peer)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Send(peer, data); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,354 @@
+// Package mpisim provides the intra-worker parallelism substrate of the
+// reproduction: an MPI-like communicator whose ranks are goroutines pinned to
+// virtual hosts. The paper's models use MPI inside a worker (Gadget runs on
+// 8 nodes, C/MPI); the coupler never sees this traffic, but Fig. 11
+// distinguishes it from IPL traffic — so every mpisim message crosses the
+// virtual network with traffic class "mpi" and advances per-rank virtual
+// clocks.
+//
+// The communicator moves real data (kernels are genuinely data-parallel
+// across rank goroutines) and accounts virtual time from vnet link models,
+// which is the substitution this repository makes for physical clusters.
+package mpisim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jungle/internal/vnet"
+	"jungle/internal/vtime"
+)
+
+// Errors returned by the package.
+var (
+	ErrWorldClosed = errors.New("mpisim: world closed")
+	ErrBadRank     = errors.New("mpisim: rank out of range")
+)
+
+// basePortCounter hands out distinct listener port ranges so multiple worlds
+// (and multiple workers per host) can coexist on one network.
+var basePortCounter atomic.Int64
+
+const worldPortStride = 1024
+
+// World is a communicator spanning one rank per entry of hosts. Host names
+// may repeat (several ranks per node, as with multi-core MPI jobs).
+type World struct {
+	net   *vnet.Network
+	hosts []string
+	ranks []*Rank
+
+	mu     sync.Mutex
+	closed bool
+
+	listeners []*vnet.Listener
+	conns     [][]*vnet.Conn // conns[i][j], i<j owns; symmetric entries share
+}
+
+// NewWorld builds a fully connected communicator over the given hosts. All
+// pairwise connections are established eagerly; ports are allocated from a
+// world-private range so worlds never collide.
+func NewWorld(network *vnet.Network, hosts []string) (*World, error) {
+	if len(hosts) == 0 {
+		return nil, errors.New("mpisim: world needs at least one rank")
+	}
+	base := 30000 + int(basePortCounter.Add(1))*worldPortStride
+	w := &World{net: network, hosts: append([]string(nil), hosts...)}
+	w.conns = make([][]*vnet.Conn, len(hosts))
+	for i := range w.conns {
+		w.conns[i] = make([]*vnet.Conn, len(hosts))
+	}
+
+	// One listener per rank; rank i dials every rank j>i. Handshakes carry
+	// the dialer's rank so the acceptor can place the conn.
+	type accepted struct {
+		from int
+		conn *vnet.Conn
+	}
+	var cleanup = func() {
+		for _, l := range w.listeners {
+			l.Close()
+		}
+		for i := range w.conns {
+			for j := range w.conns[i] {
+				if i < j && w.conns[i][j] != nil {
+					w.conns[i][j].Close()
+				}
+			}
+		}
+	}
+	acceptCh := make([]chan accepted, len(hosts))
+	for j := range hosts {
+		if countBefore(hosts, j) > 0 {
+			// A previous rank on the same host already listens on its own
+			// port; each rank gets a distinct port so no sharing is needed.
+			_ = j
+		}
+		l, err := network.Listen(hosts[j], base+j)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("mpisim: rank %d listen on %s: %w", j, hosts[j], err)
+		}
+		w.listeners = append(w.listeners, l)
+		ch := make(chan accepted, len(hosts))
+		acceptCh[j] = ch
+		go func(l *vnet.Listener, ch chan accepted) {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					close(ch)
+					return
+				}
+				msg, err := conn.Recv()
+				if err != nil || len(msg.Data) != 4 {
+					conn.Close()
+					continue
+				}
+				conn.SetClass("mpi")
+				ch <- accepted{from: int(binary.LittleEndian.Uint32(msg.Data)), conn: conn}
+			}
+		}(l, ch)
+	}
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			conn, err := network.Dial(hosts[i], hosts[j], base+j)
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("mpisim: connect rank %d->%d: %w", i, j, err)
+			}
+			conn.SetClass("mpi")
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+			if _, err := conn.Send(hdr[:], 0); err != nil {
+				cleanup()
+				return nil, err
+			}
+			w.conns[i][j] = conn
+		}
+	}
+	// Collect the accept-side endpoints.
+	for j := range hosts {
+		for i := 0; i < j; i++ {
+			a, ok := <-acceptCh[j]
+			if !ok {
+				cleanup()
+				return nil, fmt.Errorf("mpisim: rank %d accept failed", j)
+			}
+			w.conns[j][a.from] = a.conn
+		}
+	}
+
+	for i, h := range hosts {
+		w.ranks = append(w.ranks, &Rank{world: w, id: i, host: h, clock: vtime.NewClock()})
+	}
+	return w, nil
+}
+
+func countBefore(hosts []string, j int) int {
+	n := 0
+	for i := 0; i < j; i++ {
+		if hosts[i] == hosts[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Hosts returns the host of each rank.
+func (w *World) Hosts() []string { return append([]string(nil), w.hosts...) }
+
+// Rank returns the handle for rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Close tears down all listeners and connections.
+func (w *World) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	for _, l := range w.listeners {
+		l.Close()
+	}
+	for i := range w.conns {
+		for j := range w.conns[i] {
+			if i < j && w.conns[i][j] != nil {
+				w.conns[i][j].Close()
+			}
+		}
+	}
+}
+
+// Run executes f concurrently on every rank and waits for all to finish.
+// The first non-nil error is returned (all ranks still run to completion).
+func (w *World) Run(f func(r *Rank) error) error {
+	errs := make([]error, len(w.ranks))
+	var wg sync.WaitGroup
+	for i, r := range w.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			errs[i] = f(r)
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// MaxTime returns the latest virtual clock across ranks — the completion
+// time of the parallel section, which is what the worker reports upstream.
+func (w *World) MaxTime() time.Duration {
+	var max time.Duration
+	for _, r := range w.ranks {
+		if t := r.clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// SyncTo advances every rank clock to at least t (used when a worker starts
+// a new request at the coupler-provided virtual time).
+func (w *World) SyncTo(t time.Duration) {
+	for _, r := range w.ranks {
+		r.clock.AdvanceTo(t)
+	}
+}
+
+// Rank is one member of a World. All methods must be called from the
+// goroutine running this rank (the function passed to Run), matching MPI's
+// single-threaded-per-rank discipline.
+type Rank struct {
+	world *World
+	id    int
+	host  string
+	clock *vtime.Clock
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return len(r.world.ranks) }
+
+// Host returns the virtual host this rank runs on.
+func (r *Rank) Host() string { return r.host }
+
+// Clock exposes the rank's virtual clock.
+func (r *Rank) Clock() *vtime.Clock { return r.clock }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() time.Duration { return r.clock.Now() }
+
+// Compute advances the rank's clock by the given computation duration.
+func (r *Rank) Compute(d time.Duration) { r.clock.Advance(d) }
+
+// ComputeFlops advances the rank's clock by the time dev needs for the given
+// flop count using n cores.
+func (r *Rank) ComputeFlops(dev *vtime.Device, flops float64, n int) {
+	r.clock.Advance(dev.Time(flops, n))
+}
+
+func (r *Rank) conn(peer int) (*vnet.Conn, error) {
+	if peer < 0 || peer >= len(r.world.ranks) || peer == r.id {
+		return nil, fmt.Errorf("%w: %d (self %d, size %d)", ErrBadRank, peer, r.id, r.Size())
+	}
+	c := r.world.conns[r.id][peer]
+	if c == nil {
+		return nil, ErrWorldClosed
+	}
+	return c, nil
+}
+
+// Send transmits data to peer, stamped with this rank's virtual time.
+func (r *Rank) Send(to int, data []byte) error {
+	c, err := r.conn(to)
+	if err != nil {
+		return err
+	}
+	_, err = c.Send(data, r.clock.Now())
+	return err
+}
+
+// Recv blocks for the next message from peer and advances this rank's clock
+// to the virtual arrival time.
+func (r *Rank) Recv(from int) ([]byte, error) {
+	c, err := r.conn(from)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	r.clock.AdvanceTo(msg.Arrival)
+	return msg.Data, nil
+}
+
+// SendFloats sends a float64 slice in little-endian wire form.
+func (r *Rank) SendFloats(to int, x []float64) error {
+	return r.Send(to, floatsToBytes(x))
+}
+
+// RecvFloats receives a float64 slice from peer.
+func (r *Rank) RecvFloats(from int) ([]float64, error) {
+	b, err := r.Recv(from)
+	if err != nil {
+		return nil, err
+	}
+	return bytesToFloats(b)
+}
+
+func floatsToBytes(x []float64) []byte {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func bytesToFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpisim: float payload length %d not a multiple of 8", len(b))
+	}
+	x := make([]float64, len(b)/8)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return x, nil
+}
+
+// Slab returns this rank's half-open index range [lo, hi) of an n-element
+// domain decomposed into near-equal contiguous blocks — the standard slab
+// decomposition used by the SPH worker.
+func (r *Rank) Slab(n int) (lo, hi int) {
+	return Slab(n, r.id, r.Size())
+}
+
+// Slab decomposes n elements over size ranks and returns rank's block.
+func Slab(n, rank, size int) (lo, hi int) {
+	q, rem := n/size, n%size
+	lo = rank*q + min(rank, rem)
+	hi = lo + q
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+// Package bridge implements the paper's Fig. 7 coupled integrator: the
+// AMUSE gravitational/hydro/stellar solver for the embedded-star-cluster
+// simulation (Pelupessy & Portegies Zwart 2011). Per bridge step the gas and
+// stellar-dynamics models receive half-step cross-gravity kicks ("p-kicks",
+// computed by the coupling model — Octgrav or Fi), evolve independently in
+// parallel, and receive the closing half-kick; stellar evolution runs at a
+// slower cadence, every n-th step, feeding mass loss back into the dynamics
+// and injecting supernova energy into the gas.
+package bridge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jungle/internal/amuse/data"
+)
+
+// Dynamics is the contract the bridge needs from a dynamical model (the
+// nbody and sph systems implement it; the core package's remote-worker
+// proxies implement it over RPC).
+type Dynamics interface {
+	// EvolveTo advances the model to the given model time.
+	EvolveTo(t float64) error
+	// Kick applies per-particle velocity increments.
+	Kick(dv []data.Vec3) error
+	// Positions returns current positions (length N).
+	Positions() []data.Vec3
+	// Masses returns current masses (length N).
+	Masses() []float64
+	// N returns the particle count.
+	N() int
+}
+
+// MassSettable is implemented by dynamics models that accept external mass
+// updates (stellar mass loss).
+type MassSettable interface {
+	SetMass(i int, m float64)
+}
+
+// EnergyInjector is implemented by gas models that accept supernova
+// feedback.
+type EnergyInjector interface {
+	InjectEnergy(center data.Vec3, radius, e float64) int
+}
+
+// Field is the coupling model: it evaluates the gravitational field of a
+// source set at target points (tree.Kernel implements it).
+type Field interface {
+	Name() string
+	FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64)
+}
+
+// StellarEvent describes a supernova delivered to the bridge.
+type StellarEvent struct {
+	Index    int     // star index
+	MassLoss float64 // N-body mass lost this update
+	SN       bool
+}
+
+// Stellar is the contract for the stellar-evolution model: advance to a
+// model time (bridge units) and report per-star mass loss and supernovae.
+type Stellar interface {
+	EvolveTo(t float64) ([]StellarEvent, error)
+}
+
+// Config assembles a Bridge.
+type Config struct {
+	Stars   Dynamics
+	Gas     Dynamics // optional
+	Coupler Field    // required when Gas is present
+	Stellar Stellar  // optional
+
+	// DT is the bridge (coupling) timestep in N-body time units.
+	DT float64
+	// Eps is the coupling softening.
+	Eps float64
+	// StellarEvery runs stellar evolution every n-th bridge step (Fig. 7's
+	// "slower rate"; default 4).
+	StellarEvery int
+	// SNEnergy is the thermal energy injected per supernova (N-body units).
+	SNEnergy float64
+	// SNRadius is the deposition radius around the exploding star.
+	SNRadius float64
+	// Trace receives the integrator call sequence (E6/Fig. 7 validation);
+	// may be nil.
+	Trace func(call string)
+}
+
+// Bridge is the coupled integrator.
+type Bridge struct {
+	cfg   Config
+	time  float64
+	steps int
+	flops float64 // coupling-field flops
+
+	supernovae int
+}
+
+// Errors.
+var (
+	ErrNoStars   = errors.New("bridge: stars model required")
+	ErrNoCoupler = errors.New("bridge: coupler required when gas is present")
+	ErrBadDT     = errors.New("bridge: DT must be positive")
+)
+
+// New validates the configuration and returns a Bridge.
+func New(cfg Config) (*Bridge, error) {
+	if cfg.Stars == nil {
+		return nil, ErrNoStars
+	}
+	if cfg.DT <= 0 {
+		return nil, ErrBadDT
+	}
+	if cfg.Gas != nil && cfg.Gas.N() > 0 && cfg.Coupler == nil {
+		return nil, ErrNoCoupler
+	}
+	if cfg.StellarEvery <= 0 {
+		cfg.StellarEvery = 4
+	}
+	if cfg.SNRadius <= 0 {
+		cfg.SNRadius = 0.2
+	}
+	return &Bridge{cfg: cfg}, nil
+}
+
+// Time returns the bridge model time.
+func (b *Bridge) Time() float64 { return b.time }
+
+// Steps returns completed bridge steps.
+func (b *Bridge) Steps() int { return b.steps }
+
+// Supernovae returns the cumulative supernova count seen by the bridge.
+func (b *Bridge) Supernovae() int { return b.supernovae }
+
+// CouplerFlops returns the accumulated coupling-field flop count.
+func (b *Bridge) CouplerFlops() float64 { return b.flops }
+
+// ResetCouplerFlops zeroes the counter and returns the prior value.
+func (b *Bridge) ResetCouplerFlops() float64 {
+	f := b.flops
+	b.flops = 0
+	return f
+}
+
+func (b *Bridge) trace(format string, args ...any) {
+	if b.cfg.Trace != nil {
+		b.cfg.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Bridge) hasGas() bool { return b.cfg.Gas != nil && b.cfg.Gas.N() > 0 }
+
+// kick applies half-step cross-gravity kicks in both directions — the
+// "p-kick" boxes of Fig. 7.
+func (b *Bridge) kick(dt float64) error {
+	if !b.hasGas() {
+		return nil
+	}
+	stars, gas, cpl := b.cfg.Stars, b.cfg.Gas, b.cfg.Coupler
+
+	b.trace("coupler.field gas->stars (%s)", cpl.Name())
+	accS, _, f1 := cpl.FieldAt(gas.Masses(), gas.Positions(), stars.Positions(), b.cfg.Eps)
+	b.trace("coupler.field stars->gas (%s)", cpl.Name())
+	accG, _, f2 := cpl.FieldAt(stars.Masses(), stars.Positions(), gas.Positions(), b.cfg.Eps)
+	b.flops += f1 + f2
+
+	for i := range accS {
+		accS[i] = accS[i].Scale(dt)
+	}
+	for i := range accG {
+		accG[i] = accG[i].Scale(dt)
+	}
+	b.trace("stars.kick dt=%g", dt)
+	if err := stars.Kick(accS); err != nil {
+		return fmt.Errorf("bridge: star kick: %w", err)
+	}
+	b.trace("gas.kick dt=%g", dt)
+	if err := gas.Kick(accG); err != nil {
+		return fmt.Errorf("bridge: gas kick: %w", err)
+	}
+	return nil
+}
+
+// evolve advances both models to time t concurrently — the parallel
+// "evolve" circles of Fig. 7.
+func (b *Bridge) evolve(t float64) error {
+	if !b.hasGas() {
+		b.trace("stars.evolve t=%g", t)
+		return b.cfg.Stars.EvolveTo(t)
+	}
+	b.trace("stars.evolve t=%g || gas.evolve t=%g", t, t)
+	var wg sync.WaitGroup
+	var errS, errG error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errS = b.cfg.Stars.EvolveTo(t)
+	}()
+	go func() {
+		defer wg.Done()
+		errG = b.cfg.Gas.EvolveTo(t)
+	}()
+	wg.Wait()
+	if errS != nil {
+		return fmt.Errorf("bridge: star evolve: %w", errS)
+	}
+	if errG != nil {
+		return fmt.Errorf("bridge: gas evolve: %w", errG)
+	}
+	return nil
+}
+
+// stellarUpdate runs stellar evolution to the current bridge time and
+// pushes mass loss and supernova feedback into the dynamical models.
+func (b *Bridge) stellarUpdate() error {
+	if b.cfg.Stellar == nil {
+		return nil
+	}
+	b.trace("stellar.evolve t=%g", b.time)
+	events, err := b.cfg.Stellar.EvolveTo(b.time)
+	if err != nil {
+		return fmt.Errorf("bridge: stellar evolve: %w", err)
+	}
+	ms, settable := b.cfg.Stars.(MassSettable)
+	masses := b.cfg.Stars.Masses()
+	positions := b.cfg.Stars.Positions()
+	injector, canInject := b.cfg.Gas.(EnergyInjector)
+	for _, ev := range events {
+		if ev.Index < 0 || ev.Index >= len(masses) {
+			return fmt.Errorf("bridge: stellar event index %d out of range", ev.Index)
+		}
+		if ev.MassLoss > 0 && settable {
+			b.trace("stars.set_mass i=%d dm=%g", ev.Index, ev.MassLoss)
+			ms.SetMass(ev.Index, masses[ev.Index]-ev.MassLoss)
+		}
+		if ev.SN {
+			b.supernovae++
+			if b.hasGas() && canInject && b.cfg.SNEnergy > 0 {
+				b.trace("gas.inject_energy i=%d e=%g", ev.Index, b.cfg.SNEnergy)
+				injector.InjectEnergy(positions[ev.Index], b.cfg.SNRadius, b.cfg.SNEnergy)
+			}
+		}
+	}
+	return nil
+}
+
+// Step advances the coupled system by one bridge step DT: the Fig. 7
+// sequence kick(dt/2) → parallel evolve(dt) → kick(dt/2), with stellar
+// evolution every StellarEvery-th step.
+func (b *Bridge) Step() error {
+	dt := b.cfg.DT
+	b.trace("bridge.step t=%g", b.time)
+	if err := b.kick(dt / 2); err != nil {
+		return err
+	}
+	if err := b.evolve(b.time + dt); err != nil {
+		return err
+	}
+	if err := b.kick(dt / 2); err != nil {
+		return err
+	}
+	b.time += dt
+	b.steps++
+	if b.steps%b.cfg.StellarEvery == 0 {
+		if err := b.stellarUpdate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvolveTo runs bridge steps until the model time reaches t (the last step
+// may overshoot by less than DT; bridge steps are fixed-size as in Fig. 7).
+func (b *Bridge) EvolveTo(t float64) error {
+	for b.time < t-1e-15 {
+		if err := b.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrossPotential returns the star↔gas interaction energy Σ m_i φ_gas(x_i),
+// used by the energy diagnostics (counted against the coupler's flops).
+func (b *Bridge) CrossPotential() float64 {
+	if !b.hasGas() {
+		return 0
+	}
+	stars, gas := b.cfg.Stars, b.cfg.Gas
+	_, pot, f := b.cfg.Coupler.FieldAt(gas.Masses(), gas.Positions(), stars.Positions(), b.cfg.Eps)
+	b.flops += f
+	var u float64
+	masses := stars.Masses()
+	for i := range pot {
+		u += masses[i] * pot[i]
+	}
+	return u
+}

@@ -1,0 +1,44 @@
+package bridge
+
+import (
+	"fmt"
+
+	"jungle/internal/phys/stellar"
+)
+
+// SSEAdapter connects a stellar.Population (which works in MSun and Myr) to
+// the bridge (which works in N-body units): the unit conversions the AMUSE
+// coupler performs around every stellar-evolution exchange.
+type SSEAdapter struct {
+	Pop *stellar.Population
+	// MyrPerTime converts bridge time units to Myr.
+	MyrPerTime float64
+	// NBodyPerMSun converts solar masses to N-body mass units.
+	NBodyPerMSun float64
+}
+
+// NewSSEAdapter validates scales and returns the adapter.
+func NewSSEAdapter(pop *stellar.Population, myrPerTime, nbodyPerMSun float64) (*SSEAdapter, error) {
+	if myrPerTime <= 0 || nbodyPerMSun <= 0 {
+		return nil, fmt.Errorf("bridge: non-positive unit scales (%v Myr/t, %v nbody/MSun)",
+			myrPerTime, nbodyPerMSun)
+	}
+	return &SSEAdapter{Pop: pop, MyrPerTime: myrPerTime, NBodyPerMSun: nbodyPerMSun}, nil
+}
+
+// EvolveTo implements Stellar.
+func (a *SSEAdapter) EvolveTo(t float64) ([]StellarEvent, error) {
+	loss := a.Pop.EvolveTo(t * a.MyrPerTime)
+	var events []StellarEvent
+	for i, dm := range loss {
+		sn := a.Pop.Stars[i].Supernova
+		if dm > 0 || sn {
+			events = append(events, StellarEvent{
+				Index:    i,
+				MassLoss: dm * a.NBodyPerMSun,
+				SN:       sn,
+			})
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,548 @@
+package sph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/mpisim"
+	"jungle/internal/phys/tree"
+	"jungle/internal/vtime"
+)
+
+// Flop cost constants per neighbor interaction.
+const (
+	flopsPerDensityPair = 40
+	flopsPerForcePair   = 90
+)
+
+// ErrNoGas is returned when evolving an empty gas system.
+var ErrNoGas = errors.New("sph: no particles")
+
+// Gas is a Gadget-equivalent SPH system in N-body units (G=1).
+type Gas struct {
+	// Gamma is the adiabatic index (default 5/3).
+	Gamma float64
+	// Alpha, Beta are Monaghan viscosity parameters (defaults 1, 2).
+	Alpha, Beta float64
+	// CFL is the Courant factor (default 0.25).
+	CFL float64
+	// NTarget is the desired neighbor count for adaptive h (default 50).
+	NTarget int
+	// SelfGravity enables tree self-gravity (default true).
+	SelfGravity bool
+	// EpsGrav is the gravitational softening (default 0.01).
+	EpsGrav float64
+	// Theta is the gravity tree opening angle (default 0.6).
+	Theta float64
+	// DtMax caps the timestep.
+	DtMax float64
+	// HMin and HMax clamp smoothing lengths.
+	HMin, HMax float64
+
+	time float64
+	mass []float64
+	pos  []data.Vec3
+	vel  []data.Vec3
+	u    []float64
+	h    []float64
+	rho  []float64
+	prs  []float64
+	cs   []float64
+
+	flops float64
+	steps int
+}
+
+// New returns an empty gas system with default parameters.
+func New() *Gas {
+	return &Gas{
+		Gamma: 5.0 / 3.0, Alpha: 1, Beta: 2, CFL: 0.25, NTarget: 50,
+		SelfGravity: true, EpsGrav: 0.01, Theta: 0.6, DtMax: 1.0 / 64,
+		HMin: 1e-4, HMax: 10,
+	}
+}
+
+// SetParticles loads gas state from a particle set. Particles must carry
+// positive InternalEnergy and SmoothingLen.
+func (g *Gas) SetParticles(p *data.Particles) error {
+	for i := 0; i < p.Len(); i++ {
+		if p.InternalEnergy[i] <= 0 {
+			return fmt.Errorf("sph: particle %d has non-positive internal energy", i)
+		}
+		if p.SmoothingLen[i] <= 0 {
+			return fmt.Errorf("sph: particle %d has non-positive smoothing length", i)
+		}
+	}
+	n := p.Len()
+	g.mass = append(g.mass[:0], p.Mass...)
+	g.pos = append(g.pos[:0], p.Pos...)
+	g.vel = append(g.vel[:0], p.Vel...)
+	g.u = append(g.u[:0], p.InternalEnergy...)
+	g.h = append(g.h[:0], p.SmoothingLen...)
+	g.rho = make([]float64, n)
+	g.prs = make([]float64, n)
+	g.cs = make([]float64, n)
+	return nil
+}
+
+// GetParticles writes gas state back to a set of matching size.
+func (g *Gas) GetParticles(p *data.Particles) error {
+	if p.Len() != len(g.mass) {
+		return fmt.Errorf("sph: set has %d particles, system has %d", p.Len(), len(g.mass))
+	}
+	copy(p.Mass, g.mass)
+	copy(p.Pos, g.pos)
+	copy(p.Vel, g.vel)
+	copy(p.InternalEnergy, g.u)
+	copy(p.SmoothingLen, g.h)
+	copy(p.Density, g.rho)
+	return nil
+}
+
+// N returns the particle count.
+func (g *Gas) N() int { return len(g.mass) }
+
+// Time returns the model time.
+func (g *Gas) Time() float64 { return g.time }
+
+// Steps returns the number of steps taken.
+func (g *Gas) Steps() int { return g.steps }
+
+// Flops returns accumulated accounted flops (per-rank work is accounted on
+// each rank's clock when run under a world; this counter is the total).
+func (g *Gas) Flops() float64 { return g.flops }
+
+// ResetFlops zeroes the counter and returns the prior value.
+func (g *Gas) ResetFlops() float64 {
+	f := g.flops
+	g.flops = 0
+	return f
+}
+
+// Positions exposes internal positions (for coupling field evaluation).
+func (g *Gas) Positions() []data.Vec3 { return g.pos }
+
+// Velocities exposes internal velocities.
+func (g *Gas) Velocities() []data.Vec3 { return g.vel }
+
+// Masses exposes internal masses.
+func (g *Gas) Masses() []float64 { return g.mass }
+
+// Kick applies external velocity increments (BRIDGE coupling).
+func (g *Gas) Kick(dv []data.Vec3) error {
+	if len(dv) != len(g.vel) {
+		return fmt.Errorf("sph: kick length %d != N %d", len(dv), len(g.mass))
+	}
+	for i := range g.vel {
+		g.vel[i] = g.vel[i].Add(dv[i])
+	}
+	return nil
+}
+
+// InjectEnergy deposits total thermal energy e (N-body units) into the gas
+// particles within radius of center, shared mass-weighted — the supernova
+// feedback that drives the paper's gas expulsion (Fig. 6). If no particle
+// lies inside the radius, the nearest particle receives everything. Returns
+// the number of particles heated.
+func (g *Gas) InjectEnergy(center data.Vec3, radius, e float64) int {
+	if len(g.mass) == 0 || e <= 0 {
+		return 0
+	}
+	var idx []int
+	for i := range g.pos {
+		if g.pos[i].Sub(center).Norm() <= radius {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		best, bestD := 0, math.Inf(1)
+		for i := range g.pos {
+			if d := g.pos[i].Sub(center).Norm(); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		idx = []int{best}
+	}
+	var mTot float64
+	for _, i := range idx {
+		mTot += g.mass[i]
+	}
+	for _, i := range idx {
+		g.u[i] += e / mTot // specific energy: each particle gets e·(m_i/mTot)/m_i
+	}
+	return len(idx)
+}
+
+// ThermalEnergy returns Σ m·u without touching gravity (cheap diagnostic).
+func (g *Gas) ThermalEnergy() float64 {
+	var e float64
+	for i := range g.mass {
+		e += g.mass[i] * g.u[i]
+	}
+	return e
+}
+
+// Energy returns (kinetic, thermal, potential) energies. Potential is zero
+// unless SelfGravity is on.
+func (g *Gas) Energy() (kin, therm, pot float64) {
+	for i := range g.mass {
+		kin += 0.5 * g.mass[i] * g.vel[i].Norm2()
+		therm += g.mass[i] * g.u[i]
+	}
+	if g.SelfGravity && len(g.mass) > 1 {
+		tr := tree.Build(g.mass, g.pos)
+		acc := make([]data.Vec3, len(g.mass))
+		p := make([]float64, len(g.mass))
+		g.flops += tr.Accel(g.pos, g.EpsGrav, g.Theta, acc, p)
+		for i := range g.mass {
+			pot += 0.5 * g.mass[i] * p[i]
+		}
+	}
+	return kin, therm, pot
+}
+
+// maxH returns the largest smoothing length (sets the neighbor search
+// radius).
+func (g *Gas) maxH() float64 {
+	m := g.HMin
+	for _, h := range g.h {
+		if h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// EvolveTo advances the gas serially to time t.
+func (g *Gas) EvolveTo(t float64) error {
+	return g.evolve(t, nil, nil)
+}
+
+// EvolveToParallel advances the gas to time t data-parallel over the world:
+// each rank computes a slab of the density and force loops, exchanges
+// results via allgathers (recorded as "mpi" traffic) and accounts its share
+// of the compute on its own clock against dev.
+func (g *Gas) EvolveToParallel(t float64, w *mpisim.World, dev *vtime.Device) error {
+	if w == nil {
+		return g.evolve(t, nil, dev)
+	}
+	return w.Run(func(r *mpisim.Rank) error {
+		return g.evolve(t, r, dev)
+	})
+}
+
+// evolve is the shared driver. With r == nil it runs the whole domain
+// serially; with a rank it computes only the rank's slab and allgathers.
+// All ranks execute identical step sequences, so the full arrays remain
+// bitwise identical across ranks after each exchange; rank 0's copy is the
+// canonical result written back into g.
+func (g *Gas) evolve(t float64, r *mpisim.Rank, dev *vtime.Device) error {
+	n := len(g.mass)
+	if n == 0 {
+		return ErrNoGas
+	}
+	// Rank-local working copies (identical across ranks after exchanges).
+	pos := append([]data.Vec3(nil), g.pos...)
+	vel := append([]data.Vec3(nil), g.vel...)
+	u := append([]float64(nil), g.u...)
+	h := append([]float64(nil), g.h...)
+	rho := make([]float64, n)
+	prs := make([]float64, n)
+	cs := make([]float64, n)
+	acc := make([]data.Vec3, n)
+	dudt := make([]float64, n)
+
+	lo, hi := 0, n
+	if r != nil {
+		lo, hi = r.Slab(n)
+	}
+	time := g.time
+	steps := 0
+	var flops float64
+
+	st := &state{g: g, pos: pos, vel: vel, u: u, h: h, rho: rho, prs: prs, cs: cs, acc: acc, dudt: dudt}
+
+	// Prime density and forces.
+	f := st.density(lo, hi)
+	if err := exchangeScalars(r, lo, hi, rho, prs, cs, h); err != nil {
+		return err
+	}
+	f += st.forces(lo, hi)
+	if err := exchangeForces(r, lo, hi, acc, dudt); err != nil {
+		return err
+	}
+	account(r, dev, f)
+	flops += f
+
+	for time < t-1e-15 {
+		dt := st.timestep(lo, hi)
+		if r != nil {
+			m, err := r.AllreduceMax([]float64{-dt})
+			if err != nil {
+				return err
+			}
+			dt = -m[0]
+		}
+		if time+dt > t {
+			dt = t - time
+		}
+
+		// KDK leapfrog: half kick + drift.
+		for i := lo; i < hi; i++ {
+			vel[i] = vel[i].Add(acc[i].Scale(dt / 2))
+			u[i] = math.Max(u[i]+dudt[i]*dt/2, 1e-12)
+			pos[i] = pos[i].Add(vel[i].Scale(dt))
+		}
+		if err := exchangeVectors(r, lo, hi, pos, vel, u); err != nil {
+			return err
+		}
+
+		// New densities and forces at the drifted state.
+		f = st.density(lo, hi)
+		if err := exchangeScalars(r, lo, hi, rho, prs, cs, h); err != nil {
+			return err
+		}
+		f += st.forces(lo, hi)
+		if err := exchangeForces(r, lo, hi, acc, dudt); err != nil {
+			return err
+		}
+
+		// Second half kick.
+		for i := lo; i < hi; i++ {
+			vel[i] = vel[i].Add(acc[i].Scale(dt / 2))
+			u[i] = math.Max(u[i]+dudt[i]*dt/2, 1e-12)
+		}
+		if err := exchangeVectors(r, lo, hi, pos, vel, u); err != nil {
+			return err
+		}
+		account(r, dev, f)
+		flops += f
+		time += dt
+		steps++
+	}
+
+	// Rank 0 (or the serial caller) publishes the result.
+	if r == nil || r.ID() == 0 {
+		copy(g.pos, pos)
+		copy(g.vel, vel)
+		copy(g.u, u)
+		copy(g.h, h)
+		copy(g.rho, rho)
+		copy(g.prs, prs)
+		copy(g.cs, cs)
+		g.time = time
+		g.steps += steps
+		g.flops += flops * flopScale(r)
+	}
+	return nil
+}
+
+// flopScale converts one rank's counted flops into the world total (every
+// rank does ~1/size of the work; rank 0 reports).
+func flopScale(r *mpisim.Rank) float64 {
+	if r == nil {
+		return 1
+	}
+	return float64(r.Size())
+}
+
+func account(r *mpisim.Rank, dev *vtime.Device, flops float64) {
+	if r != nil && dev != nil {
+		r.ComputeFlops(dev, flops, dev.Cores)
+	}
+}
+
+// state bundles working slices for the physics loops.
+type state struct {
+	g          *Gas
+	pos, vel   []data.Vec3
+	u, h       []float64
+	rho, prs   []float64
+	cs         []float64
+	acc        []data.Vec3
+	dudt       []float64
+	cachedGrid *grid
+}
+
+// density computes rho, P, cs and updates h for indices [lo,hi).
+func (st *state) density(lo, hi int) float64 {
+	g := st.g
+	hmax := 0.0
+	for _, hh := range st.h {
+		if hh > hmax {
+			hmax = hh
+		}
+	}
+	gr := buildGrid(st.pos, 2*hmax)
+	st.cachedGrid = gr
+	pairs := 0
+	for i := lo; i < hi; i++ {
+		var sum float64
+		count := 0
+		pi := st.pos[i]
+		hh := st.h[i]
+		gr.forNeighbors(pi, func(j int32) {
+			rij := st.pos[j].Sub(pi).Norm()
+			if rij < 2*hh {
+				sum += g.mass[j] * W(rij, hh)
+				count++
+			}
+		})
+		pairs += count
+		st.rho[i] = sum
+		if st.rho[i] <= 0 {
+			st.rho[i] = g.mass[i] * W(0, hh)
+		}
+		// Adaptive smoothing toward the target neighbor count.
+		ratio := float64(g.NTarget) / math.Max(float64(count), 1)
+		st.h[i] = clamp(hh*0.5*(1+math.Cbrt(ratio)), g.HMin, g.HMax)
+		st.prs[i] = (g.Gamma - 1) * st.rho[i] * st.u[i]
+		st.cs[i] = math.Sqrt(g.Gamma * st.prs[i] / st.rho[i])
+	}
+	return flopsPerDensityPair * float64(pairs)
+}
+
+// forces computes acc and dudt for indices [lo,hi): SPH pressure +
+// viscosity, plus optional tree self-gravity.
+func (st *state) forces(lo, hi int) float64 {
+	g := st.g
+	gr := st.cachedGrid
+	pairs := 0
+	for i := lo; i < hi; i++ {
+		var a data.Vec3
+		var du float64
+		pi, vi := st.pos[i], st.vel[i]
+		rhoi, prsi, csi, hsml := st.rho[i], st.prs[i], st.cs[i], st.h[i]
+		gr.forNeighbors(pi, func(j int32) {
+			if int(j) == i {
+				return
+			}
+			dp := pi.Sub(st.pos[j])
+			rij := dp.Norm()
+			hm := 0.5 * (hsml + st.h[j])
+			if rij >= 2*hm || rij == 0 {
+				return
+			}
+			dv := vi.Sub(st.vel[j])
+			dw := DW(rij, hm)
+			gradW := dp.Scale(dw / rij)
+
+			// Monaghan viscosity for approaching pairs.
+			var visc float64
+			vr := dv.Dot(dp)
+			if vr < 0 {
+				mu := hm * vr / (rij*rij + 0.01*hm*hm)
+				cm := 0.5 * (csi + st.cs[j])
+				rm := 0.5 * (rhoi + st.rho[j])
+				visc = (-g.Alpha*cm*mu + g.Beta*mu*mu) / rm
+			}
+			common := prsi/(rhoi*rhoi) + st.prs[j]/(st.rho[j]*st.rho[j]) + visc
+			a = a.Sub(gradW.Scale(g.mass[j] * common))
+			du += 0.5 * g.mass[j] * common * dv.Dot(gradW)
+			pairs++
+		})
+		st.acc[i] = a
+		st.dudt[i] = du
+	}
+	flops := flopsPerForcePair * float64(pairs)
+
+	if g.SelfGravity && len(g.mass) > 1 {
+		tr := tree.Build(g.mass, st.pos)
+		gacc := make([]data.Vec3, hi-lo)
+		gpot := make([]float64, hi-lo)
+		flops += tr.Accel(st.pos[lo:hi], g.EpsGrav, g.Theta, gacc, gpot)
+		for i := lo; i < hi; i++ {
+			st.acc[i] = st.acc[i].Add(gacc[i-lo])
+		}
+	}
+	return flops
+}
+
+// timestep returns the local CFL-limited step over [lo,hi).
+func (st *state) timestep(lo, hi int) float64 {
+	g := st.g
+	dt := g.DtMax
+	for i := lo; i < hi; i++ {
+		denom := st.cs[i] + st.vel[i].Norm() + 1e-12
+		if d := g.CFL * st.h[i] / denom; d < dt {
+			dt = d
+		}
+		if an := st.acc[i].Norm(); an > 0 {
+			if d := 0.3 * math.Sqrt(st.h[i]/an); d < dt {
+				dt = d
+			}
+		}
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		dt = 1e-8
+	}
+	return dt
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Exchange helpers: allgather the rank's slab so every rank holds the full
+// updated arrays. nil rank = serial no-op.
+
+func exchangeScalars(r *mpisim.Rank, lo, hi int, arrays ...[]float64) error {
+	if r == nil {
+		return nil
+	}
+	for _, a := range arrays {
+		full, err := r.AllgatherFloats(a[lo:hi])
+		if err != nil {
+			return err
+		}
+		copy(a, full)
+	}
+	return nil
+}
+
+func exchangeVectors(r *mpisim.Rank, lo, hi int, pos, vel []data.Vec3, u []float64) error {
+	if r == nil {
+		return nil
+	}
+	buf := make([]float64, 0, (hi-lo)*7)
+	for i := lo; i < hi; i++ {
+		buf = append(buf, pos[i][0], pos[i][1], pos[i][2], vel[i][0], vel[i][1], vel[i][2], u[i])
+	}
+	full, err := r.AllgatherFloats(buf)
+	if err != nil {
+		return err
+	}
+	for i := 0; i*7+6 < len(full); i++ {
+		pos[i] = data.Vec3{full[i*7], full[i*7+1], full[i*7+2]}
+		vel[i] = data.Vec3{full[i*7+3], full[i*7+4], full[i*7+5]}
+		u[i] = full[i*7+6]
+	}
+	return nil
+}
+
+func exchangeForces(r *mpisim.Rank, lo, hi int, acc []data.Vec3, dudt []float64) error {
+	if r == nil {
+		return nil
+	}
+	buf := make([]float64, 0, (hi-lo)*4)
+	for i := lo; i < hi; i++ {
+		buf = append(buf, acc[i][0], acc[i][1], acc[i][2], dudt[i])
+	}
+	full, err := r.AllgatherFloats(buf)
+	if err != nil {
+		return err
+	}
+	for i := 0; i*4+3 < len(full); i++ {
+		acc[i] = data.Vec3{full[i*4], full[i*4+1], full[i*4+2]}
+		dudt[i] = full[i*4+3]
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package sph
+
+import (
+	"math"
+
+	"jungle/internal/amuse/data"
+)
+
+// grid is a uniform cell list for fixed-radius neighbor queries. Cell size
+// equals the search radius, so neighbors of a point lie in its 27
+// surrounding cells.
+type grid struct {
+	cell  float64
+	inv   float64
+	cells map[[3]int32][]int32
+}
+
+// buildGrid indexes positions with the given cell size.
+func buildGrid(pos []data.Vec3, cell float64) *grid {
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = 1
+	}
+	g := &grid{cell: cell, inv: 1 / cell, cells: make(map[[3]int32][]int32, len(pos)/4+1)}
+	for i, p := range pos {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *grid) key(p data.Vec3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor(p[0] * g.inv)),
+		int32(math.Floor(p[1] * g.inv)),
+		int32(math.Floor(p[2] * g.inv)),
+	}
+}
+
+// forNeighbors calls fn for every candidate index j whose cell is within
+// one cell of p's cell, in deterministic (cell-ordered, then insertion)
+// order. Callers filter by actual distance.
+func (g *grid) forNeighbors(p data.Vec3, fn func(j int32)) {
+	c := g.key(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dz := int32(-1); dz <= 1; dz++ {
+				k := [3]int32{c[0] + dx, c[1] + dy, c[2] + dz}
+				for _, j := range g.cells[k] {
+					fn(j)
+				}
+			}
+		}
+	}
+}

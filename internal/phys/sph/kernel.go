@@ -1,0 +1,47 @@
+// Package sph reimplements the paper's gas-dynamics model: a Gadget-style
+// smoothed-particle-hydrodynamics code (Springel 2005) with cubic-spline
+// kernels, Monaghan artificial viscosity, adaptive smoothing lengths and
+// optional tree self-gravity. It runs serially or data-parallel over an
+// mpisim world (the paper runs Gadget on 8 nodes with C/MPI), in which case
+// slab decomposition, allgathers and per-rank virtual-time accounting model
+// the real code's behaviour.
+package sph
+
+import "math"
+
+// W is the cubic spline kernel with compact support 2h (Monaghan &
+// Lattanzio 1985), normalized in 3D.
+func W(r, h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	q := r / h
+	sigma := 1 / (math.Pi * h * h * h)
+	switch {
+	case q < 1:
+		return sigma * (1 - 1.5*q*q + 0.75*q*q*q)
+	case q < 2:
+		d := 2 - q
+		return sigma * 0.25 * d * d * d
+	default:
+		return 0
+	}
+}
+
+// DW is the kernel derivative dW/dr.
+func DW(r, h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	q := r / h
+	sigma := 1 / (math.Pi * h * h * h * h)
+	switch {
+	case q < 1:
+		return sigma * (-3*q + 2.25*q*q)
+	case q < 2:
+		d := 2 - q
+		return sigma * (-0.75 * d * d)
+	default:
+		return 0
+	}
+}

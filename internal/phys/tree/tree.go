@@ -1,0 +1,346 @@
+// Package tree implements Barnes–Hut octree gravity — the reproduction's
+// equivalent of the paper's coupling kernels: Octgrav (C++/CUDA tree code)
+// and Fi (Fortran tree code). Both kernels here share one traversal, so
+// switching between them (Multi-Kernel) changes performance only; the paper
+// uses exactly this pair to couple gas and stellar gravity when a GPU is or
+// is not available.
+package tree
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/vtime"
+)
+
+// FlopsPerInteraction is the accounted cost of one target↔node (or
+// target↔body) interaction during traversal.
+const FlopsPerInteraction = 24
+
+// leafCap is the maximum number of bodies stored in a leaf node.
+const leafCap = 8
+
+// node is one octree cell.
+type node struct {
+	center   data.Vec3 // geometric center of the cell
+	half     float64   // half side length
+	mass     float64
+	com      data.Vec3 // center of mass
+	children [8]int32  // -1 when absent
+	bodies   []int32   // leaf payload (empty for internal nodes)
+	leaf     bool
+}
+
+// Tree is an immutable octree over a set of source bodies.
+type Tree struct {
+	nodes []node
+	mass  []float64
+	pos   []data.Vec3
+}
+
+// Build constructs the octree over the given bodies.
+func Build(mass []float64, pos []data.Vec3) *Tree {
+	t := &Tree{mass: mass, pos: pos}
+	if len(pos) == 0 {
+		return t
+	}
+	// Bounding cube.
+	lo, hi := pos[0], pos[0]
+	for _, p := range pos {
+		for d := 0; d < 3; d++ {
+			if p[d] < lo[d] {
+				lo[d] = p[d]
+			}
+			if p[d] > hi[d] {
+				hi[d] = p[d]
+			}
+		}
+	}
+	center := lo.Add(hi).Scale(0.5)
+	half := 0.0
+	for d := 0; d < 3; d++ {
+		if h := (hi[d] - lo[d]) / 2; h > half {
+			half = h
+		}
+	}
+	if half == 0 {
+		half = 1e-9
+	}
+	half *= 1.0001 // keep boundary bodies strictly inside
+
+	t.nodes = append(t.nodes, node{center: center, half: half, leaf: true})
+	t.nodes[0].children = noChildren()
+	for i := range pos {
+		t.insert(0, int32(i), 0)
+	}
+	t.summarize(0)
+	return t
+}
+
+func noChildren() [8]int32 {
+	return [8]int32{-1, -1, -1, -1, -1, -1, -1, -1}
+}
+
+// octant returns which child octant p falls into relative to center.
+func octant(center, p data.Vec3) int {
+	o := 0
+	if p[0] >= center[0] {
+		o |= 1
+	}
+	if p[1] >= center[1] {
+		o |= 2
+	}
+	if p[2] >= center[2] {
+		o |= 4
+	}
+	return o
+}
+
+// maxDepth bounds subdivision for coincident points.
+const maxDepth = 64
+
+func (t *Tree) insert(ni int32, body int32, depth int) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		if len(n.bodies) < leafCap || depth >= maxDepth {
+			n.bodies = append(n.bodies, body)
+			return
+		}
+		// Split: push existing bodies down.
+		old := n.bodies
+		n.bodies = nil
+		n.leaf = false
+		for _, b := range old {
+			t.pushDown(ni, b, depth)
+		}
+	}
+	t.pushDown(ni, body, depth)
+}
+
+func (t *Tree) pushDown(ni int32, body int32, depth int) {
+	// Note: t.nodes may be reallocated by append, so re-take pointers.
+	o := octant(t.nodes[ni].center, t.pos[body])
+	ci := t.nodes[ni].children[o]
+	if ci < 0 {
+		parent := t.nodes[ni]
+		h := parent.half / 2
+		cc := parent.center
+		if o&1 != 0 {
+			cc[0] += h
+		} else {
+			cc[0] -= h
+		}
+		if o&2 != 0 {
+			cc[1] += h
+		} else {
+			cc[1] -= h
+		}
+		if o&4 != 0 {
+			cc[2] += h
+		} else {
+			cc[2] -= h
+		}
+		ci = int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{center: cc, half: h, leaf: true, children: noChildren()})
+		t.nodes[ni].children[o] = ci
+	}
+	t.insert(ci, body, depth+1)
+}
+
+// summarize computes mass and center of mass bottom-up.
+func (t *Tree) summarize(ni int32) (float64, data.Vec3) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		var m float64
+		var com data.Vec3
+		for _, b := range n.bodies {
+			m += t.mass[b]
+			com = com.Add(t.pos[b].Scale(t.mass[b]))
+		}
+		n.mass = m
+		if m > 0 {
+			n.com = com.Scale(1 / m)
+		} else {
+			n.com = n.center
+		}
+		return n.mass, n.com.Scale(n.mass)
+	}
+	var m float64
+	var wcom data.Vec3
+	for _, ci := range n.children {
+		if ci < 0 {
+			continue
+		}
+		cm, cwcom := t.summarize(ci)
+		m += cm
+		wcom = wcom.Add(cwcom)
+	}
+	n.mass = m
+	if m > 0 {
+		n.com = wcom.Scale(1 / m)
+	} else {
+		n.com = n.center
+	}
+	return n.mass, wcom
+}
+
+// Nodes returns the number of tree nodes (diagnostics).
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// TotalMass returns the summed source mass.
+func (t *Tree) TotalMass() float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.nodes[0].mass
+}
+
+// accelAt traverses the tree for one target point. Returns interactions
+// counted.
+func (t *Tree) accelAt(p data.Vec3, eps2, theta float64, acc *data.Vec3, pot *float64) int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	theta2 := theta * theta
+	inter := 0
+	// Explicit stack; deterministic depth-first order.
+	stack := make([]int32, 0, 128)
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if n.mass == 0 {
+			continue
+		}
+		dp := n.com.Sub(p)
+		r2 := dp.Norm2()
+		size := 2 * n.half
+		if n.leaf || size*size < theta2*r2 {
+			if n.leaf {
+				for _, b := range n.bodies {
+					db := t.pos[b].Sub(p)
+					r2b := db.Norm2() + eps2
+					if r2b == 0 {
+						continue
+					}
+					r := math.Sqrt(r2b)
+					rinv := 1 / r
+					mr3 := t.mass[b] * rinv * rinv * rinv
+					acc[0] += mr3 * db[0]
+					acc[1] += mr3 * db[1]
+					acc[2] += mr3 * db[2]
+					*pot -= t.mass[b] * rinv
+					inter++
+				}
+				continue
+			}
+			r2e := r2 + eps2
+			r := math.Sqrt(r2e)
+			rinv := 1 / r
+			mr3 := n.mass * rinv * rinv * rinv
+			acc[0] += mr3 * dp[0]
+			acc[1] += mr3 * dp[1]
+			acc[2] += mr3 * dp[2]
+			*pot -= n.mass * rinv
+			inter++
+			continue
+		}
+		// Push children in reverse so traversal visits octant 0 first.
+		for c := 7; c >= 0; c-- {
+			if ci := n.children[c]; ci >= 0 {
+				stack = append(stack, ci)
+			}
+		}
+	}
+	return inter
+}
+
+// Accel evaluates acceleration and potential at every target point with
+// opening angle theta and Plummer softening eps. Targets are processed in
+// parallel; each target's traversal is deterministic. Returns the accounted
+// flop count.
+func (t *Tree) Accel(targets []data.Vec3, eps, theta float64, acc []data.Vec3, pot []float64) float64 {
+	n := len(targets)
+	if n == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	interactions := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			total := 0
+			for i := lo; i < hi; i++ {
+				var a data.Vec3
+				var p float64
+				total += t.accelAt(targets[i], eps2, theta, &a, &p)
+				acc[i] = a
+				pot[i] = p
+			}
+			interactions[w] = total
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, x := range interactions {
+		total += x
+	}
+	return FlopsPerInteraction * float64(total)
+}
+
+// Kernel is a named, device-accounted tree-gravity variant.
+type Kernel struct {
+	name  string
+	dev   *vtime.Device
+	Theta float64 // opening angle (default 0.6)
+}
+
+// NewOctgrav returns the GPU tree kernel (the paper's Octgrav).
+func NewOctgrav(dev *vtime.Device) *Kernel {
+	return &Kernel{name: "octgrav", dev: dev, Theta: 0.6}
+}
+
+// NewFi returns the CPU tree kernel (the paper's Fi).
+func NewFi(dev *vtime.Device) *Kernel {
+	return &Kernel{name: "fi", dev: dev, Theta: 0.6}
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return k.name }
+
+// Device returns the kernel's performance model.
+func (k *Kernel) Device() *vtime.Device { return k.dev }
+
+// FieldAt builds a tree over the sources and evaluates the field at the
+// targets. It returns the accelerations, potentials and accounted flops
+// (tree build cost ≈ N log N is folded in at 40 flops per body-level).
+func (k *Kernel) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+	tr := Build(srcMass, srcPos)
+	acc := make([]data.Vec3, len(targets))
+	pot := make([]float64, len(targets))
+	flops := tr.Accel(targets, eps, k.Theta, acc, pot)
+	if n := len(srcPos); n > 1 {
+		flops += 40 * float64(n) * math.Log2(float64(n))
+	}
+	return acc, pot, flops
+}

@@ -1,0 +1,143 @@
+package smartsockets
+
+import (
+	"sync"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// VirtualConn is a bidirectional message connection established by a
+// Factory. Depending on how connectivity worked out it is backed either by
+// a plain vnet connection (direct and reverse types) or by a routed circuit
+// through the hub overlay.
+type VirtualConn struct {
+	typ         ConnType
+	raw         *vnet.Conn
+	end         *routedEnd
+	remote      Address
+	established time.Duration
+}
+
+// Type reports how the connection was established.
+func (c *VirtualConn) Type() ConnType { return c.typ }
+
+// Remote returns the peer's address (zero port for inbound direct conns).
+func (c *VirtualConn) Remote() Address { return c.remote }
+
+// EstablishedAt returns the virtual time at which the connection became
+// usable at this endpoint (connection setup through the overlay costs
+// virtual time).
+func (c *VirtualConn) EstablishedAt() time.Duration { return c.established }
+
+// SetClass tags the underlying traffic for the recorder. Routed circuits
+// ride hub connections, whose class is "hub".
+func (c *VirtualConn) SetClass(class string) {
+	if c.raw != nil {
+		c.raw.SetClass(class)
+	}
+}
+
+// Send transmits data at the sender's virtual time sentAt.
+func (c *VirtualConn) Send(data []byte, sentAt time.Duration) error {
+	if c.raw != nil {
+		_, err := c.raw.Send(data, sentAt)
+		return err
+	}
+	return c.end.send(data, sentAt)
+}
+
+// Recv blocks for the next message; its Arrival field carries the virtual
+// delivery time (including hub relay hops for routed connections).
+func (c *VirtualConn) Recv() (vnet.Message, error) {
+	if c.raw != nil {
+		return c.raw.Recv()
+	}
+	return c.end.recv()
+}
+
+// Close tears the connection down on both sides.
+func (c *VirtualConn) Close() error {
+	if c.raw != nil {
+		return c.raw.Close()
+	}
+	return c.end.closeBoth()
+}
+
+// routedEnd is a factory-local endpoint of a routed circuit.
+type routedEnd struct {
+	factory *Factory
+	key     string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []vnet.Message
+	closed bool
+}
+
+func newRoutedEnd(f *Factory, key string) *routedEnd {
+	e := &routedEnd{factory: f, key: key}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *routedEnd) push(m vnet.Message) {
+	e.mu.Lock()
+	if !e.closed {
+		e.q = append(e.q, m)
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+func (e *routedEnd) recv() (vnet.Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.q) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.q) == 0 {
+		return vnet.Message{}, vnet.ErrClosed
+	}
+	m := e.q[0]
+	e.q = e.q[1:]
+	return m, nil
+}
+
+func (e *routedEnd) send(data []byte, sentAt time.Duration) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return vnet.ErrClosed
+	}
+	e.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return sendFrame(e.factory.hubConn, &frame{
+		Kind: kCircuitData, Circuit: e.key, Payload: cp, SentAt: sentAt,
+	})
+}
+
+func (e *routedEnd) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// closeBoth closes the local end and asks the circuit to dismantle.
+func (e *routedEnd) closeBoth() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	f := e.factory
+	f.mu.Lock()
+	delete(f.circuits, e.key)
+	f.mu.Unlock()
+	return sendFrame(f.hubConn, &frame{Kind: kCircuitClose, Circuit: e.key})
+}

@@ -1,0 +1,210 @@
+package smartsockets
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// Overlay manages a set of hubs started together, the way IbisDeploy starts
+// one hub per resource before launching jobs.
+type Overlay struct {
+	hubs []*Hub
+}
+
+// StartHubs creates a hub on each listed host and links them pairwise. Hub
+// connection attempts are made in both directions so one-way links form
+// whenever at least one direction is dialable.
+func StartHubs(network *vnet.Network, hosts []string) (*Overlay, error) {
+	o := &Overlay{}
+	for _, h := range hosts {
+		hub, err := NewHub(network, h)
+		if err != nil {
+			o.Stop()
+			return nil, err
+		}
+		o.hubs = append(o.hubs, hub)
+	}
+	for _, a := range o.hubs {
+		for _, b := range o.hubs {
+			if a.Host() != b.Host() {
+				a.ConnectTo(b.Host()) // best effort; peer may connect back
+			}
+		}
+	}
+	o.settle()
+	return o, nil
+}
+
+// settle waits (in real time) until the overlay's edge view stops changing,
+// so callers observe a converged hub graph. Hellos and gossip are processed
+// asynchronously by hub reader goroutines.
+func (o *Overlay) settle() {
+	snapshot := func() string {
+		var b strings.Builder
+		for _, e := range o.Edges() {
+			fmt.Fprintf(&b, "%s|%s|%d;", e.A, e.B, e.Type)
+		}
+		return b.String()
+	}
+	prev := snapshot()
+	stable := 0
+	for i := 0; i < 2000 && stable < 5; i++ {
+		time.Sleep(time.Millisecond)
+		cur := snapshot()
+		if cur == prev {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+	}
+}
+
+// AddHub starts a hub on host and links it with every existing hub (both
+// directions are attempted so one-way links can form), then waits for the
+// edge view to settle. IbisDeploy uses this to start hubs incrementally as
+// resources are added.
+func (o *Overlay) AddHub(network *vnet.Network, host string) (*Hub, error) {
+	for _, h := range o.hubs {
+		if h.Host() == host {
+			return h, nil
+		}
+	}
+	hub, err := NewHub(network, host)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range o.hubs {
+		hub.ConnectTo(h.Host())
+		h.ConnectTo(host)
+	}
+	o.hubs = append(o.hubs, hub)
+	o.settle()
+	return hub, nil
+}
+
+// Hubs returns the managed hubs.
+func (o *Overlay) Hubs() []*Hub { return o.hubs }
+
+// Hub returns the hub running on the given host, or nil.
+func (o *Overlay) Hub(host string) *Hub {
+	for _, h := range o.hubs {
+		if h.Host() == host {
+			return h
+		}
+	}
+	return nil
+}
+
+// Stop shuts all hubs down.
+func (o *Overlay) Stop() {
+	for _, h := range o.hubs {
+		h.Stop()
+	}
+}
+
+// OverlayEdge is a deduplicated hub-pair link for reporting.
+type OverlayEdge struct {
+	A, B string
+	Type EdgeType
+}
+
+// Edges merges the per-hub edge views into one undirected edge list:
+// if either side used SSH the edge is an SSH tunnel; if both sides hold a
+// link it is direct; if only one side could initiate it is one-way — the
+// arrows of Fig. 10.
+func (o *Overlay) Edges() []OverlayEdge {
+	type pair struct{ a, b string }
+	views := make(map[pair][]EdgeType)
+	for _, h := range o.hubs {
+		for _, e := range h.Edges() {
+			p := pair{e.Local, e.Peer}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			views[p] = append(views[p], e.Type)
+		}
+	}
+	out := make([]OverlayEdge, 0, len(views))
+	for p, ts := range views {
+		ssh, direct := false, true
+		for _, x := range ts {
+			if x == EdgeSSH {
+				ssh = true
+			}
+			if x != EdgeDirect {
+				direct = false
+			}
+		}
+		t := EdgeOneWay
+		switch {
+		case ssh:
+			t = EdgeSSH
+		case direct && len(ts) >= 2:
+			t = EdgeDirect
+		}
+		out = append(out, OverlayEdge{A: p.a, B: p.b, Type: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Connected reports whether the undirected overlay graph spans all hubs.
+func (o *Overlay) Connected() bool {
+	if len(o.hubs) == 0 {
+		return true
+	}
+	adj := make(map[string][]string)
+	for _, e := range o.Edges() {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seen := map[string]bool{o.hubs[0].Host(): true}
+	stack := []string{o.hubs[0].Host()}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(seen) == len(o.hubs)
+}
+
+// RenderMap renders the Fig. 10-equivalent overlay view: every hub and the
+// deduplicated links with their types (direct, ssh-tunnel — the red lines —
+// and one-way — the arrows).
+func (o *Overlay) RenderMap() string {
+	var b strings.Builder
+	b.WriteString("SmartSockets overlay\n")
+	b.WriteString("hubs:\n")
+	hosts := make([]string, 0, len(o.hubs))
+	for _, h := range o.hubs {
+		hosts = append(hosts, h.Host())
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "  %s\n", h)
+	}
+	b.WriteString("links:\n")
+	for _, e := range o.Edges() {
+		arrow := "<->"
+		if e.Type == EdgeOneWay {
+			arrow = "-->"
+		}
+		fmt.Fprintf(&b, "  %-26s %s %-26s [%s]\n", e.A, arrow, e.B, e.Type)
+	}
+	return b.String()
+}

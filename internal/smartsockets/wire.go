@@ -1,0 +1,98 @@
+package smartsockets
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// frame is the single wire format used on hub-hub and client-hub
+// connections. Kind selects which fields are meaningful.
+type frame struct {
+	Kind byte
+
+	// Hub protocol.
+	Hub  string   // sender hub (hello/gossip)
+	Hubs []string // known hubs (gossip)
+
+	// Client registration.
+	Host string
+	Port int
+
+	// Overlay routing (flooded frames carry the path of hubs visited; acks
+	// and closes follow the recorded path backwards).
+	Src, Dst Address
+	Circuit  string
+	Path     []string
+	Payload  []byte
+
+	// Reverse connection setup.
+	ReqID     uint64
+	ReplyPort int
+
+	// Virtual clock of the sender when the frame was emitted; relays
+	// re-stamp with their arrival time plus processing delay.
+	SentAt time.Duration
+}
+
+const (
+	kHello        byte = iota // hub -> hub: identify + known hubs
+	kGossip                   // hub -> hub: known hub list update
+	kRegister                 // client -> hub: claim (host, port)
+	kUnregister               // client -> hub: release (host, port)
+	kReverseReq               // flooded: ask Dst to dial back Src:ReplyPort
+	kCircuitOpen              // flooded: open a routed circuit to Dst
+	kCircuitAck               // backtracks Path: circuit established
+	kCircuitNak               // backtracks Path: circuit refused
+	kCircuitData              // follows circuit table
+	kCircuitClose             // follows circuit table, dismantling it
+	kDialbackOK               // first frame on a reverse dial-back conn
+	kRegisterAck              // hub -> client: (host, port) registration stored
+)
+
+// hubProcessing is the virtual per-hop processing delay a hub adds when
+// relaying a frame.
+const hubProcessing = 200 * time.Microsecond
+
+func encodeFrame(f *frame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFrame(data []byte) (*frame, error) {
+	f := new(frame)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// sendFrame encodes and transmits f over c.
+func sendFrame(c *vnet.Conn, f *frame) error {
+	data, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = c.Send(data, f.SentAt)
+	return err
+}
+
+// recvFrame receives and decodes one frame; the frame's SentAt is replaced
+// by its virtual arrival time so handlers can re-stamp relayed copies.
+func recvFrame(c *vnet.Conn) (*frame, error) {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	f, err := decodeFrame(msg.Data)
+	if err != nil {
+		return nil, err
+	}
+	f.SentAt = msg.Arrival
+	return f, nil
+}

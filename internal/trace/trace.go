@@ -1,0 +1,190 @@
+// Package trace implements the monitoring subsystem required by §4.3 of the
+// paper ("it should be possible to do both performance and correctness
+// monitoring of the system") and regenerates the data behind the IbisDeploy
+// GUI views of Figures 10 and 11: the SmartSockets overlay map, the per-link
+// traffic visualization (IPL vs MPI bytes) and per-node load.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is a timestamped monitoring record.
+type Event struct {
+	At    time.Duration // virtual time
+	Actor string
+	Kind  string
+	Text  string
+}
+
+// Recorder collects traffic, load and events. It satisfies
+// vnet.TrafficRecorder. The zero value is not usable; call New.
+type Recorder struct {
+	mu      sync.Mutex
+	traffic map[trafficKey]int
+	load    map[string][]LoadSample
+	events  []Event
+}
+
+type trafficKey struct {
+	From, To, Class string
+}
+
+// LoadSample is a point-in-time CPU load observation for a host.
+type LoadSample struct {
+	At   time.Duration
+	Load float64 // 0..1 per-host CPU utilization
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		traffic: make(map[trafficKey]int),
+		load:    make(map[string][]LoadSample),
+	}
+}
+
+// RecordTraffic implements vnet.TrafficRecorder.
+func (r *Recorder) RecordTraffic(from, to, class string, bytes int) {
+	r.mu.Lock()
+	r.traffic[trafficKey{from, to, class}] += bytes
+	r.mu.Unlock()
+}
+
+// RecordLoad stores a CPU utilization sample for a host.
+func (r *Recorder) RecordLoad(host string, at time.Duration, load float64) {
+	r.mu.Lock()
+	r.load[host] = append(r.load[host], LoadSample{At: at, Load: load})
+	r.mu.Unlock()
+}
+
+// RecordEvent appends a monitoring event.
+func (r *Recorder) RecordEvent(at time.Duration, actor, kind, text string) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: at, Actor: actor, Kind: kind, Text: text})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in insertion order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Bytes returns the traffic from->to for a class ("" sums all classes).
+func (r *Recorder) Bytes(from, to, class string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if class != "" {
+		return r.traffic[trafficKey{from, to, class}]
+	}
+	total := 0
+	for k, v := range r.traffic {
+		if k.From == from && k.To == to {
+			total += v
+		}
+	}
+	return total
+}
+
+// TotalByClass sums traffic over all host pairs per class.
+func (r *Recorder) TotalByClass() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int)
+	for k, v := range r.traffic {
+		out[k.Class] += v
+	}
+	return out
+}
+
+// TrafficRow is one line of the Fig. 11-style traffic table.
+type TrafficRow struct {
+	From, To, Class string
+	Bytes           int
+}
+
+// TrafficTable returns all traffic rows sorted by bytes descending, then
+// lexicographically for determinism.
+func (r *Recorder) TrafficTable() []TrafficRow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]TrafficRow, 0, len(r.traffic))
+	for k, v := range r.traffic {
+		rows = append(rows, TrafficRow{From: k.From, To: k.To, Class: k.Class, Bytes: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bytes != rows[j].Bytes {
+			return rows[i].Bytes > rows[j].Bytes
+		}
+		a, b := rows[i], rows[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Class < b.Class
+	})
+	return rows
+}
+
+// MeanLoad returns the average recorded load for a host (0 if none).
+func (r *Recorder) MeanLoad(host string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.load[host]
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x.Load
+	}
+	return sum / float64(len(s))
+}
+
+// LoadHosts returns all hosts with load samples, sorted.
+func (r *Recorder) LoadHosts() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hosts := make([]string, 0, len(r.load))
+	for h := range r.load {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// RenderTraffic renders the Fig. 11-equivalent table: per-link bytes split
+// by class (IPL traffic was shown blue, MPI orange in the GUI).
+func (r *Recorder) RenderTraffic() string {
+	rows := r.TrafficTable()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-28s %-6s %12s\n", "FROM", "TO", "CLASS", "BYTES")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s %-28s %-6s %12d\n", row.From, row.To, row.Class, row.Bytes)
+	}
+	return b.String()
+}
+
+// RenderLoad renders the Fig. 11-equivalent load bars: mean CPU load per
+// host. Hosts running GPU kernels show near-idle CPUs, as the paper notes.
+func (r *Recorder) RenderLoad() string {
+	hosts := r.LoadHosts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s  %s\n", "HOST", "LOAD", "")
+	for _, h := range hosts {
+		l := r.MeanLoad(h)
+		bar := strings.Repeat("#", int(l*20+0.5))
+		fmt.Fprintf(&b, "%-28s %5.1f%%  %s\n", h, l*100, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package vnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is a datagram delivered over a Conn, stamped with the virtual time
+// at which it arrives at the receiver.
+type Message struct {
+	Data    []byte
+	Arrival time.Duration
+}
+
+// Conn is one endpoint of a bidirectional, message-based virtual connection.
+// Delivery is reliable and ordered. Virtual timing: a message sent at sender
+// time t arrives at t + path latency + size/bandwidth; receivers advance
+// their own clocks to max(local, arrival).
+type Conn struct {
+	local, remote string // host names
+	port          int
+	path          Path // from local to remote
+	class         string
+	net           *Network
+
+	out  *msgQueue
+	in   *msgQueue
+	peer *Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// msgQueue is an unbounded ordered message queue usable by one producer and
+// many consumers.
+type msgQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []Message
+	closed bool
+}
+
+func newMsgQueue() *msgQueue {
+	m := &msgQueue{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *msgQueue) push(msg Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.q = append(m.q, msg)
+	m.cond.Signal()
+	return nil
+}
+
+func (m *msgQueue) pop() (Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return Message{}, ErrClosed
+	}
+	msg := m.q[0]
+	m.q = m.q[1:]
+	return msg, nil
+}
+
+func (m *msgQueue) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// LocalHost returns the host name of this endpoint.
+func (c *Conn) LocalHost() string { return c.local }
+
+// RemoteHost returns the host name of the peer endpoint.
+func (c *Conn) RemoteHost() string { return c.remote }
+
+// Port returns the listener port this connection was made to.
+func (c *Conn) Port() int { return c.port }
+
+// Path returns the routed path from this endpoint to the peer.
+func (c *Conn) Path() Path { return c.path }
+
+// SetClass tags the connection's traffic (e.g. "ipl", "mpi") for the
+// recorder on both endpoints.
+func (c *Conn) SetClass(class string) {
+	c.mu.Lock()
+	c.class = class
+	c.mu.Unlock()
+	if c.peer != nil {
+		c.peer.mu.Lock()
+		c.peer.class = class
+		c.peer.mu.Unlock()
+	}
+}
+
+// Send transmits data; sentAt is the sender's virtual time. It returns the
+// virtual arrival time at the receiver.
+func (c *Conn) Send(data []byte, sentAt time.Duration) (time.Duration, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	class := c.class
+	c.mu.Unlock()
+	arrival := sentAt + c.path.TransferTime(len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if err := c.out.push(Message{Data: cp, Arrival: arrival}); err != nil {
+		return 0, err
+	}
+	c.net.record(c.local, c.remote, class, len(data))
+	return arrival, nil
+}
+
+// Recv blocks until a message is available (or the connection is closed) and
+// returns it. The caller is responsible for advancing its clock to
+// msg.Arrival.
+func (c *Conn) Recv() (Message, error) {
+	return c.in.pop()
+}
+
+// Close tears down both endpoints.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.in.close()
+	c.out.close()
+	if c.peer != nil {
+		c.peer.mu.Lock()
+		c.peer.closed = true
+		c.peer.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("%s->%s:%d", c.local, c.remote, c.port)
+}
+
+// Listener accepts inbound virtual connections on a host port.
+type Listener struct {
+	host *Host
+	port int
+	net  *Network
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Conn
+	closed  bool
+}
+
+// Listen opens a listener on host:port.
+func (n *Network) Listen(host string, port int) (*Listener, error) {
+	h := n.Host(host)
+	if h == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return nil, ErrHostDown
+	}
+	if _, ok := h.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: %s:%d", ErrPortInUse, host, port)
+	}
+	l := &Listener{host: h, port: port, net: n}
+	l.cond = sync.NewCond(&l.mu)
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until an inbound connection arrives.
+func (l *Listener) Accept() (*Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.backlog) == 0 {
+		return nil, errListenerDone
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Close stops the listener and releases the port.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.host.mu.Lock()
+	delete(l.host.listeners, l.port)
+	l.host.mu.Unlock()
+	return nil
+}
+
+// Addr returns "host:port".
+func (l *Listener) Addr() string { return fmt.Sprintf("%s:%d", l.host.Name, l.port) }
+
+// Dial opens a connection from host `from` to `to:port`. The destination's
+// firewall policy is enforced: a firewalled destination refuses inbound
+// dials from other sites, which is exactly the situation SmartSockets'
+// reverse connection setup works around.
+func (n *Network) Dial(from, to string, port int) (*Conn, error) {
+	fh, th := n.Host(from), n.Host(to)
+	if fh == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, from)
+	}
+	if th == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, to)
+	}
+	if !fh.Up() || !th.Up() {
+		return nil, ErrHostDown
+	}
+	if !allowsInbound(th, fh.Site, port) {
+		return nil, fmt.Errorf("%w: %s -> %s:%d (%s)", ErrFirewalled, from, to, port, th.Policy)
+	}
+	fwd, err := n.Route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := n.Route(to, from)
+	if err != nil {
+		return nil, err
+	}
+	th.mu.Lock()
+	l, ok := th.listeners[port]
+	th.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, to, port)
+	}
+
+	aToB, bToA := newMsgQueue(), newMsgQueue()
+	local := &Conn{local: from, remote: to, port: port, path: fwd, net: n, out: aToB, in: bToA}
+	remote := &Conn{local: to, remote: from, port: port, path: rev, net: n, out: bToA, in: aToB}
+	local.peer, remote.peer = remote, local
+	n.trackConn(local)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, to, port)
+	}
+	l.backlog = append(l.backlog, remote)
+	l.cond.Signal()
+	l.mu.Unlock()
+	return local, nil
+}

@@ -1,0 +1,324 @@
+// Package zorilla reimplements the Zorilla peer-to-peer middleware (Drost
+// et al., CCPE 2011): it "can turn any collection of machines into a
+// cluster-like system in minutes" and is "ideal in cases where no
+// middleware is available". Peers hold partial membership views spread by
+// gossip; job submissions flood outward from the submitting peer through
+// the views it knows, claiming idle peers — Zorilla's flood scheduling.
+//
+// The package also provides the JavaGAT adapter the paper uses, so the
+// broker can target "zorilla://host" like any other middleware.
+package zorilla
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"jungle/internal/gat"
+	"jungle/internal/vnet"
+)
+
+// Errors.
+var (
+	ErrUnknownPeer   = errors.New("zorilla: unknown peer")
+	ErrNotEnough     = errors.New("zorilla: not enough idle peers reachable by flooding")
+	ErrNoBootstrap   = errors.New("zorilla: bootstrap peer unknown")
+	ErrAlreadyJoined = errors.New("zorilla: host already runs a peer")
+)
+
+// viewSize caps each peer's gossip view (partial views are the point of
+// P2P membership).
+const viewSize = 8
+
+// Overlay is a Zorilla deployment: a set of peers over the virtual network.
+type Overlay struct {
+	net *vnet.Network
+	rng *rand.Rand
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+}
+
+// Peer is one Zorilla daemon.
+type Peer struct {
+	host string
+
+	mu   sync.Mutex
+	view map[string]bool // known peer hosts (excluding self)
+	busy bool
+}
+
+// Host returns the host this peer runs on.
+func (p *Peer) Host() string { return p.host }
+
+// Known returns the sorted membership view.
+func (p *Peer) Known() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.view))
+	for h := range p.view {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Busy reports whether the peer is running a job slot.
+func (p *Peer) Busy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy
+}
+
+// New returns an empty overlay. The seed makes gossip shuffles
+// deterministic for tests.
+func New(network *vnet.Network, seed int64) *Overlay {
+	return &Overlay{net: network, rng: rand.New(rand.NewSource(seed)), peers: make(map[string]*Peer)}
+}
+
+// AddPeer starts a peer on host. bootstrap is an existing peer used for the
+// initial view exchange ("" for the first peer). The new peer and the
+// bootstrap merge views immediately, as joining Zorilla nodes do.
+func (o *Overlay) AddPeer(host, bootstrap string) (*Peer, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.peers[host]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyJoined, host)
+	}
+	if o.net.Host(host) == nil {
+		return nil, fmt.Errorf("zorilla: %w: %q", vnet.ErrUnknownHost, host)
+	}
+	p := &Peer{host: host, view: make(map[string]bool)}
+	if bootstrap != "" {
+		bp, ok := o.peers[bootstrap]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoBootstrap, bootstrap)
+		}
+		if !o.net.Reachable(host, bootstrap) {
+			return nil, fmt.Errorf("zorilla: bootstrap %s unreachable from %s", bootstrap, host)
+		}
+		p.view[bootstrap] = true
+		bp.mu.Lock()
+		for h := range bp.view {
+			if h != host {
+				p.view[h] = true
+			}
+		}
+		bp.view[host] = true
+		bp.mu.Unlock()
+	}
+	o.peers[host] = p
+	return p, nil
+}
+
+// Peer returns the peer on host, or nil.
+func (o *Overlay) Peer(host string) *Peer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.peers[host]
+}
+
+// Peers returns all peer hosts, sorted.
+func (o *Overlay) Peers() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.peers))
+	for h := range o.peers {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GossipRounds performs n rounds: in each round every peer exchanges views
+// with one random known peer (views are truncated to viewSize with a bias
+// for keeping fresh entries). A few rounds suffice to connect any
+// bootstrap-chained membership.
+func (o *Overlay) GossipRounds(n int) {
+	for round := 0; round < n; round++ {
+		o.mu.Lock()
+		hosts := make([]string, 0, len(o.peers))
+		for h := range o.peers {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		o.mu.Unlock()
+		for _, h := range hosts {
+			o.gossipOnce(h)
+		}
+	}
+}
+
+func (o *Overlay) gossipOnce(host string) {
+	o.mu.Lock()
+	p := o.peers[host]
+	o.mu.Unlock()
+	if p == nil {
+		return
+	}
+	known := p.Known()
+	if len(known) == 0 {
+		return
+	}
+	partner := known[o.rng.Intn(len(known))]
+	o.mu.Lock()
+	q := o.peers[partner]
+	o.mu.Unlock()
+	if q == nil || !o.net.Reachable(host, partner) {
+		return
+	}
+	// Exchange views (two-way merge).
+	p.mu.Lock()
+	pv := make([]string, 0, len(p.view))
+	for h := range p.view {
+		pv = append(pv, h)
+	}
+	p.mu.Unlock()
+	q.mu.Lock()
+	qv := make([]string, 0, len(q.view))
+	for h := range q.view {
+		qv = append(qv, h)
+	}
+	for _, h := range pv {
+		if h != q.host {
+			q.view[h] = true
+		}
+	}
+	q.view[p.host] = true
+	q.truncateLocked(o.rng)
+	q.mu.Unlock()
+	p.mu.Lock()
+	for _, h := range qv {
+		if h != p.host {
+			p.view[h] = true
+		}
+	}
+	p.view[q.host] = true
+	p.truncateLocked(o.rng)
+	p.mu.Unlock()
+}
+
+// truncateLocked keeps the view at most viewSize entries (random eviction).
+func (p *Peer) truncateLocked(rng *rand.Rand) {
+	if len(p.view) <= viewSize {
+		return
+	}
+	hosts := make([]string, 0, len(p.view))
+	for h := range p.view {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	for _, h := range hosts[viewSize:] {
+		delete(p.view, h)
+	}
+}
+
+// Allocate claims n idle peers by flooding outward from the via peer
+// (breadth-first through views). The via peer itself is a candidate. It
+// does not block: Zorilla either finds capacity or refuses.
+func (o *Overlay) Allocate(via string, n int) ([]string, error) {
+	o.mu.Lock()
+	start, ok := o.peers[via]
+	o.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, via)
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	var claimed []string
+	visited := map[string]bool{}
+	queue := []*Peer{start}
+	visited[via] = true
+	for len(queue) > 0 && len(claimed) < n {
+		p := queue[0]
+		queue = queue[1:]
+		p.mu.Lock()
+		if !p.busy {
+			p.busy = true
+			claimed = append(claimed, p.host)
+		}
+		neighbors := make([]string, 0, len(p.view))
+		for h := range p.view {
+			neighbors = append(neighbors, h)
+		}
+		p.mu.Unlock()
+		sort.Strings(neighbors) // deterministic flood order
+		for _, h := range neighbors {
+			if visited[h] {
+				continue
+			}
+			visited[h] = true
+			o.mu.Lock()
+			q := o.peers[h]
+			o.mu.Unlock()
+			if q != nil && o.net.Reachable(p.host, h) {
+				queue = append(queue, q)
+			}
+		}
+	}
+	if len(claimed) < n {
+		o.Release(claimed)
+		return nil, fmt.Errorf("%w: wanted %d, found %d", ErrNotEnough, n, len(claimed))
+	}
+	return claimed, nil
+}
+
+// Release frees previously claimed peers.
+func (o *Overlay) Release(hosts []string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, h := range hosts {
+		if p, ok := o.peers[h]; ok {
+			p.mu.Lock()
+			p.busy = false
+			p.mu.Unlock()
+		}
+	}
+}
+
+// IdleCount returns the number of idle peers (diagnostics).
+func (o *Overlay) IdleCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, p := range o.peers {
+		p.mu.Lock()
+		if !p.busy {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Adapter is the JavaGAT adapter for Zorilla.
+type Adapter struct {
+	Overlay *Overlay
+}
+
+// Scheme implements gat.Adapter.
+func (a *Adapter) Scheme() string { return "zorilla" }
+
+// Submit implements gat.Adapter: allocate peers by flooding from the target
+// (or the submit host), then execute.
+func (a *Adapter) Submit(b *gat.Broker, j *gat.Job, target string) error {
+	via := target
+	if via == "" {
+		via = b.SubmitHost
+	}
+	if a.Overlay.Peer(via) == nil {
+		return fmt.Errorf("%w: no peer on %q", ErrUnknownPeer, via)
+	}
+	hosts, err := a.Overlay.Allocate(via, j.Desc.Nodes)
+	if err != nil {
+		return err
+	}
+	go b.Execute(j, hosts, func() { a.Overlay.Release(hosts) }, 500*time.Millisecond)
+	return nil
+}

@@ -1,0 +1,217 @@
+package zorilla
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jungle/internal/gat"
+	"jungle/internal/vnet"
+)
+
+// flatNet builds n open hosts on one switch.
+func flatNet(t *testing.T, n int) (*vnet.Network, []string) {
+	t.Helper()
+	net := vnet.New()
+	var hosts []string
+	for i := 0; i < n; i++ {
+		h := fmt.Sprintf("pc%02d", i)
+		if _, err := net.AddHost(h, "office", vnet.Open); err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	for i := 1; i < n; i++ {
+		if err := net.AddLink(hosts[0], hosts[i], time.Millisecond, 1.25e8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, hosts
+}
+
+func chainOverlay(t *testing.T, net *vnet.Network, hosts []string) *Overlay {
+	t.Helper()
+	o := New(net, 1)
+	for i, h := range hosts {
+		boot := ""
+		if i > 0 {
+			boot = hosts[i-1]
+		}
+		if _, err := o.AddPeer(h, boot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestAddPeerValidation(t *testing.T) {
+	net, hosts := flatNet(t, 3)
+	o := New(net, 1)
+	if _, err := o.AddPeer("ghost", ""); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if _, err := o.AddPeer(hosts[0], ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer(hosts[0], ""); !errors.Is(err, ErrAlreadyJoined) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.AddPeer(hosts[1], "ghost"); !errors.Is(err, ErrNoBootstrap) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBootstrapSharesViews(t *testing.T) {
+	net, hosts := flatNet(t, 3)
+	o := chainOverlay(t, net, hosts)
+	// pc02 bootstrapped via pc01, which knew pc00.
+	known := o.Peer(hosts[2]).Known()
+	if len(known) != 2 {
+		t.Fatalf("pc02 view = %v", known)
+	}
+}
+
+func TestGossipConvergesMembership(t *testing.T) {
+	net, hosts := flatNet(t, 6)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(8)
+	// Every peer should know (close to) everyone: views are capped at
+	// viewSize=8, 5 others fit.
+	for _, h := range hosts {
+		if got := len(o.Peer(h).Known()); got != 5 {
+			t.Fatalf("%s knows %d peers, want 5", h, got)
+		}
+	}
+}
+
+func TestAllocateFloodsThroughViews(t *testing.T) {
+	net, hosts := flatNet(t, 5)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(5)
+	got, err := o.Allocate(hosts[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("allocated %v", got)
+	}
+	if o.IdleCount() != 1 {
+		t.Fatalf("idle = %d", o.IdleCount())
+	}
+	o.Release(got)
+	if o.IdleCount() != 5 {
+		t.Fatalf("idle after release = %d", o.IdleCount())
+	}
+}
+
+func TestAllocateRefusesWhenBusy(t *testing.T) {
+	net, hosts := flatNet(t, 3)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(5)
+	first, err := o.Allocate(hosts[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Allocate(hosts[0], 2); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed allocation must not leak claims.
+	o.Release(first)
+	if o.IdleCount() != 3 {
+		t.Fatalf("idle = %d", o.IdleCount())
+	}
+}
+
+func TestAllocateUnknownVia(t *testing.T) {
+	net, hosts := flatNet(t, 2)
+	o := chainOverlay(t, net, hosts)
+	if _, err := o.Allocate("ghost", 1); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestViewTruncation(t *testing.T) {
+	net, hosts := flatNet(t, 12)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(12)
+	for _, h := range hosts {
+		if got := len(o.Peer(h).Known()); got > viewSize {
+			t.Fatalf("%s view size %d exceeds cap %d", h, got, viewSize)
+		}
+	}
+}
+
+func TestGATAdapterRunsJob(t *testing.T) {
+	net, hosts := flatNet(t, 4)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(5)
+
+	fs := gat.NewFS(net)
+	cat := gat.NewCatalog()
+	broker := gat.NewBroker(net, fs, cat, hosts[0])
+	broker.AddAdapter(&Adapter{Overlay: o})
+
+	ran := make(chan []string, 1)
+	cat.Register("p2pjob", func(ctx *gat.Context) error {
+		ran <- ctx.Hosts
+		return nil
+	})
+	j, err := broker.Submit(gat.JobDescription{Executable: "p2pjob", Nodes: 3}, "zorilla://"+hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	allocated := <-ran
+	if len(allocated) != 3 {
+		t.Fatalf("job ran on %v", allocated)
+	}
+	if o.IdleCount() != 4 {
+		t.Fatalf("peers not released: %d idle", o.IdleCount())
+	}
+}
+
+func TestGATAdapterNoPeer(t *testing.T) {
+	net, hosts := flatNet(t, 2)
+	o := New(net, 1)
+	fs := gat.NewFS(net)
+	cat := gat.NewCatalog()
+	cat.Register("x", func(*gat.Context) error { return nil })
+	broker := gat.NewBroker(net, fs, cat, hosts[0])
+	broker.AddAdapter(&Adapter{Overlay: o})
+	if _, err := broker.Submit(gat.JobDescription{Executable: "x"}, "zorilla://"+hosts[0]); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestZorillaTurnsMachinesIntoCluster is the paper's pitch: a pile of
+// stand-alone machines + Zorilla = cluster-like system usable through the
+// standard GAT multi-node path that ssh/local cannot serve.
+func TestZorillaTurnsMachinesIntoCluster(t *testing.T) {
+	net, hosts := flatNet(t, 6)
+	o := chainOverlay(t, net, hosts)
+	o.GossipRounds(6)
+	fs := gat.NewFS(net)
+	cat := gat.NewCatalog()
+	cat.Register("mpi", func(ctx *gat.Context) error {
+		if len(ctx.Hosts) != 5 {
+			return fmt.Errorf("got %d nodes", len(ctx.Hosts))
+		}
+		return nil
+	})
+	broker := gat.NewBroker(net, fs, cat, hosts[0])
+	broker.AddAdapter(&Adapter{Overlay: o})
+	// Bare URI: ssh and local refuse multi-node, zorilla accepts.
+	j, err := broker.Submit(gat.JobDescription{Executable: "mpi", Nodes: 5}, hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Adapter != "zorilla" {
+		t.Fatalf("adapter = %s", j.Adapter)
+	}
+}

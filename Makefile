@@ -1,0 +1,29 @@
+# Tier-1 verification and development targets. See DESIGN.md for the
+# test-mode split.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast suite: unit + protocol + reduced-scale integration (seconds).
+test-short:
+	$(GO) test -short ./...
+
+# Full suite, including the full-scale experiment runs in internal/exp.
+test:
+	$(GO) test ./...
+
+# The paper's evaluation tables/figures plus substrate micro-benchmarks.
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Tier-1 gate: everything a PR must keep green, in one command.
+ci: build vet test-short

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"testing"
 
+	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
+	"jungle/internal/core/kernel"
 	"jungle/internal/exp"
 	"jungle/internal/mpisim"
 	"jungle/internal/phys/nbody"
@@ -241,6 +243,62 @@ func BenchmarkMPIAllreduce(b *testing.B) {
 			return err
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStateWorker starts a 1000-star gravity worker behind the full ibis
+// channel stack for the state-transfer benchmarks.
+func benchStateWorker(b *testing.B) (*core.Testbed, *core.Simulation, *core.Gravity) {
+	b.Helper()
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := core.NewSimulation(tb.Daemon, nil)
+	g, err := sim.NewGravity(core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.SetParticles(ic.Plummer(1000, 13)); err != nil {
+		b.Fatal(err)
+	}
+	return tb, sim, g
+}
+
+// BenchmarkBatchedStateTransfer pushes a whole 1000-particle mass column
+// to a remote worker in ONE set_state round trip through the hand-rolled
+// columnar codec — the batched path the coupled step uses.
+func BenchmarkBatchedStateTransfer(b *testing.B) {
+	tb, sim, g := benchStateWorker(b)
+	defer tb.Close()
+	defer sim.Stop()
+	masses := g.Masses()
+	st := kernel.NewState(len(masses)).AddFloat(data.AttrMass, masses)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.SetState(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerCallStateTransfer pushes the same 1000-particle mass column
+// as 1000 individual set_mass RPCs — the per-particle path the batched
+// protocol replaces. Compare ns/op against BenchmarkBatchedStateTransfer.
+func BenchmarkPerCallStateTransfer(b *testing.B) {
+	tb, sim, g := benchStateWorker(b)
+	defer tb.Close()
+	defer sim.Stop()
+	masses := g.Masses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, m := range masses {
+			g.SetMass(j, m)
+		}
+		if err := g.Err(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,8 +14,9 @@
 // physics runs for real and bit-identically across kernels and placements,
 // while time and traffic are accounted virtually.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-vs-measured results, and the examples directory for runnable
-// entry points. bench_test.go in this directory regenerates every table
-// and figure of the paper's evaluation (run: go test -bench=. -benchmem).
+// See DESIGN.md for the system inventory, the kernel-registry and
+// batched state-transfer architecture, and measured-vs-paper notes; the
+// examples directory holds runnable entry points. bench_test.go in this
+// directory regenerates every table and figure of the paper's evaluation
+// (run: go test -bench=. -benchmem).
 package jungle

@@ -15,6 +15,9 @@ import (
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
+
+	// Link the standard kernel kinds into the binary.
+	_ "jungle/internal/kernels"
 )
 
 func run(tb *core.Testbed, kernel, resource, channel string, stars *data.Particles) (*data.Particles, time.Duration) {

@@ -12,6 +12,9 @@ import (
 	"jungle/internal/amuse/ic"
 	"jungle/internal/amuse/units"
 	"jungle/internal/core"
+
+	// Link the standard kernel kinds into the binary.
+	_ "jungle/internal/kernels"
 )
 
 func main() {

@@ -1,0 +1,3 @@
+module jungle
+
+go 1.24

@@ -70,35 +70,32 @@ func (c *Channel) Copy(attrs ...string) error {
 	return nil
 }
 
+// copyOne transfers one attribute column-wise: the attribute is resolved
+// to its backing array once, then a tight index loop moves the values —
+// no per-particle attribute dispatch.
 func (c *Channel) copyOne(attr string) error {
 	f, t := c.from, c.to
-	for i, j := range c.fromIdx {
-		switch attr {
-		case AttrMass:
-			t.Mass[j] = f.Mass[i]
-		case AttrPos:
-			t.Pos[j] = f.Pos[i]
-		case AttrVel:
-			t.Vel[j] = f.Vel[i]
-		case AttrInternalEnergy:
-			t.InternalEnergy[j] = f.InternalEnergy[i]
-		case AttrDensity:
-			t.Density[j] = f.Density[i]
-		case AttrSmoothingLen:
-			t.SmoothingLen[j] = f.SmoothingLen[i]
-		case AttrRadius:
-			t.Radius[j] = f.Radius[i]
-		case AttrLuminosity:
-			t.Luminosity[j] = f.Luminosity[i]
-		case AttrTemperature:
-			t.Temperature[j] = f.Temperature[i]
-		case AttrStellarType:
-			t.StellarType[j] = f.StellarType[i]
-		case AttrAge:
-			t.Age[j] = f.Age[i]
-		default:
-			return fmt.Errorf("data: unknown attribute %q", attr)
+	if fv, err := f.VecColumn(attr); err == nil {
+		tv, _ := t.VecColumn(attr)
+		for i, j := range c.fromIdx {
+			tv[j] = fv[i]
 		}
+		return nil
+	}
+	if ff, err := f.FloatColumn(attr); err == nil {
+		tf, _ := t.FloatColumn(attr)
+		for i, j := range c.fromIdx {
+			tf[j] = ff[i]
+		}
+		return nil
+	}
+	fi, err := f.IntColumn(attr)
+	if err != nil {
+		return err
+	}
+	ti, _ := t.IntColumn(attr)
+	for i, j := range c.fromIdx {
+		ti[j] = fi[i]
 	}
 	return nil
 }

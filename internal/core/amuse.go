@@ -9,6 +9,7 @@ import (
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/units"
+	"jungle/internal/core/kernel"
 	"jungle/internal/phys/bridge"
 	"jungle/internal/vnet"
 	"jungle/internal/vtime"
@@ -98,11 +99,14 @@ type modelProxy struct {
 	// replacement support (§5 future work, implemented here).
 	replaceable bool
 	setupArgs   any
-	lastState   *particlesPayload
+	lastState   *kernel.ParticlesPayload
 }
 
 // newModel starts a worker per spec and opens its channel.
 func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProxy, error) {
+	if !kernel.Registered(string(kind)) {
+		return nil, fmt.Errorf("%w: %q (missing adapter import? see internal/kernels)", ErrBadKind, kind)
+	}
 	spec.Kind = kind
 	if spec.Channel == "" {
 		spec.Channel = ChannelIbis
@@ -111,7 +115,7 @@ func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProx
 	if err := m.start(); err != nil {
 		return nil, err
 	}
-	if err := m.call("setup", setup, &empty{}); err != nil {
+	if err := m.call("setup", setup, &kernel.Empty{}); err != nil {
 		m.shutdown()
 		return nil, err
 	}
@@ -239,12 +243,27 @@ func (m *modelProxy) setErr(err error) {
 	m.mu.Unlock()
 }
 
-// call performs one RPC; on worker death with replacement enabled it
-// restarts the worker and retries once.
+// call performs one gob-typed RPC; on worker death with replacement
+// enabled it restarts the worker and retries once.
 func (m *modelProxy) call(method string, args any, reply any) error {
-	err := m.callOnce(method, args, reply)
+	raw, err := m.invoke(method, encode(args))
+	if err != nil {
+		return err
+	}
+	if reply != nil {
+		return decode(raw, reply)
+	}
+	return nil
+}
+
+// invoke performs one RPC with pre-encoded args and returns the raw
+// result bytes; on worker death with replacement enabled it restarts the
+// worker and retries once. Both the typed (gob) and the batched columnar
+// paths funnel through here.
+func (m *modelProxy) invoke(method string, args []byte) ([]byte, error) {
+	raw, err := m.invokeOnce(method, args)
 	if err == nil {
-		return nil
+		return raw, nil
 	}
 	m.mu.Lock()
 	canReplace := m.replaceable
@@ -252,37 +271,34 @@ func (m *modelProxy) call(method string, args any, reply any) error {
 	if canReplace && errors.Is(err, ErrWorkerDied) {
 		if rerr := m.replace(); rerr != nil {
 			m.setErr(rerr)
-			return fmt.Errorf("core: replacement failed: %w (after %v)", rerr, err)
+			return nil, fmt.Errorf("core: replacement failed: %w (after %v)", rerr, err)
 		}
-		err = m.callOnce(method, args, reply)
+		raw, err = m.invokeOnce(method, args)
 		if err == nil {
-			return nil
+			return raw, nil
 		}
 	}
 	m.setErr(err)
-	return err
+	return nil, err
 }
 
-func (m *modelProxy) callOnce(method string, args any, reply any) error {
+func (m *modelProxy) invokeOnce(method string, args []byte) ([]byte, error) {
 	req := request{
 		ID: reqIDs.Add(1), Worker: m.worker, Method: method,
-		Args: encode(args), SentAt: m.sim.clock.Now(),
+		Args: args, SentAt: m.sim.clock.Now(),
 	}
 	resp, arrival, err := m.ch.roundTrip(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	m.sim.clock.AdvanceTo(arrival)
 	if resp.Err != "" {
 		if strings.Contains(resp.Err, ErrWorkerDied.Error()) {
-			return fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrWorkerDied)
+			return nil, fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrWorkerDied)
 		}
-		return fmt.Errorf("core: %s.%s: %s", m.kind, method, resp.Err)
+		return nil, fmt.Errorf("core: %s.%s: %s", m.kind, method, resp.Err)
 	}
-	if reply != nil {
-		return decode(resp.Result, reply)
-	}
-	return nil
+	return resp.Result, nil
 }
 
 // replace starts a substitute worker and replays state.
@@ -302,14 +318,14 @@ func (m *modelProxy) replace() error {
 	if err := m.start(); err != nil {
 		return err
 	}
-	if err := m.callOnce("setup", m.setupArgs, &empty{}); err != nil {
+	if _, err := m.invokeOnce("setup", encode(m.setupArgs)); err != nil {
 		return err
 	}
 	m.mu.Lock()
 	state := m.lastState
 	m.mu.Unlock()
 	if state != nil {
-		if err := m.callOnce("set_particles", *state, &empty{}); err != nil {
+		if _, err := m.invokeOnce("set_particles", encode(*state)); err != nil {
 			return err
 		}
 	}
@@ -318,7 +334,7 @@ func (m *modelProxy) replace() error {
 }
 
 // cacheState remembers the last known particle state for replacement.
-func (m *modelProxy) cacheState(pl particlesPayload) {
+func (m *modelProxy) cacheState(pl kernel.ParticlesPayload) {
 	m.mu.Lock()
 	m.lastState = &pl
 	m.n = len(pl.Mass)
@@ -328,8 +344,8 @@ func (m *modelProxy) cacheState(pl particlesPayload) {
 // Common Dynamics plumbing shared by Gravity and Hydro.
 
 func (m *modelProxy) setParticles(p *data.Particles) error {
-	pl := particlesToPayload(p)
-	if err := m.call("set_particles", pl, &empty{}); err != nil {
+	pl := kernel.ParticlesToPayload(p)
+	if err := m.call("set_particles", pl, &kernel.Empty{}); err != nil {
 		return err
 	}
 	m.cacheState(pl)
@@ -337,27 +353,124 @@ func (m *modelProxy) setParticles(p *data.Particles) error {
 }
 
 func (m *modelProxy) evolveTo(t float64) error {
-	return m.call("evolve", evolveArgs{T: t}, &empty{})
+	return m.call("evolve", kernel.EvolveArgs{T: t}, &kernel.Empty{})
 }
 
 func (m *modelProxy) kick(dv []data.Vec3) error {
-	return m.call("kick", kickArgs{DV: dv}, &empty{})
+	return m.call("kick", kernel.KickArgs{DV: dv}, &kernel.Empty{})
 }
 
 func (m *modelProxy) positions() []data.Vec3 {
-	var out vecResult
-	if err := m.call("get_positions", empty{}, &out); err != nil {
+	st, err := m.GetState(data.AttrPos)
+	if err != nil {
 		return nil
 	}
-	return out.V
+	return st.Vec(data.AttrPos)
 }
 
 func (m *modelProxy) masses() []float64 {
-	var out floatsResult
-	if err := m.call("get_masses", empty{}, &out); err != nil {
+	st, err := m.GetState(data.AttrMass)
+	if err != nil {
 		return nil
 	}
-	return out.X
+	return st.Float(data.AttrMass)
+}
+
+// Call performs one typed RPC against the worker (with transparent
+// replacement, like every other call). It is the generic escape hatch
+// kernels registered outside core use to drive their workers — see
+// internal/phys/analytic for a complete external kind.
+func (m *modelProxy) Call(method string, args, reply any) error {
+	return m.call(method, args, reply)
+}
+
+// GetState pulls whole attribute columns from the worker in one round
+// trip through the hand-rolled columnar codec — the batched alternative
+// to one RPC per attribute (or per particle). With no attrs it fetches
+// mass, position and velocity.
+func (m *modelProxy) GetState(attrs ...string) (*kernel.StatePayload, error) {
+	if len(attrs) == 0 {
+		attrs = []string{data.AttrMass, data.AttrPos, data.AttrVel}
+	}
+	buf := kernel.GetBuf()
+	args := kernel.AppendStateRequest(*buf, &kernel.StateRequest{Attrs: attrs})
+	raw, err := m.invoke("get_state", args)
+	*buf = args[:0]
+	kernel.PutBuf(buf)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.UnmarshalState(raw)
+}
+
+// SetState pushes whole attribute columns to the worker in one round
+// trip.
+func (m *modelProxy) SetState(st *kernel.StatePayload) error {
+	buf := kernel.GetBuf()
+	args, err := kernel.AppendState(*buf, st)
+	if err == nil {
+		_, err = m.invoke("set_state", args)
+	}
+	*buf = args[:0]
+	kernel.PutBuf(buf)
+	if err == nil {
+		m.mergeCachedState(st)
+	}
+	return err
+}
+
+// mergeCachedState folds successfully pushed columns into the
+// worker-replacement cache so a transparent replacement replays them —
+// bulk writes must not silently revert on worker death.
+func (m *modelProxy) mergeCachedState(st *kernel.StatePayload) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.lastState
+	if ls == nil || len(ls.Mass) != st.N {
+		return
+	}
+	for i, a := range st.FloatAttrs {
+		switch a {
+		case data.AttrMass:
+			copy(ls.Mass, st.FloatCols[i])
+		case data.AttrInternalEnergy:
+			if len(ls.U) == st.N {
+				copy(ls.U, st.FloatCols[i])
+			}
+		case data.AttrSmoothingLen:
+			if len(ls.H) == st.N {
+				copy(ls.H, st.FloatCols[i])
+			}
+		}
+	}
+	for i, a := range st.VecAttrs {
+		switch a {
+		case data.AttrPos:
+			copy(ls.Pos, st.VecCols[i])
+		case data.AttrVel:
+			copy(ls.Vel, st.VecCols[i])
+		}
+	}
+}
+
+// Pull fetches the named columns (default mass/position/velocity) into
+// the particle set in one round trip.
+func (m *modelProxy) Pull(p *data.Particles, attrs ...string) error {
+	st, err := m.GetState(attrs...)
+	if err != nil {
+		return err
+	}
+	return kernel.ScatterState(p, st)
+}
+
+// Push sends the named columns (default mass/position/velocity) of the
+// particle set to the worker in one round trip.
+func (m *modelProxy) Push(p *data.Particles, attrs ...string) error {
+	st, err := kernel.GatherState(p, attrs...)
+	if err != nil {
+		return err
+	}
+	return m.SetState(st)
 }
 
 func (m *modelProxy) particleCount() int {
@@ -385,7 +498,7 @@ func (s *Simulation) NewGravity(spec WorkerSpec, opt GravityOptions) (*Gravity, 
 		opt.Kernel = "phigrape-cpu"
 	}
 	spec.Kernel = opt.Kernel
-	m, err := s.newModel(KindGravity, spec, setupGravityArgs{
+	m, err := s.newModel(KindGravity, spec, kernel.SetupGravityArgs{
 		Kernel: opt.Kernel, Eps: opt.Eps, Eta: opt.Eta,
 	})
 	if err != nil {
@@ -414,39 +527,33 @@ func (g *Gravity) N() int { return g.particleCount() }
 
 // SetMass implements bridge.MassSettable (errors are sticky; see Err).
 func (g *Gravity) SetMass(i int, mass float64) {
-	g.call("set_mass", setMassArgs{Index: i, Mass: mass}, &empty{})
+	g.call("set_mass", kernel.SetMassArgs{Index: i, Mass: mass}, &kernel.Empty{})
 }
 
 // Energy returns (kinetic, potential).
 func (g *Gravity) Energy() (float64, float64, error) {
-	var out energiesResult
-	if err := g.call("energies", empty{}, &out); err != nil {
+	var out kernel.EnergiesResult
+	if err := g.call("energies", kernel.Empty{}, &out); err != nil {
 		return 0, 0, err
 	}
 	return out.Kinetic, out.Potential, nil
 }
 
-// Sync pulls positions, velocities and masses into the given master set
-// (and refreshes the replacement cache).
+// Sync pulls masses, positions and velocities into the given master set
+// (and refreshes the replacement cache) — one batched columnar round trip
+// where the prototype paid three RPCs.
 func (g *Gravity) Sync(p *data.Particles) error {
-	var pos, vel vecResult
-	var mass floatsResult
-	if err := g.call("get_positions", empty{}, &pos); err != nil {
+	st, err := g.GetState(data.AttrMass, data.AttrPos, data.AttrVel)
+	if err != nil {
 		return err
 	}
-	if err := g.call("get_velocities", empty{}, &vel); err != nil {
+	if st.N != p.Len() {
+		return fmt.Errorf("core: sync: worker has %d particles, set has %d", st.N, p.Len())
+	}
+	if err := kernel.ScatterState(p, st); err != nil {
 		return err
 	}
-	if err := g.call("get_masses", empty{}, &mass); err != nil {
-		return err
-	}
-	if len(pos.V) != p.Len() {
-		return fmt.Errorf("core: sync: worker has %d particles, set has %d", len(pos.V), p.Len())
-	}
-	copy(p.Pos, pos.V)
-	copy(p.Vel, vel.V)
-	copy(p.Mass, mass.X)
-	g.cacheState(particlesToPayload(p))
+	g.cacheState(kernel.ParticlesToPayload(p))
 	return nil
 }
 
@@ -465,7 +572,7 @@ type HydroOptions struct {
 
 // NewHydro starts an SPH worker (set spec.Nodes > 1 for an MPI worker).
 func (s *Simulation) NewHydro(spec WorkerSpec, opt HydroOptions) (*Hydro, error) {
-	m, err := s.newModel(KindHydro, spec, setupHydroArgs{
+	m, err := s.newModel(KindHydro, spec, kernel.SetupHydroArgs{
 		SelfGravity: opt.SelfGravity, EpsGrav: opt.EpsGrav, NTarget: opt.NTarget,
 	})
 	if err != nil {
@@ -494,14 +601,14 @@ func (h *Hydro) N() int { return h.particleCount() }
 
 // InjectEnergy implements bridge.EnergyInjector.
 func (h *Hydro) InjectEnergy(center data.Vec3, radius, e float64) int {
-	h.call("inject_energy", injectArgs{Center: center, Radius: radius, E: e}, &empty{})
+	h.call("inject_energy", kernel.InjectArgs{Center: center, Radius: radius, E: e}, &kernel.Empty{})
 	return 0
 }
 
 // Energy returns (kinetic, thermal, potential).
 func (h *Hydro) Energy() (float64, float64, float64, error) {
-	var out energiesResult
-	if err := h.call("energies", empty{}, &out); err != nil {
+	var out kernel.EnergiesResult
+	if err := h.call("energies", kernel.Empty{}, &out); err != nil {
 		return 0, 0, 0, err
 	}
 	return out.Kinetic, out.Thermal, out.Potential, nil
@@ -516,7 +623,7 @@ type StellarModel struct {
 // (in MSun). myrPerTime and nbodyPerMSun are the unit scales the bridge
 // needs; with a session converter use NewStellarFromConverter.
 func (s *Simulation) NewStellar(spec WorkerSpec, massesMSun []float64, myrPerTime, nbodyPerMSun float64) (*StellarModel, error) {
-	m, err := s.newModel(KindStellar, spec, setupStellarArgs{
+	m, err := s.newModel(KindStellar, spec, kernel.SetupStellarArgs{
 		MassesMSun: massesMSun, MyrPerTime: myrPerTime, NBodyPerMSun: nbodyPerMSun,
 	})
 	if err != nil {
@@ -544,8 +651,8 @@ func (s *Simulation) NewStellarFromConverter(spec WorkerSpec, massesMSun []float
 
 // EvolveTo implements bridge.Stellar.
 func (st *StellarModel) EvolveTo(t float64) ([]bridge.StellarEvent, error) {
-	var out stellarEvolveResult
-	if err := st.call("evolve", evolveArgs{T: t}, &out); err != nil {
+	var out kernel.StellarEvolveResult
+	if err := st.call("evolve", kernel.EvolveArgs{T: t}, &out); err != nil {
 		return nil, err
 	}
 	events := make([]bridge.StellarEvent, 0, len(out.Events))
@@ -575,7 +682,7 @@ func (s *Simulation) NewField(spec WorkerSpec, opt FieldOptions) (*FieldModel, e
 		opt.Kernel = "fi"
 	}
 	spec.Kernel = opt.Kernel
-	m, err := s.newModel(KindField, spec, setupFieldArgs{
+	m, err := s.newModel(KindField, spec, kernel.SetupFieldArgs{
 		Kernel: opt.Kernel, Theta: opt.Theta, Eps: opt.Eps,
 	})
 	if err != nil {
@@ -587,11 +694,31 @@ func (s *Simulation) NewField(spec WorkerSpec, opt FieldOptions) (*FieldModel, e
 // Name implements bridge.Field.
 func (f *FieldModel) Name() string { return f.kernelName }
 
+// Model is the generic coupler-side handle for a worker of any registered
+// kind. Kinds added outside internal/core (one package + one import, no
+// core edits) get the full channel stack — worker start-up, replacement,
+// virtual-time accounting, typed Call and the batched GetState/SetState
+// path — through this handle; a typed wrapper like Gravity is optional
+// sugar.
+type Model struct {
+	*modelProxy
+}
+
+// NewModel starts a worker of the given kind and performs its "setup"
+// call with the provided (gob-encodable) arguments.
+func (s *Simulation) NewModel(kind Kind, spec WorkerSpec, setup any) (*Model, error) {
+	m, err := s.newModel(kind, spec, setup)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{modelProxy: m}, nil
+}
+
 // FieldAt implements bridge.Field. The eps argument is fixed at setup; the
 // bridge passes its own but the worker applies the configured one.
 func (f *FieldModel) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
-	var out fieldAtResult
-	if err := f.call("field_at", fieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: targets}, &out); err != nil {
+	var out kernel.FieldAtResult
+	if err := f.call("field_at", kernel.FieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: targets}, &out); err != nil {
 		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
 	}
 	return out.Acc, out.Pot, 0

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"jungle/internal/core/kernel"
 	"jungle/internal/vnet"
 )
 
@@ -53,7 +54,7 @@ func (c *localChannel) roundTrip(req request) (response, time.Duration, error) {
 	if c.closed {
 		return response{}, 0, ErrChannelClosed
 	}
-	result, doneAt, err := c.svc.dispatch(req.Method, req.Args, req.SentAt+c.latency)
+	result, doneAt, err := c.svc.Dispatch(req.Method, req.Args, req.SentAt+c.latency)
 	resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
 	if err != nil {
 		resp.Err = err.Error()
@@ -66,7 +67,7 @@ func (c *localChannel) close() error {
 	defer c.mu.Unlock()
 	if !c.closed {
 		c.closed = true
-		c.svc.close()
+		c.svc.Close()
 	}
 	return nil
 }
@@ -114,7 +115,7 @@ func (c *connChannel) readLoop() {
 			return
 		}
 		var resp response
-		if err := decode(msg.Data, &resp); err != nil {
+		if err := kernel.UnmarshalResponse(msg.Data, &resp); err != nil {
 			continue
 		}
 		c.mu.Lock()
@@ -141,11 +142,16 @@ func (c *connChannel) roundTrip(req request) (response, time.Duration, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	if _, err := c.conn.Send(encode(&req), req.SentAt); err != nil {
+	buf := kernel.GetBuf()
+	frame := kernel.AppendRequest(*buf, &req)
+	_, sendErr := c.conn.Send(frame, req.SentAt)
+	*buf = frame[:0]
+	kernel.PutBuf(buf)
+	if sendErr != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return response{}, 0, fmt.Errorf("core: %s channel send: %w", c.chName, err)
+		return response{}, 0, fmt.Errorf("core: %s channel send: %w", c.chName, sendErr)
 	}
 	ra, ok := <-ch
 	if !ok {
@@ -174,15 +180,20 @@ func serveConn(conn *vnet.Conn, svc service) {
 			return
 		}
 		var req request
-		if err := decode(msg.Data, &req); err != nil {
+		if err := kernel.UnmarshalRequest(msg.Data, &req); err != nil {
 			continue
 		}
-		result, doneAt, derr := svc.dispatch(req.Method, req.Args, msg.Arrival)
+		result, doneAt, derr := svc.Dispatch(req.Method, req.Args, msg.Arrival)
 		resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
 		if derr != nil {
 			resp.Err = derr.Error()
 		}
-		if _, err := conn.Send(encode(&resp), doneAt); err != nil {
+		buf := kernel.GetBuf()
+		frame := kernel.AppendResponse(*buf, &resp)
+		_, sendErr := conn.Send(frame, doneAt)
+		*buf = frame[:0]
+		kernel.PutBuf(buf)
+		if sendErr != nil {
 			return
 		}
 	}

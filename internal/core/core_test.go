@@ -9,7 +9,11 @@ import (
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
 	"jungle/internal/amuse/units"
+	"jungle/internal/core/kernel"
 	"jungle/internal/phys/bridge"
+
+	// Kernel service adapters register themselves; core holds no kinds.
+	_ "jungle/internal/kernels"
 )
 
 func labSim(t *testing.T) (*Testbed, *Simulation) {
@@ -346,8 +350,8 @@ func TestWorkerReplacement(t *testing.T) {
 	}
 	// §5 future work, implemented: the next call transparently restarts
 	// the worker from the last synced state.
-	var out vecResult
-	if err := g.call("get_positions", empty{}, &out); err != nil {
+	var out kernel.VecResult
+	if err := g.call("get_positions", kernel.Empty{}, &out); err != nil {
 		t.Fatalf("replacement failed: %v", err)
 	}
 	if len(out.V) != snap.Len() {
@@ -436,8 +440,8 @@ func TestDaemonRejectsUnknownWorkerID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	req := request{ID: reqIDs.Add(1), Worker: 999, Method: "evolve", Args: encode(evolveArgs{})}
-	if _, err := conn.Send(encode(&req), 0); err != nil {
+	req := request{ID: reqIDs.Add(1), Worker: 999, Method: "evolve", Args: encode(kernel.EvolveArgs{})}
+	if _, err := conn.Send(kernel.AppendRequest(nil, &req), 0); err != nil {
 		t.Fatal(err)
 	}
 	msg, err := conn.Recv()
@@ -445,7 +449,7 @@ func TestDaemonRejectsUnknownWorkerID(t *testing.T) {
 		t.Fatal(err)
 	}
 	var resp response
-	if err := decode(msg.Data, &resp); err != nil {
+	if err := kernel.UnmarshalResponse(msg.Data, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Err == "" {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
 	"jungle/internal/gat"
 	"jungle/internal/ipl"
@@ -186,7 +187,7 @@ func (d *Daemon) serveCoupler(conn *vnet.Conn) {
 			return
 		}
 		var req request
-		if err := decode(msg.Data, &req); err != nil {
+		if err := kernel.UnmarshalRequest(msg.Data, &req); err != nil {
 			continue
 		}
 		d.mu.Lock()
@@ -218,13 +219,17 @@ func (d *Daemon) serveCoupler(conn *vnet.Conn) {
 // reply sends an error response back to a coupler connection.
 func (d *Daemon) reply(conn *vnet.Conn, id uint64, at time.Duration, errStr string) {
 	resp := &response{ID: id, Err: errStr, DoneAt: at}
-	conn.Send(encode(resp), at)
+	buf := kernel.GetBuf()
+	frame := kernel.AppendResponse(*buf, resp)
+	conn.Send(frame, at)
+	*buf = frame[:0]
+	kernel.PutBuf(buf)
 }
 
 // onResponse handles a proxy's response (or ready announcement).
 func (d *Daemon) onResponse(wh *workerHandle, rm ipl.ReadMessage) {
 	var resp response
-	if err := decode(rm.Data, &resp); err != nil {
+	if err := kernel.UnmarshalResponse(rm.Data, &resp); err != nil {
 		return
 	}
 	if resp.ID == 0 { // ready marker

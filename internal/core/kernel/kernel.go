@@ -1,0 +1,139 @@
+// Package kernel is the pluggable worker-kernel layer of the Distributed
+// AMUSE reproduction. It defines the worker-side Service contract, a
+// process-wide registry mapping kernel kinds to service factories, and the
+// wire protocol (request/response framing, typed payloads, and the batched
+// columnar state codec) shared by the coupler, the daemon proxy and every
+// worker.
+//
+// The package is a leaf: it depends only on the data/deploy/vnet/vtime
+// substrates, never on internal/core or the physics packages. Physics
+// packages register their service adapters here from an init function, so
+// adding a new scenario kernel is one new package with zero core edits —
+// the same linking pattern as database/sql drivers. Programs must import
+// the adapter packages they intend to use (internal/kernels bundles the
+// four standard ones).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"jungle/internal/deploy"
+	"jungle/internal/vnet"
+	"jungle/internal/vtime"
+)
+
+// Errors shared across the protocol stack.
+var (
+	// ErrBadKind is returned when no factory is registered for a kind.
+	ErrBadKind = errors.New("core: unknown worker kind")
+	// ErrNoSuchMethod is returned by Dispatch for unknown methods.
+	ErrNoSuchMethod = errors.New("core: no such method")
+)
+
+// Service is the worker-side model host: it owns the kernel, a virtual
+// clock, and the dispatch table. One service lives inside each worker
+// process.
+type Service interface {
+	// Dispatch runs one call arriving at virtual time `at` and returns the
+	// encoded result plus the worker's clock when the call completed.
+	Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error)
+	// Close releases resources (MPI worlds).
+	Close()
+}
+
+// Config describes the environment a service is instantiated in: the
+// resource it runs on (device models), the job's allocated hosts, and the
+// virtual network (multi-node workers open MPI worlds over it).
+type Config struct {
+	Res   *deploy.Resource
+	Hosts []string
+	Net   *vnet.Network
+}
+
+// Factory builds the service for one worker kind.
+type Factory func(cfg Config) (Service, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = make(map[string]Factory)
+)
+
+// Register makes a factory available under a kind name. It is intended to
+// be called from adapter package init functions and panics on duplicate
+// registration — two packages claiming the same kind is a programming
+// error that must not be resolved silently by link order.
+func Register(kind string, f Factory) {
+	if f == nil {
+		panic("kernel: Register with nil factory for kind " + kind)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[kind]; dup {
+		panic(fmt.Sprintf("kernel: duplicate registration for kind %q", kind))
+	}
+	factories[kind] = f
+}
+
+// New instantiates the service for a kind, or ErrBadKind if no adapter
+// package registered it (did the program import internal/kernels?).
+func New(kind string, cfg Config) (Service, error) {
+	regMu.RLock()
+	f := factories[kind]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadKind, kind)
+	}
+	return f(cfg)
+}
+
+// Kinds returns the registered kind names, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for k := range factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered reports whether a kind has a factory.
+func Registered(kind string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := factories[kind]
+	return ok
+}
+
+// PickDevice resolves a kernel to the device it runs on.
+func PickDevice(res *deploy.Resource, wantGPU bool) (*vtime.Device, error) {
+	if wantGPU {
+		if res.GPU == nil {
+			return nil, fmt.Errorf("core: resource %q has no GPU for the requested kernel", res.Name)
+		}
+		return res.GPU, nil
+	}
+	if res.CPU == nil {
+		return nil, fmt.Errorf("core: resource %q has no CPU device model", res.Name)
+	}
+	return res.CPU, nil
+}
+
+// Derate returns a copy of dev with its peak Gflops scaled to the kernel
+// family's sustained efficiency. Device Gflops are honest relative peaks
+// for the paper's hardware; the per-family efficiency constants live with
+// each adapter and were fitted jointly against §6.2's scenario 1–3
+// numbers (see DESIGN.md for the fit).
+func Derate(dev *vtime.Device, efficiency float64) *vtime.Device {
+	if efficiency <= 0 {
+		efficiency = 1
+	}
+	d := *dev
+	d.Gflops = dev.Gflops * efficiency
+	return &d
+}

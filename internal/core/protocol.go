@@ -5,27 +5,32 @@
 // that forwards requests to the worker over a loopback connection — the
 // exact architecture of Fig. 5. Virtual clocks account compute and
 // communication time end to end.
+//
+// The wire protocol — request/response framing, typed payloads, the
+// batched columnar state codec, and the registry that maps worker kinds
+// to their model services — lives in internal/core/kernel. Physics
+// packages register their services there; this package never constructs
+// a model directly (import internal/kernels, or the adapter packages you
+// need, to link the kinds into the binary).
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
-	"fmt"
-	"time"
 
-	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
 )
 
 // Errors.
 var (
 	ErrWorkerDied    = errors.New("core: worker died")
-	ErrNoSuchMethod  = errors.New("core: no such method")
-	ErrBadKind       = errors.New("core: unknown worker kind")
+	ErrNoSuchMethod  = kernel.ErrNoSuchMethod
+	ErrBadKind       = kernel.ErrBadKind
 	ErrChannelClosed = errors.New("core: channel closed")
 )
 
-// Kind is the model type a worker hosts (Fig. 3's model boxes).
+// Kind is the model type a worker hosts (Fig. 3's model boxes). The
+// constants below name the four kinds the paper's evaluation uses; any
+// kind registered with the kernel registry is equally valid.
 type Kind string
 
 // Worker kinds.
@@ -36,163 +41,13 @@ const (
 	KindField   Kind = "coupling" // Octgrav / Fi equivalent
 )
 
-// request is one RPC over any channel.
-type request struct {
-	ID uint64
-	// Worker routes the request at the daemon (ibis channel only).
-	Worker int
-	Method string
-	Args   []byte
-	// SentAt is the caller's virtual clock at send time.
-	SentAt time.Duration
-}
+// request/response are the RPC frames moved by every channel; the framing
+// codec is hand-rolled in the kernel package (no per-call gob encoders on
+// the hot path).
+type (
+	request  = kernel.Request
+	response = kernel.Response
+)
 
-// response answers one request.
-type response struct {
-	ID     uint64
-	Result []byte
-	Err    string
-	// DoneAt is the worker's virtual clock when the call finished
-	// (arrival + compute); the reply's network arrival is added on top by
-	// the transport.
-	DoneAt time.Duration
-}
-
-func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		panic(fmt.Sprintf("core: encode %T: %v", v, err)) // all protocol types are gob-safe
-	}
-	return buf.Bytes()
-}
-
-func decode(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
-}
-
-// Typed argument/result payloads. One struct per method keeps the wire
-// format explicit and versionable.
-
-type setupGravityArgs struct {
-	Kernel string // "phigrape-cpu" | "phigrape-gpu"
-	Eps    float64
-	Eta    float64
-}
-
-type setupHydroArgs struct {
-	SelfGravity bool
-	EpsGrav     float64
-	NTarget     int
-}
-
-type setupStellarArgs struct {
-	MassesMSun   []float64
-	MyrPerTime   float64
-	NBodyPerMSun float64
-}
-
-type setupFieldArgs struct {
-	Kernel string // "octgrav" | "fi"
-	Theta  float64
-	Eps    float64
-}
-
-type particlesPayload struct {
-	Mass []float64
-	Pos  []data.Vec3
-	Vel  []data.Vec3
-	U    []float64 // internal energy (hydro only)
-	H    []float64 // smoothing length (hydro only)
-	Key  []uint64
-}
-
-func particlesToPayload(p *data.Particles) particlesPayload {
-	return particlesPayload{
-		Mass: append([]float64(nil), p.Mass...),
-		Pos:  append([]data.Vec3(nil), p.Pos...),
-		Vel:  append([]data.Vec3(nil), p.Vel...),
-		U:    append([]float64(nil), p.InternalEnergy...),
-		H:    append([]float64(nil), p.SmoothingLen...),
-		Key:  append([]uint64(nil), p.Key...),
-	}
-}
-
-func payloadToParticles(pl particlesPayload) *data.Particles {
-	p := data.NewParticles(len(pl.Mass))
-	copy(p.Mass, pl.Mass)
-	copy(p.Pos, pl.Pos)
-	copy(p.Vel, pl.Vel)
-	if len(pl.U) == len(pl.Mass) {
-		copy(p.InternalEnergy, pl.U)
-	}
-	if len(pl.H) == len(pl.Mass) {
-		copy(p.SmoothingLen, pl.H)
-	}
-	if len(pl.Key) == len(pl.Mass) {
-		copy(p.Key, pl.Key)
-	}
-	return p
-}
-
-type evolveArgs struct {
-	T float64
-}
-
-type kickArgs struct {
-	DV []data.Vec3
-}
-
-type setMassArgs struct {
-	Index int
-	Mass  float64
-}
-
-type injectArgs struct {
-	Center data.Vec3
-	Radius float64
-	E      float64
-}
-
-type fieldAtArgs struct {
-	SrcMass []float64
-	SrcPos  []data.Vec3
-	Targets []data.Vec3
-}
-
-type fieldAtResult struct {
-	Acc []data.Vec3
-	Pot []float64
-}
-
-type vecResult struct {
-	V []data.Vec3
-}
-
-type floatsResult struct {
-	X []float64
-}
-
-type energiesResult struct {
-	Kinetic   float64
-	Potential float64
-	Thermal   float64
-}
-
-type stellarEvolveResult struct {
-	Events []stellarEventPayload
-}
-
-type stellarEventPayload struct {
-	Index    int
-	MassLoss float64
-	SN       bool
-}
-
-type statsResult struct {
-	N     int
-	Time  float64
-	Steps int
-	Flops float64
-}
-
-type empty struct{}
+func encode(v any) []byte          { return kernel.Encode(v) }
+func decode(b []byte, v any) error { return kernel.Decode(b, v) }

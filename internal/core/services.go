@@ -1,357 +1,24 @@
 package core
 
 import (
-	"fmt"
-	"time"
-
-	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
-	"jungle/internal/mpisim"
-	"jungle/internal/phys/bridge"
-	"jungle/internal/phys/nbody"
-	"jungle/internal/phys/sph"
-	"jungle/internal/phys/stellar"
-	"jungle/internal/phys/tree"
-	"jungle/internal/vtime"
 )
 
 // service is the worker-side model host: it owns the kernel, a virtual
 // clock, and the dispatch table. One service lives inside each worker
-// process.
-type service interface {
-	// dispatch runs one call arriving at virtual time `at` and returns the
-	// encoded result plus the worker's clock when the call completed.
-	dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error)
-	// close releases resources (MPI worlds).
-	close()
-}
+// process. Implementations are registered per kind by the physics
+// packages (internal/phys/nbody, sph, tree, bridge, ...) via
+// kernel.Register; core holds no per-kind construction logic.
+type service = kernel.Service
 
-// newService instantiates the service for a worker kind. The resource
-// describes available devices; hosts are the job's allocated nodes.
+// newService instantiates the registered service for a worker kind. The
+// resource describes available devices; hosts are the job's allocated
+// nodes.
 func newService(kind Kind, res *deploy.Resource, hosts []string, env *Env) (service, error) {
-	switch kind {
-	case KindGravity:
-		return &gravityService{res: res, clock: vtime.NewClock()}, nil
-	case KindHydro:
-		return newHydroService(res, hosts, env)
-	case KindStellar:
-		return &stellarService{clock: vtime.NewClock()}, nil
-	case KindField:
-		return &fieldService{res: res, clock: vtime.NewClock()}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrBadKind, kind)
+	cfg := kernel.Config{Res: res, Hosts: hosts}
+	if env != nil {
+		cfg.Net = env.Net
 	}
-}
-
-// pickDevice resolves a kernel name to the device it runs on.
-func pickDevice(res *deploy.Resource, wantGPU bool) (*vtime.Device, error) {
-	if wantGPU {
-		if res.GPU == nil {
-			return nil, fmt.Errorf("core: resource %q has no GPU for the requested kernel", res.Name)
-		}
-		return res.GPU, nil
-	}
-	if res.CPU == nil {
-		return nil, fmt.Errorf("core: resource %q has no CPU device model", res.Name)
-	}
-	return res.CPU, nil
-}
-
-// gravityService hosts the PhiGRAPE worker.
-type gravityService struct {
-	res   *deploy.Resource
-	clock *vtime.Clock
-	sys   *nbody.System
-	dev   *vtime.Device
-}
-
-func (s *gravityService) close() {}
-
-func (s *gravityService) dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
-	s.clock.AdvanceTo(at)
-	switch method {
-	case "setup":
-		var a setupGravityArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		wantGPU := a.Kernel == "phigrape-gpu"
-		dev, err := pickDevice(s.res, wantGPU)
-		if err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.dev = effectiveDevice(dev, KindGravity)
-		var kernel nbody.Kernel
-		if wantGPU {
-			kernel = nbody.NewGPUKernel(s.dev)
-		} else {
-			kernel = nbody.NewCPUKernel(s.dev)
-		}
-		s.sys = nbody.NewSystem(kernel, a.Eps)
-		if a.Eta > 0 {
-			s.sys.Eta = a.Eta
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "set_particles":
-		var pl particlesPayload
-		if err := decode(args, &pl); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.sys.SetParticles(payloadToParticles(pl))
-		return encode(empty{}), s.clock.Now(), nil
-	case "evolve":
-		var a evolveArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if err := s.sys.EvolveTo(a.T); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
-		return encode(empty{}), s.clock.Now(), nil
-	case "kick":
-		var a kickArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if err := s.sys.Kick(a.DV); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "get_positions":
-		return encode(vecResult{V: append([]data.Vec3(nil), s.sys.Positions()...)}), s.clock.Now(), nil
-	case "get_velocities":
-		return encode(vecResult{V: append([]data.Vec3(nil), s.sys.Velocities()...)}), s.clock.Now(), nil
-	case "get_masses":
-		return encode(floatsResult{X: append([]float64(nil), s.sys.Masses()...)}), s.clock.Now(), nil
-	case "set_mass":
-		var a setMassArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if a.Index < 0 || a.Index >= s.sys.N() {
-			return nil, s.clock.Now(), fmt.Errorf("core: set_mass index %d out of range", a.Index)
-		}
-		s.sys.SetMass(a.Index, a.Mass)
-		return encode(empty{}), s.clock.Now(), nil
-	case "energies":
-		k, p := s.sys.Energy()
-		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
-		return encode(energiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil
-	case "stats":
-		return encode(statsResult{N: s.sys.N(), Time: s.sys.Time(), Steps: s.sys.Steps()}), s.clock.Now(), nil
-	default:
-		return nil, s.clock.Now(), fmt.Errorf("%w: gravity.%s", ErrNoSuchMethod, method)
-	}
-}
-
-// hydroService hosts the Gadget worker: SPH over an mpisim world spanning
-// the job's nodes (Fig. 5's "Worker 2 uses MPI").
-type hydroService struct {
-	res   *deploy.Resource
-	gas   *sph.Gas
-	world *mpisim.World
-	dev   *vtime.Device
-	clock *vtime.Clock
-}
-
-func newHydroService(res *deploy.Resource, hosts []string, env *Env) (service, error) {
-	dev, err := pickDevice(res, false)
-	if err != nil {
-		return nil, err
-	}
-	s := &hydroService{res: res, gas: sph.New(), dev: effectiveDevice(dev, KindHydro), clock: vtime.NewClock()}
-	if len(hosts) > 1 && env != nil {
-		w, err := mpisim.NewWorld(env.Net, hosts)
-		if err != nil {
-			return nil, fmt.Errorf("core: hydro MPI world: %w", err)
-		}
-		s.world = w
-	}
-	return s, nil
-}
-
-func (s *hydroService) close() {
-	if s.world != nil {
-		s.world.Close()
-	}
-}
-
-func (s *hydroService) dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
-	s.clock.AdvanceTo(at)
-	switch method {
-	case "setup":
-		var a setupHydroArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.gas.SelfGravity = a.SelfGravity
-		if a.EpsGrav > 0 {
-			s.gas.EpsGrav = a.EpsGrav
-		}
-		if a.NTarget > 0 {
-			s.gas.NTarget = a.NTarget
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "set_particles":
-		var pl particlesPayload
-		if err := decode(args, &pl); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if err := s.gas.SetParticles(payloadToParticles(pl)); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "evolve":
-		var a evolveArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if s.world != nil {
-			s.world.SyncTo(s.clock.Now())
-			if err := s.gas.EvolveToParallel(a.T, s.world, s.dev); err != nil {
-				return nil, s.clock.Now(), err
-			}
-			s.clock.AdvanceTo(s.world.MaxTime())
-		} else {
-			if err := s.gas.EvolveTo(a.T); err != nil {
-				return nil, s.clock.Now(), err
-			}
-			s.clock.Advance(s.dev.Time(s.gas.ResetFlops(), 0))
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "kick":
-		var a kickArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		if err := s.gas.Kick(a.DV); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		return encode(empty{}), s.clock.Now(), nil
-	case "get_positions":
-		return encode(vecResult{V: append([]data.Vec3(nil), s.gas.Positions()...)}), s.clock.Now(), nil
-	case "get_masses":
-		return encode(floatsResult{X: append([]float64(nil), s.gas.Masses()...)}), s.clock.Now(), nil
-	case "inject_energy":
-		var a injectArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.gas.InjectEnergy(a.Center, a.Radius, a.E)
-		return encode(empty{}), s.clock.Now(), nil
-	case "energies":
-		k, th, p := s.gas.Energy()
-		s.clock.Advance(s.dev.Time(s.gas.ResetFlops(), 0))
-		return encode(energiesResult{Kinetic: k, Thermal: th, Potential: p}), s.clock.Now(), nil
-	case "stats":
-		return encode(statsResult{N: s.gas.N(), Time: s.gas.Time(), Steps: s.gas.Steps()}), s.clock.Now(), nil
-	default:
-		return nil, s.clock.Now(), fmt.Errorf("%w: hydro.%s", ErrNoSuchMethod, method)
-	}
-}
-
-// stellarService hosts the SSE worker ("nearly trivial" lookups — no
-// device model needed beyond a tiny per-call cost).
-type stellarService struct {
-	clock   *vtime.Clock
-	adapter *bridge.SSEAdapter
-}
-
-func (s *stellarService) close() {}
-
-func (s *stellarService) dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
-	s.clock.AdvanceTo(at)
-	switch method {
-	case "setup":
-		var a setupStellarArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		pop, err := stellar.NewPopulation(stellar.New(), a.MassesMSun)
-		if err != nil {
-			return nil, s.clock.Now(), err
-		}
-		ad, err := bridge.NewSSEAdapter(pop, a.MyrPerTime, a.NBodyPerMSun)
-		if err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.adapter = ad
-		return encode(empty{}), s.clock.Now(), nil
-	case "evolve":
-		var a evolveArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		events, err := s.adapter.EvolveTo(a.T)
-		if err != nil {
-			return nil, s.clock.Now(), err
-		}
-		out := stellarEvolveResult{}
-		for _, ev := range events {
-			out.Events = append(out.Events, stellarEventPayload{
-				Index: ev.Index, MassLoss: ev.MassLoss, SN: ev.SN,
-			})
-		}
-		s.clock.Advance(time.Duration(len(s.adapter.Pop.Stars)) * 200 * time.Nanosecond)
-		return encode(out), s.clock.Now(), nil
-	case "stats":
-		n := 0
-		if s.adapter != nil {
-			n = len(s.adapter.Pop.Stars)
-		}
-		return encode(statsResult{N: n}), s.clock.Now(), nil
-	default:
-		return nil, s.clock.Now(), fmt.Errorf("%w: stellar.%s", ErrNoSuchMethod, method)
-	}
-}
-
-// fieldService hosts the coupling worker (Octgrav on GPUs, Fi on CPUs).
-type fieldService struct {
-	res    *deploy.Resource
-	clock  *vtime.Clock
-	kernel *tree.Kernel
-	dev    *vtime.Device
-	eps    float64
-}
-
-func (s *fieldService) close() {}
-
-func (s *fieldService) dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
-	s.clock.AdvanceTo(at)
-	switch method {
-	case "setup":
-		var a setupFieldArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		wantGPU := a.Kernel == "octgrav"
-		dev, err := pickDevice(s.res, wantGPU)
-		if err != nil {
-			return nil, s.clock.Now(), err
-		}
-		s.dev = effectiveDevice(dev, KindField)
-		if wantGPU {
-			s.kernel = tree.NewOctgrav(s.dev)
-		} else {
-			s.kernel = tree.NewFi(s.dev)
-		}
-		if a.Theta > 0 {
-			s.kernel.Theta = a.Theta
-		}
-		s.eps = a.Eps
-		return encode(empty{}), s.clock.Now(), nil
-	case "field_at":
-		var a fieldAtArgs
-		if err := decode(args, &a); err != nil {
-			return nil, s.clock.Now(), err
-		}
-		acc, pot, flops := s.kernel.FieldAt(a.SrcMass, a.SrcPos, a.Targets, s.eps)
-		s.clock.Advance(s.dev.Time(flops, 0))
-		return encode(fieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
-	case "stats":
-		return encode(statsResult{}), s.clock.Now(), nil
-	default:
-		return nil, s.clock.Now(), fmt.Errorf("%w: coupling.%s", ErrNoSuchMethod, method)
-	}
+	return kernel.New(string(kind), cfg)
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
 	"jungle/internal/gat"
 	"jungle/internal/ipl"
@@ -73,7 +74,7 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	if err != nil {
 		return err
 	}
-	defer svc.close()
+	defer svc.Close()
 	host := ctx.Hosts[0]
 
 	// Worker side: model service behind a loopback listener.
@@ -129,7 +130,7 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	}
 
 	// Announce readiness (response ID 0 is the ready marker).
-	if err := respPort.Write(encode(&response{ID: 0, DoneAt: ctx.StartedAt}), ctx.StartedAt); err != nil {
+	if err := respPort.Write(kernel.AppendResponse(nil, &response{ID: 0, DoneAt: ctx.StartedAt}), ctx.StartedAt); err != nil {
 		ib.End()
 		return err
 	}
@@ -197,7 +198,7 @@ func socketWorkerMain(env *Env, ctx *gat.Context) error {
 	if err != nil {
 		return err
 	}
-	defer svc.close()
+	defer svc.Close()
 	host := ctx.Hosts[0]
 	l, err := env.Net.Listen(host, socketWorkerPort(id))
 	if err != nil {

@@ -1,8 +1,8 @@
 // Package exp implements the paper's evaluation (§6): one runner per table
 // or figure, each returning a report with the same rows/series the paper
-// shows. The experiment index lives in DESIGN.md; paper-vs-measured results
-// are recorded in EXPERIMENTS.md. cmd/jungle-bench executes these runners
-// from the command line and bench_test.go wraps them as Go benchmarks.
+// shows. The experiment index and measured-vs-paper notes live in
+// DESIGN.md. cmd/jungle-bench executes these runners from the command
+// line and bench_test.go wraps them as Go benchmarks.
 package exp
 
 import (
@@ -14,6 +14,9 @@ import (
 	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
 	"jungle/internal/phys/bridge"
+
+	// The experiment runners start workers of all four standard kinds.
+	_ "jungle/internal/kernels"
 )
 
 // Workload is the embedded-star-cluster evaluation simulation (§6: "For

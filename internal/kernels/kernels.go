@@ -1,0 +1,20 @@
+// Package kernels links the standard worker-kernel adapters into the
+// binary. The core layer instantiates workers through the
+// internal/core/kernel registry and registers nothing itself, so any
+// program (or test) that starts workers must import, for its side
+// effects, every adapter package it wants available — this package
+// bundles the four kinds the paper's evaluation uses:
+//
+//	import _ "jungle/internal/kernels"
+//
+// Additional kinds (e.g. internal/phys/analytic) are imported
+// individually by the programs that use them. This is the database/sql
+// driver pattern: adding a kernel kind never requires a core edit.
+package kernels
+
+import (
+	_ "jungle/internal/phys/bridge" // stellar (SSE)
+	_ "jungle/internal/phys/nbody"  // gravity (PhiGRAPE)
+	_ "jungle/internal/phys/sph"    // hydro (Gadget)
+	_ "jungle/internal/phys/tree"   // coupling (Octgrav / Fi)
+)

@@ -1,0 +1,47 @@
+// Package analytic implements a fast analytic background-potential kernel:
+// a rigid Plummer sphere (a star cluster's parent galaxy or gas envelope)
+// whose gravitational field is evaluated in closed form — no particles, no
+// tree, O(targets) per call. It is the SE-style "nearly free" kernel class
+// the paper contrasts with the expensive dynamical models.
+//
+// The package doubles as the proof of the pluggable kernel registry: it
+// registers its worker kind ("analytic") with internal/core/kernel from
+// init, entirely outside internal/core — a new scenario kernel is one new
+// package plus an import. See examples/analytic-field.
+package analytic
+
+import (
+	"math"
+
+	"jungle/internal/amuse/data"
+)
+
+// FlopsPerTarget is the accounted cost of one closed-form field
+// evaluation (a handful of multiplies plus one rsqrt).
+const FlopsPerTarget = 20
+
+// Plummer is a rigid Plummer-sphere potential (G = 1):
+//
+//	Φ(r) = −M / √(r² + a²)
+type Plummer struct {
+	M      float64   // total mass (N-body units)
+	A      float64   // scale radius
+	Center data.Vec3 // potential center
+}
+
+// FieldAt evaluates acceleration and potential at each target, in the
+// same shape the coupling workers use. Source particles are ignored: the
+// background is rigid. Returns the accounted flop count.
+func (p Plummer) FieldAt(targets []data.Vec3, acc []data.Vec3, pot []float64) float64 {
+	for i, t := range targets {
+		d := t.Sub(p.Center)
+		r2 := d.Norm2() + p.A*p.A
+		inv := 1 / math.Sqrt(r2)
+		pot[i] = -p.M * inv
+		minv3 := p.M * inv * inv * inv
+		acc[i][0] = -minv3 * d[0]
+		acc[i][1] = -minv3 * d[1]
+		acc[i][2] = -minv3 * d[2]
+	}
+	return FlopsPerTarget * float64(len(targets))
+}

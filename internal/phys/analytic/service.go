@@ -1,0 +1,101 @@
+package analytic
+
+import (
+	"fmt"
+	"time"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
+	"jungle/internal/vtime"
+)
+
+// Kind is the worker kind this package registers. It does not exist in
+// internal/core: registering and using it requires no core edits.
+const Kind = "analytic"
+
+func init() {
+	kernel.Register(Kind, newService)
+}
+
+// SetupArgs configures the analytic worker.
+type SetupArgs struct {
+	M      float64
+	A      float64
+	Center data.Vec3
+}
+
+// service hosts the analytic background-field worker. The closed-form
+// evaluation is so cheap that any CPU device model will do.
+type service struct {
+	clock *vtime.Clock
+	dev   *vtime.Device
+	pot   Plummer
+}
+
+func newService(cfg kernel.Config) (kernel.Service, error) {
+	dev, err := kernel.PickDevice(cfg.Res, false)
+	if err != nil {
+		return nil, err
+	}
+	return &service{clock: vtime.NewClock(), dev: dev}, nil
+}
+
+func (s *service) Close() {}
+
+func (s *service) Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
+	s.clock.AdvanceTo(at)
+	switch method {
+	case "setup":
+		var a SetupArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if a.M <= 0 || a.A <= 0 {
+			return nil, s.clock.Now(), fmt.Errorf("analytic: non-positive mass or scale (M=%v, a=%v)", a.M, a.A)
+		}
+		s.pot = Plummer{M: a.M, A: a.A, Center: a.Center}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "field_at":
+		var a kernel.FieldAtArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		acc := make([]data.Vec3, len(a.Targets))
+		pot := make([]float64, len(a.Targets))
+		flops := s.pot.FieldAt(a.Targets, acc, pot)
+		s.clock.Advance(s.dev.Time(flops, 0))
+		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
+	case "stats":
+		return kernel.Encode(kernel.StatsResult{}), s.clock.Now(), nil
+	default:
+		return nil, s.clock.Now(), fmt.Errorf("%w: analytic.%s", kernel.ErrNoSuchMethod, method)
+	}
+}
+
+// Caller is the coupler-side handle the Remote wrapper drives: one typed
+// RPC per call. *core.Model satisfies it.
+type Caller interface {
+	Call(method string, args, reply any) error
+}
+
+// Remote adapts a running analytic worker to the bridge.Field interface
+// (structurally — this package does not import phys/bridge).
+type Remote struct {
+	c Caller
+}
+
+// NewRemote wraps a coupler-side model handle.
+func NewRemote(c Caller) *Remote { return &Remote{c: c} }
+
+// Name implements bridge.Field.
+func (r *Remote) Name() string { return Kind }
+
+// FieldAt implements bridge.Field. The analytic background ignores the
+// source particles; eps is meaningless for a closed-form potential.
+func (r *Remote) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+	var out kernel.FieldAtResult
+	if err := r.c.Call("field_at", kernel.FieldAtArgs{Targets: targets}, &out); err != nil {
+		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
+	}
+	return out.Acc, out.Pot, 0
+}

@@ -1,0 +1,45 @@
+package nbody
+
+import (
+	"fmt"
+
+	"jungle/internal/amuse/data"
+)
+
+// Bulk column setters: the worker-side half of the batched state
+// protocol. Each replaces a whole attribute column in one call and
+// invalidates cached forces once, instead of N per-particle calls.
+
+// Keys exposes the particles' stable identifiers (read-only by
+// convention).
+func (s *System) Keys() []uint64 { return s.keys }
+
+// SetMasses replaces all particle masses.
+func (s *System) SetMasses(m []float64) error {
+	if len(m) != len(s.mass) {
+		return fmt.Errorf("nbody: mass column length %d != N %d", len(m), len(s.mass))
+	}
+	copy(s.mass, m)
+	s.fresh = false
+	return nil
+}
+
+// SetPositions replaces all particle positions.
+func (s *System) SetPositions(p []data.Vec3) error {
+	if len(p) != len(s.pos) {
+		return fmt.Errorf("nbody: position column length %d != N %d", len(p), len(s.pos))
+	}
+	copy(s.pos, p)
+	s.fresh = false
+	return nil
+}
+
+// SetVelocities replaces all particle velocities.
+func (s *System) SetVelocities(v []data.Vec3) error {
+	if len(v) != len(s.vel) {
+		return fmt.Errorf("nbody: velocity column length %d != N %d", len(v), len(s.vel))
+	}
+	copy(s.vel, v)
+	s.fresh = false
+	return nil
+}

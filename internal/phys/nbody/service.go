@@ -1,0 +1,174 @@
+package nbody
+
+import (
+	"fmt"
+	"time"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
+	"jungle/internal/deploy"
+	"jungle/internal/vtime"
+)
+
+// KindGravity is the worker kind this package registers: the PhiGRAPE
+// equivalent (Fig. 3's gravitational-dynamics box).
+const KindGravity = "gravity"
+
+// gravityEfficiency is this kernel family's sustained-efficiency
+// calibration knob (Hermite direct summation); fitted jointly with the
+// other families against §6.2's scenario numbers — see DESIGN.md.
+const gravityEfficiency = 1.842e-4
+
+func init() {
+	kernel.Register(KindGravity, newGravityService)
+}
+
+// gravityService hosts the PhiGRAPE worker.
+type gravityService struct {
+	res   *deploy.Resource
+	clock *vtime.Clock
+	sys   *System
+	dev   *vtime.Device
+}
+
+func newGravityService(cfg kernel.Config) (kernel.Service, error) {
+	return &gravityService{res: cfg.Res, clock: vtime.NewClock()}, nil
+}
+
+func (s *gravityService) Close() {}
+
+func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
+	s.clock.AdvanceTo(at)
+	switch method {
+	case "setup":
+		var a kernel.SetupGravityArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		wantGPU := a.Kernel == "phigrape-gpu"
+		dev, err := kernel.PickDevice(s.res, wantGPU)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.dev = kernel.Derate(dev, gravityEfficiency)
+		var k Kernel
+		if wantGPU {
+			k = NewGPUKernel(s.dev)
+		} else {
+			k = NewCPUKernel(s.dev)
+		}
+		s.sys = NewSystem(k, a.Eps)
+		if a.Eta > 0 {
+			s.sys.Eta = a.Eta
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "set_particles":
+		var pl kernel.ParticlesPayload
+		if err := kernel.Decode(args, &pl); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.sys.SetParticles(kernel.PayloadToParticles(pl))
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "evolve":
+		var a kernel.EvolveArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.sys.EvolveTo(a.T); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "kick":
+		var a kernel.KickArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.sys.Kick(a.DV); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "get_positions":
+		return kernel.Encode(kernel.VecResult{V: append([]data.Vec3(nil), s.sys.Positions()...)}), s.clock.Now(), nil
+	case "get_velocities":
+		return kernel.Encode(kernel.VecResult{V: append([]data.Vec3(nil), s.sys.Velocities()...)}), s.clock.Now(), nil
+	case "get_masses":
+		return kernel.Encode(kernel.FloatsResult{X: append([]float64(nil), s.sys.Masses()...)}), s.clock.Now(), nil
+	case "get_state":
+		q, err := kernel.UnmarshalStateRequest(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		st := kernel.NewState(s.sys.N())
+		st.Key = s.sys.Keys()
+		for _, a := range q.Attrs {
+			switch a {
+			case data.AttrMass:
+				st.AddFloat(a, s.sys.Masses())
+			case data.AttrPos:
+				st.AddVec(a, s.sys.Positions())
+			case data.AttrVel:
+				st.AddVec(a, s.sys.Velocities())
+			default:
+				return nil, s.clock.Now(), fmt.Errorf("nbody: get_state: unknown attribute %q", a)
+			}
+		}
+		out, err := kernel.MarshalState(st)
+		return out, s.clock.Now(), err
+	case "set_state":
+		st, err := kernel.UnmarshalState(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.applyState(st); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "set_mass":
+		var a kernel.SetMassArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if a.Index < 0 || a.Index >= s.sys.N() {
+			return nil, s.clock.Now(), fmt.Errorf("nbody: set_mass index %d out of range", a.Index)
+		}
+		s.sys.SetMass(a.Index, a.Mass)
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "energies":
+		k, p := s.sys.Energy()
+		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
+		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil
+	case "stats":
+		return kernel.Encode(kernel.StatsResult{N: s.sys.N(), Time: s.sys.Time(), Steps: s.sys.Steps()}), s.clock.Now(), nil
+	default:
+		return nil, s.clock.Now(), fmt.Errorf("%w: gravity.%s", kernel.ErrNoSuchMethod, method)
+	}
+}
+
+func (s *gravityService) applyState(st *kernel.StatePayload) error {
+	for i, a := range st.FloatAttrs {
+		switch a {
+		case data.AttrMass:
+			if err := s.sys.SetMasses(st.FloatCols[i]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("nbody: set_state: unknown attribute %q", a)
+		}
+	}
+	for i, a := range st.VecAttrs {
+		switch a {
+		case data.AttrPos:
+			if err := s.sys.SetPositions(st.VecCols[i]); err != nil {
+				return err
+			}
+		case data.AttrVel:
+			if err := s.sys.SetVelocities(st.VecCols[i]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("nbody: set_state: unknown attribute %q", a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package sph
+
+import (
+	"fmt"
+	"time"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
+	"jungle/internal/deploy"
+	"jungle/internal/mpisim"
+	"jungle/internal/vtime"
+)
+
+// KindHydro is the worker kind this package registers: the Gadget
+// equivalent. Multi-node workers span an mpisim world over the job's
+// hosts (Fig. 5's "Worker 2 uses MPI").
+const KindHydro = "hydro"
+
+// hydroEfficiency is this kernel family's sustained-efficiency
+// calibration knob (SPH + tree); fitted jointly with the other families
+// against §6.2's scenario numbers — see DESIGN.md.
+const hydroEfficiency = 5.313e-4
+
+func init() {
+	kernel.Register(KindHydro, newHydroService)
+}
+
+// hydroService hosts the Gadget worker.
+type hydroService struct {
+	res   *deploy.Resource
+	gas   *Gas
+	world *mpisim.World
+	dev   *vtime.Device
+	clock *vtime.Clock
+}
+
+func newHydroService(cfg kernel.Config) (kernel.Service, error) {
+	dev, err := kernel.PickDevice(cfg.Res, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &hydroService{res: cfg.Res, gas: New(), dev: kernel.Derate(dev, hydroEfficiency), clock: vtime.NewClock()}
+	if len(cfg.Hosts) > 1 && cfg.Net != nil {
+		w, err := mpisim.NewWorld(cfg.Net, cfg.Hosts)
+		if err != nil {
+			return nil, fmt.Errorf("sph: hydro MPI world: %w", err)
+		}
+		s.world = w
+	}
+	return s, nil
+}
+
+func (s *hydroService) Close() {
+	if s.world != nil {
+		s.world.Close()
+	}
+}
+
+func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
+	s.clock.AdvanceTo(at)
+	switch method {
+	case "setup":
+		var a kernel.SetupHydroArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.gas.SelfGravity = a.SelfGravity
+		if a.EpsGrav > 0 {
+			s.gas.EpsGrav = a.EpsGrav
+		}
+		if a.NTarget > 0 {
+			s.gas.NTarget = a.NTarget
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "set_particles":
+		var pl kernel.ParticlesPayload
+		if err := kernel.Decode(args, &pl); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.gas.SetParticles(kernel.PayloadToParticles(pl)); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "evolve":
+		var a kernel.EvolveArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if s.world != nil {
+			s.world.SyncTo(s.clock.Now())
+			if err := s.gas.EvolveToParallel(a.T, s.world, s.dev); err != nil {
+				return nil, s.clock.Now(), err
+			}
+			s.clock.AdvanceTo(s.world.MaxTime())
+		} else {
+			if err := s.gas.EvolveTo(a.T); err != nil {
+				return nil, s.clock.Now(), err
+			}
+			s.clock.Advance(s.dev.Time(s.gas.ResetFlops(), 0))
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "kick":
+		var a kernel.KickArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.gas.Kick(a.DV); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "get_positions":
+		return kernel.Encode(kernel.VecResult{V: append([]data.Vec3(nil), s.gas.Positions()...)}), s.clock.Now(), nil
+	case "get_masses":
+		return kernel.Encode(kernel.FloatsResult{X: append([]float64(nil), s.gas.Masses()...)}), s.clock.Now(), nil
+	case "get_state":
+		q, err := kernel.UnmarshalStateRequest(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		st := kernel.NewState(s.gas.N())
+		for _, a := range q.Attrs {
+			switch a {
+			case data.AttrMass:
+				st.AddFloat(a, s.gas.Masses())
+			case data.AttrPos:
+				st.AddVec(a, s.gas.Positions())
+			case data.AttrVel:
+				st.AddVec(a, s.gas.Velocities())
+			case data.AttrInternalEnergy:
+				st.AddFloat(a, s.gas.InternalEnergies())
+			case data.AttrSmoothingLen:
+				st.AddFloat(a, s.gas.SmoothingLens())
+			case data.AttrDensity:
+				st.AddFloat(a, s.gas.Densities())
+			default:
+				return nil, s.clock.Now(), fmt.Errorf("sph: get_state: unknown attribute %q", a)
+			}
+		}
+		out, err := kernel.MarshalState(st)
+		return out, s.clock.Now(), err
+	case "set_state":
+		st, err := kernel.UnmarshalState(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.applyState(st); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "inject_energy":
+		var a kernel.InjectArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.gas.InjectEnergy(a.Center, a.Radius, a.E)
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "energies":
+		k, th, p := s.gas.Energy()
+		s.clock.Advance(s.dev.Time(s.gas.ResetFlops(), 0))
+		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Thermal: th, Potential: p}), s.clock.Now(), nil
+	case "stats":
+		return kernel.Encode(kernel.StatsResult{N: s.gas.N(), Time: s.gas.Time(), Steps: s.gas.Steps()}), s.clock.Now(), nil
+	default:
+		return nil, s.clock.Now(), fmt.Errorf("%w: hydro.%s", kernel.ErrNoSuchMethod, method)
+	}
+}
+
+func (s *hydroService) applyState(st *kernel.StatePayload) error {
+	for i, a := range st.FloatAttrs {
+		var err error
+		switch a {
+		case data.AttrMass:
+			err = s.gas.SetMasses(st.FloatCols[i])
+		case data.AttrInternalEnergy:
+			err = s.gas.SetInternalEnergies(st.FloatCols[i])
+		default:
+			err = fmt.Errorf("sph: set_state: unknown attribute %q", a)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for i, a := range st.VecAttrs {
+		var err error
+		switch a {
+		case data.AttrPos:
+			err = s.gas.SetPositions(st.VecCols[i])
+		case data.AttrVel:
+			err = s.gas.SetVelocities(st.VecCols[i])
+		default:
+			err = fmt.Errorf("sph: set_state: unknown attribute %q", a)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

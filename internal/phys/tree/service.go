@@ -1,0 +1,77 @@
+package tree
+
+import (
+	"fmt"
+	"time"
+
+	"jungle/internal/core/kernel"
+	"jungle/internal/deploy"
+	"jungle/internal/vtime"
+)
+
+// KindField is the worker kind this package registers: the coupling
+// worker (Octgrav on GPUs, Fi on CPUs).
+const KindField = "coupling"
+
+// fieldEfficiency is this kernel family's sustained-efficiency
+// calibration knob (Barnes–Hut tree); fitted jointly with the other
+// families against §6.2's scenario numbers — see DESIGN.md.
+const fieldEfficiency = 1.395e-4
+
+func init() {
+	kernel.Register(KindField, newFieldService)
+}
+
+// fieldService hosts the coupling worker.
+type fieldService struct {
+	res   *deploy.Resource
+	clock *vtime.Clock
+	k     *Kernel
+	dev   *vtime.Device
+	eps   float64
+}
+
+func newFieldService(cfg kernel.Config) (kernel.Service, error) {
+	return &fieldService{res: cfg.Res, clock: vtime.NewClock()}, nil
+}
+
+func (s *fieldService) Close() {}
+
+func (s *fieldService) Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
+	s.clock.AdvanceTo(at)
+	switch method {
+	case "setup":
+		var a kernel.SetupFieldArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		wantGPU := a.Kernel == "octgrav"
+		dev, err := kernel.PickDevice(s.res, wantGPU)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		s.dev = kernel.Derate(dev, fieldEfficiency)
+		if wantGPU {
+			s.k = NewOctgrav(s.dev)
+		} else {
+			s.k = NewFi(s.dev)
+		}
+		if a.Theta > 0 {
+			s.k.Theta = a.Theta
+		}
+		s.eps = a.Eps
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "field_at":
+		var a kernel.FieldAtArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		acc, pot, flops := s.k.FieldAt(a.SrcMass, a.SrcPos, a.Targets, s.eps)
+		s.clock.Advance(s.dev.Time(flops, 0))
+		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
+	case "stats":
+		return kernel.Encode(kernel.StatsResult{}), s.clock.Now(), nil
+	default:
+		return nil, s.clock.Now(), fmt.Errorf("%w: coupling.%s", kernel.ErrNoSuchMethod, method)
+	}
+}

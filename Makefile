@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench ci
+.PHONY: all build vet test test-short race bench ci
 
 all: ci
 
@@ -21,9 +21,14 @@ test-short:
 test:
 	$(GO) test ./...
 
+# Fast suite under the race detector: exercises the async coupler API
+# (pipelined calls, concurrent channels, parallel Stop) for data races.
+race:
+	$(GO) test -race -short ./...
+
 # The paper's evaluation tables/figures plus substrate micro-benchmarks.
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
 # Tier-1 gate: everything a PR must keep green, in one command.
-ci: build vet test-short
+ci: build vet test-short race

@@ -10,6 +10,7 @@ package jungle
 // command covers scale 1.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,7 +48,7 @@ func BenchmarkE1LabConditions(b *testing.B) {
 						placement = p
 					}
 				}
-				res, err := exp.RunScenario(tb, w, placement, 1)
+				res, err := exp.RunScenario(context.Background(), tb, w, placement, 1)
 				tb.Close()
 				if err != nil {
 					b.Fatal(err)
@@ -70,7 +71,7 @@ func BenchmarkE2SC11(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := exp.RunScenario(tb, w, exp.SC11Placement(tb), 1)
+		res, err := exp.RunScenario(context.Background(), tb, w, exp.SC11Placement(tb), 1)
 		tb.Close()
 		if err != nil {
 			b.Fatal(err)
@@ -136,7 +137,7 @@ func BenchmarkE8ScaleUp(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := exp.RunScenario(tb, w, exp.LabScenarios(tb)[3], 1)
+				res, err := exp.RunScenario(context.Background(), tb, w, exp.LabScenarios(tb)[3], 1)
 				tb.Close()
 				if err != nil {
 					b.Fatal(err)
@@ -178,7 +179,7 @@ func BenchmarkTreeField(b *testing.B) {
 	k := tree.NewFi(cpuDev())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.FieldAt(gas.Mass, gas.Pos, stars.Pos, 0.05)
+		k.FieldAt(context.Background(), gas.Mass, gas.Pos, stars.Pos, 0.05)
 	}
 }
 
@@ -197,7 +198,7 @@ func BenchmarkSPHStep(b *testing.B) {
 	target := 0.0
 	for i := 0; i < b.N; i++ {
 		target += 1e-4
-		if err := g.EvolveTo(target); err != nil {
+		if err := g.EvolveTo(context.Background(), target); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,8 +257,8 @@ func benchStateWorker(b *testing.B) (*core.Testbed, *core.Simulation, *core.Grav
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim := core.NewSimulation(tb.Daemon, nil)
-	g, err := sim.NewGravity(core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+	sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+	g, err := sim.NewGravity(context.Background(), core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
 		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		b.Fatal(err)
@@ -279,7 +280,7 @@ func BenchmarkBatchedStateTransfer(b *testing.B) {
 	st := kernel.NewState(len(masses)).AddFloat(data.AttrMass, masses)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := g.SetState(st); err != nil {
+		if err := g.SetState(context.Background(), st); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -304,6 +305,77 @@ func BenchmarkPerCallStateTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedKick measures a bridge-style kick phase over K remote
+// models, each behind the ibis channel on its own site. "sequential"
+// completes each kick before issuing the next, so a step pays every
+// link's round trip back to back (~K × RTT of virtual time).
+// "pipelined" is the async coupler API (GoKick + Gather): all K kicks are
+// on their wide-area links before the coupler waits, so a step costs
+// about the slowest single link (~1 × RTT). The virtual-us/step metrics
+// of the two sub-benchmarks are the comparison.
+func BenchmarkPipelinedKick(b *testing.B) {
+	const nStars = 64
+	resources := []string{"lgm", "das4-vu", "das4-uva", "das4-tud"}
+	setup := func(b *testing.B) (*core.Testbed, *core.Simulation, []*core.Gravity) {
+		b.Helper()
+		tb, err := core.NewLabTestbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		var models []*core.Gravity
+		for i, r := range resources {
+			g, err := sim.NewGravity(context.Background(),
+				core.WorkerSpec{Resource: r, Channel: core.ChannelIbis},
+				core.GravityOptions{Eps: 0.01})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.SetParticles(ic.Plummer(nStars, int64(i+30))); err != nil {
+				b.Fatal(err)
+			}
+			models = append(models, g)
+		}
+		return tb, sim, models
+	}
+	dv := make([]data.Vec3, nStars) // zero kick: pure channel-stack cost
+
+	b.Run("sequential", func(b *testing.B) {
+		tb, sim, models := setup(b)
+		defer tb.Close()
+		defer sim.Stop()
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, g := range models {
+				if err := g.Kick(context.Background(), dv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		tb, sim, models := setup(b)
+		defer tb.Close()
+		defer sim.Stop()
+		calls := make([]core.Waiter, len(models))
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, g := range models {
+				calls[j] = g.GoKick(dv)
+			}
+			if err := core.Gather(context.Background(), calls...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	})
+}
+
 // BenchmarkIbisChannelRoundTrip measures one coupler->daemon->IPL->proxy->
 // worker RPC round trip (the Fig. 5 path).
 func BenchmarkIbisChannelRoundTrip(b *testing.B) {
@@ -312,9 +384,9 @@ func BenchmarkIbisChannelRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer tb.Close()
-	sim := core.NewSimulation(tb.Daemon, nil)
+	sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
 	defer sim.Stop()
-	g, err := sim.NewGravity(core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
 		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		b.Fatal(err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,17 @@ func main() {
 	gas := flag.Int("gas", 1000, "number of gas particles")
 	iters := flag.Int("iters", 1, "bridge iterations")
 	list := flag.Bool("list", false, "list resources and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run; cancellation aborts in-flight worker calls (0 = none)")
 	flag.Parse()
+
+	// The run context bounds everything downstream: worker start-up waits,
+	// state uploads and every in-flight RPC of every bridge iteration.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	tb, err := core.NewLabTestbed()
 	if err != nil {
@@ -67,7 +78,7 @@ func main() {
 	}
 
 	w := exp.Workload{Stars: *stars, Gas: *gas, GasFrac: 0.9, Seed: 42, DT: 1.0 / 64, Eps: 0.05}
-	res, err := exp.RunScenario(tb, w, *chosen, *iters)
+	res, err := exp.RunScenario(ctx, tb, w, *chosen, *iters)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

@@ -14,9 +14,18 @@
 // physics runs for real and bit-identically across kernels and placements,
 // while time and traffic are accounted virtually.
 //
-// See DESIGN.md for the system inventory, the kernel-registry and
-// batched state-transfer architecture, and measured-vs-paper notes; the
-// examples directory holds runnable entry points. bench_test.go in this
-// directory regenerates every table and figure of the paper's evaluation
-// (run: go test -bench=. -benchmem).
+// The coupler API is asynchronous and context-aware, reproducing AMUSE's
+// asynchronous function-call pattern: every RPC is a core.Call future
+// (Model.Go / GoKick / GoPull / ...), core.Gather fans pipelined calls
+// back in, and context.Context flows from the Simulation session down
+// through every channel into the daemon so deadlines and cancellation
+// abort in-flight wide-area waits. The bridge integrator issues each
+// phase's calls to all models before waiting on any — the paper's "many
+// slow links at once" execution shape.
+//
+// See DESIGN.md for the system inventory, the kernel-registry, batched
+// state-transfer and async-coupler architecture, and measured-vs-paper
+// notes; the examples directory holds runnable entry points.
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation (run: go test -bench=. -benchmem).
 package jungle

@@ -6,11 +6,14 @@
 // cluster's internal dynamics on a remote GPU worker and the background
 // field evaluated by the analytic worker on another site.
 //
-// State moves with the batched columnar protocol: one Pull per step
-// fetches the whole position block in a single round trip.
+// State moves with the batched columnar protocol, and the closing kick of
+// each step is pipelined with the master-set pull through the async
+// coupler API (core.Call futures + core.Gather): both RPCs are on the
+// wide-area link before the coupler waits on either.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,11 +33,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tb.Close()
-	sim := core.NewSimulation(tb.Daemon, nil)
+	ctx := context.Background()
+	sim := core.NewSimulation(ctx, tb.Daemon, nil)
 	defer sim.Stop()
 
 	// Cluster internal dynamics: PhiGRAPE on the remote LGM Tesla.
-	g, err := sim.NewGravity(core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+	g, err := sim.NewGravity(ctx, core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
 		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		log.Fatal(err)
@@ -42,7 +46,7 @@ func main() {
 
 	// Galaxy background: the externally-registered analytic kind on UvA.
 	galaxy := analytic.Plummer{M: 100, A: 1}
-	m, err := sim.NewModel(core.Kind(analytic.Kind),
+	m, err := sim.NewModel(ctx, core.Kind(analytic.Kind),
 		core.WorkerSpec{Resource: "das4-uva", Channel: core.ChannelIbis},
 		analytic.SetupArgs{M: galaxy.M, A: galaxy.A, Center: galaxy.Center})
 	if err != nil {
@@ -72,31 +76,38 @@ func main() {
 		dt    = 1.0 / 64
 		steps = 16
 	)
-	kick := func(h float64) error {
-		acc, _, _ := field.FieldAt(nil, nil, g.Positions(), 0)
+	fieldKick := func(h float64) ([]data.Vec3, error) {
+		acc, _, _ := field.FieldAt(ctx, nil, nil, g.Positions(), 0)
 		if err := m.Err(); err != nil {
-			return err
+			return nil, err
 		}
 		dv := make([]data.Vec3, len(acc))
 		for i := range acc {
 			dv[i] = acc[i].Scale(h)
 		}
-		return g.Kick(dv)
+		return dv, nil
 	}
 	t := 0.0
 	for s := 0; s < steps; s++ {
-		if err := kick(dt / 2); err != nil {
+		dv, err := fieldKick(dt / 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Kick(ctx, dv); err != nil {
 			log.Fatal(err)
 		}
 		t += dt
-		if err := g.EvolveTo(t); err != nil {
+		if err := g.EvolveTo(ctx, t); err != nil {
 			log.Fatal(err)
 		}
-		if err := kick(dt / 2); err != nil {
+		if dv, err = fieldKick(dt / 2); err != nil {
 			log.Fatal(err)
 		}
-		// One batched columnar round trip refreshes the master set.
-		if err := g.Pull(stars, data.AttrMass, data.AttrPos, data.AttrVel); err != nil {
+		// Closing kick and master-set refresh are pipelined: both RPCs
+		// ride the wide-area link together, and FIFO order per channel
+		// guarantees the batched columnar pull observes the kicked
+		// velocities — two calls, one round trip.
+		if err := core.Gather(ctx, g.GoKick(dv), g.GoPull(stars)); err != nil {
 			log.Fatal(err)
 		}
 	}

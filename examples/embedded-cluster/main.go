@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,7 +41,7 @@ func main() {
 	fmt.Printf("  coupling -> %s (%s)\n", placement.Field.Resource, placement.FieldKernel)
 	fmt.Printf("  stellar  -> %s\n\n", placement.Stellar.Resource)
 
-	res, err := exp.RunScenario(tb, w, placement, *iters)
+	res, err := exp.RunScenario(context.Background(), tb, w, placement, *iters)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

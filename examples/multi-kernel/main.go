@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,9 +22,11 @@ import (
 )
 
 func run(tb *core.Testbed, kernel, resource, channel string, stars *data.Particles) (*data.Particles, time.Duration) {
-	sim := core.NewSimulation(tb.Daemon, nil)
+	ctx := context.Background()
+	sim := core.NewSimulation(ctx, tb.Daemon, nil)
 	defer sim.Stop()
 	g, err := sim.NewGravity(
+		ctx,
 		core.WorkerSpec{Resource: resource, Channel: channel},
 		core.GravityOptions{Kernel: kernel, Eps: 0.01},
 	)
@@ -33,11 +36,11 @@ func run(tb *core.Testbed, kernel, resource, channel string, stars *data.Particl
 	if err := g.SetParticles(stars); err != nil {
 		log.Fatal(err)
 	}
-	if err := g.EvolveTo(0.125); err != nil {
+	if err := g.EvolveTo(ctx, 0.125); err != nil {
 		log.Fatal(err)
 	}
 	out := stars.Clone()
-	if err := g.Sync(out); err != nil {
+	if err := g.Sync(ctx, out); err != nil {
 		log.Fatal(err)
 	}
 	return out, sim.Elapsed()

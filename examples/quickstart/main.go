@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,16 +29,20 @@ func main() {
 
 	// 2. A simulation session with a physical scale: a 1000 MSun cluster
 	//    with a 1 pc virial radius (checked unit conversions throughout).
+	//    The session context bounds every coupler call; cancelling it
+	//    would abort even calls blocked on a wide-area round trip.
+	ctx := context.Background()
 	conv, err := units.NewConverter(units.New(1000, units.MSun), units.New(1, units.Parsec))
 	if err != nil {
 		log.Fatalf("converter: %v", err)
 	}
-	sim := core.NewSimulation(tb.Daemon, conv)
+	sim := core.NewSimulation(ctx, tb.Daemon, conv)
 	defer sim.Stop()
 
 	// 3. One gravity worker on the local desktop via the default MPI
 	//    channel (exactly AMUSE's default setup).
 	grav, err := sim.NewGravity(
+		ctx,
 		core.WorkerSpec{Resource: "desktop", Channel: core.ChannelMPI},
 		core.GravityOptions{Eps: 0.01},
 	)
@@ -51,7 +56,7 @@ func main() {
 		log.Fatalf("set particles: %v", err)
 	}
 
-	k0, u0, err := grav.Energy()
+	k0, u0, err := grav.Energy(ctx)
 	if err != nil {
 		log.Fatalf("energy: %v", err)
 	}
@@ -61,11 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("time conversion: %v", err)
 	}
-	if err := grav.EvolveTo(tEnd); err != nil {
+	if err := grav.EvolveTo(ctx, tEnd); err != nil {
 		log.Fatalf("evolve: %v", err)
 	}
 
-	k1, u1, err := grav.Energy()
+	k1, u1, err := grav.Energy(ctx)
 	if err != nil {
 		log.Fatalf("energy: %v", err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	w := exp.Workload{Stars: 60, Gas: 600, GasFrac: 0.9, Seed: 7, DT: 1.0 / 64, Eps: 0.05}
 	placement := exp.SC11Placement(tb)
 
-	res, err := exp.RunScenario(tb, w, placement, 1)
+	res, err := exp.RunScenario(context.Background(), tb, w, placement, 1)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

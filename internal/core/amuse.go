@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"strings"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jungle/internal/amuse/data"
@@ -18,13 +20,15 @@ import (
 // Simulation is the coupler: the Go equivalent of an AMUSE Python script's
 // session. It owns the virtual clock, a unit converter for checked
 // conversions at the API boundary, and the workers it started. Models
-// created here implement the bridge interfaces, so phys/bridge composes
-// them exactly like Fig. 7 — whether the model is in-process or a continent
-// away behind the ibis channel.
+// created here implement the bridge interfaces (including the async
+// AsyncDynamics/AsyncField ones), so phys/bridge composes them exactly
+// like Fig. 7 — whether the model is in-process or a continent away behind
+// the ibis channel — and pipelines its per-phase calls across all of them.
 type Simulation struct {
 	daemon *Daemon
 	conv   *units.Converter
 	clock  *vtime.Clock
+	ctx    context.Context
 
 	// Trace, when set, receives coupler-level events (worker starts,
 	// replacements); the bridge's own trace covers Fig. 7's call sequence.
@@ -34,12 +38,20 @@ type Simulation struct {
 	models []*modelProxy
 }
 
-// NewSimulation creates a coupler session on a running daemon. The
-// converter defines the simulation's physical scale (may be nil for pure
-// N-body work).
-func NewSimulation(d *Daemon, conv *units.Converter) *Simulation {
-	return &Simulation{daemon: d, conv: conv, clock: vtime.NewClock()}
+// NewSimulation creates a coupler session on a running daemon. ctx is the
+// session context: it bounds every call made without an explicit context
+// (the bridge-interface methods), and cancelling it aborts all in-flight
+// waits. nil means context.Background(). The converter defines the
+// simulation's physical scale (may be nil for pure N-body work).
+func NewSimulation(ctx context.Context, d *Daemon, conv *units.Converter) *Simulation {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Simulation{daemon: d, conv: conv, clock: vtime.NewClock(), ctx: ctx}
 }
+
+// Context returns the session context.
+func (s *Simulation) Context() context.Context { return s.ctx }
 
 // Clock returns the coupler's virtual clock.
 func (s *Simulation) Clock() *vtime.Clock { return s.clock }
@@ -73,37 +85,72 @@ func (s *Simulation) TimeQuantity(q units.Quantity) (float64, error) {
 	return s.conv.ToNBody(q)
 }
 
-// Stop shuts down all models (workers stop; the daemon survives for the
-// next simulation, as the paper prescribes).
-func (s *Simulation) Stop() {
+// Stop shuts down all models concurrently (workers stop in parallel, like
+// every other fan-out in this API; the daemon survives for the next
+// simulation, as the paper prescribes) and returns the joined shutdown
+// errors.
+func (s *Simulation) Stop() error {
 	s.mu.Lock()
 	models := append([]*modelProxy(nil), s.models...)
 	s.models = nil
 	s.mu.Unlock()
-	for _, m := range models {
-		m.shutdown()
+	errs := make([]error, len(models))
+	var wg sync.WaitGroup
+	for i, m := range models {
+		wg.Add(1)
+		go func(i int, m *modelProxy) {
+			defer wg.Done()
+			errs[i] = m.shutdown()
+		}(i, m)
 	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // modelProxy is the coupler-side endpoint of one worker.
 type modelProxy struct {
-	sim    *Simulation
-	kind   Kind
+	sim  *Simulation
+	kind Kind
+
+	mu     sync.Mutex
 	spec   WorkerSpec
 	ch     channel
 	worker int
+	gen    int // bumped per successful replacement
 
-	mu      sync.Mutex
 	n       int
 	lastErr error
+	stopped bool
 	// replacement support (§5 future work, implemented here).
 	replaceable bool
 	setupArgs   any
 	lastState   *kernel.ParticlesPayload
+	// retries + retrying implement the replacement path: failed calls
+	// queue here, and at most one drainer goroutine per proxy replaces
+	// the worker and re-issues them — that single drainer (plus the gen
+	// check) is what guarantees one replacement per death no matter how
+	// many pipelined calls observe it.
+	retries  []retryItem
+	retrying bool
+
+	// seq numbers calls in issue order so replacement retries can restore
+	// the per-worker FIFO that pipelined callers rely on.
+	seq atomic.Uint64
 }
 
-// newModel starts a worker per spec and opens its channel.
-func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProxy, error) {
+// retryItem is one failed call awaiting re-issue on a replacement worker.
+type retryItem struct {
+	c      *Call
+	method string
+	args   []byte
+	gen    int
+	seq    uint64
+	cause  error
+}
+
+// newModel starts a worker per spec and opens its channel. ctx bounds the
+// job submission, the worker's ready announcement and the setup call.
+func (s *Simulation) newModel(ctx context.Context, kind Kind, spec WorkerSpec, setup any) (*modelProxy, error) {
 	if !kernel.Registered(string(kind)) {
 		return nil, fmt.Errorf("%w: %q (missing adapter import? see internal/kernels)", ErrBadKind, kind)
 	}
@@ -112,10 +159,10 @@ func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProx
 		spec.Channel = ChannelIbis
 	}
 	m := &modelProxy{sim: s, kind: kind, spec: spec, setupArgs: setup}
-	if err := m.start(); err != nil {
+	if err := m.start(ctx); err != nil {
 		return nil, err
 	}
-	if err := m.call("setup", setup, &kernel.Empty{}); err != nil {
+	if err := m.Call(ctx, "setup", setup, &kernel.Empty{}); err != nil {
 		m.shutdown()
 		return nil, err
 	}
@@ -123,28 +170,32 @@ func (s *Simulation) newModel(kind Kind, spec WorkerSpec, setup any) (*modelProx
 	s.models = append(s.models, m)
 	s.mu.Unlock()
 	s.trace("worker started kind=%s kernel=%s resource=%s channel=%s",
-		kind, spec.Kernel, m.spec.Resource, spec.Channel)
+		kind, spec.Kernel, m.resource(), spec.Channel)
 	return m, nil
 }
 
 // start launches the worker and opens the channel (used again on
 // replacement).
-func (m *modelProxy) start() error {
+func (m *modelProxy) start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = m.sim.ctx
+	}
 	s := m.sim
-	switch m.spec.Channel {
+	m.mu.Lock()
+	spec := m.spec
+	m.mu.Unlock()
+	switch spec.Channel {
 	case ChannelMPI:
 		// In-process worker on the local resource (AMUSE's default
 		// channel): resolve the resource for device models.
-		resource := m.spec.Resource
-		if resource == "" {
-			var err error
-			resource, err = SelectResource(s.daemon.Deployment(), m.spec)
+		if spec.Resource == "" {
+			resource, err := SelectResource(s.daemon.Deployment(), spec)
 			if err != nil {
 				return err
 			}
-			m.spec.Resource = resource
+			spec.Resource = resource
 		}
-		res, err := s.daemon.Deployment().Resource(resource)
+		res, err := s.daemon.Deployment().Resource(spec.Resource)
 		if err != nil {
 			return err
 		}
@@ -152,45 +203,65 @@ func (m *modelProxy) start() error {
 		if err != nil {
 			return err
 		}
-		m.ch = newLocalChannel(svc)
+		m.setEndpoint(spec, newLocalChannel(svc), 0)
 		return nil
 	case ChannelSockets:
-		id, err := s.daemon.StartWorker(m.spec)
+		id, err := s.daemon.StartWorker(ctx, spec)
 		if err != nil {
 			return err
 		}
-		m.worker = id
 		host, port, err := s.daemon.workerSocketAddr(id)
 		if err != nil {
 			return err
 		}
-		conn, err := dialRetry(s, host, port, 5*time.Second)
+		conn, err := dialRetry(ctx, s, host, port, 5*time.Second)
 		if err != nil {
 			return err
 		}
-		m.ch = newConnChannel(ChannelSockets, conn)
+		m.setEndpoint(spec, newConnChannel(ChannelSockets, conn), id)
 		return nil
 	case ChannelIbis:
-		id, err := s.daemon.StartWorker(m.spec)
+		id, err := s.daemon.StartWorker(ctx, spec)
 		if err != nil {
 			return err
 		}
-		m.worker = id
 		local := s.daemon.Deployment().LocalHost()
 		conn, err := s.daemon.Deployment().Net.Dial(local, local, DaemonPort)
 		if err != nil {
 			return err
 		}
 		conn.SetClass("loopback")
-		m.ch = newConnChannel(ChannelIbis, conn)
+		m.setEndpoint(spec, newConnChannel(ChannelIbis, conn), id)
 		return nil
 	default:
-		return fmt.Errorf("core: unknown channel %q", m.spec.Channel)
+		return fmt.Errorf("core: unknown channel %q", spec.Channel)
 	}
 }
 
+func (m *modelProxy) setEndpoint(spec WorkerSpec, ch channel, worker int) {
+	m.mu.Lock()
+	m.spec = spec
+	m.ch = ch
+	m.worker = worker
+	m.mu.Unlock()
+}
+
+// endpoint snapshots the channel, worker id and replacement generation
+// for one call.
+func (m *modelProxy) endpoint() (channel, int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ch, m.worker, m.gen
+}
+
+func (m *modelProxy) resource() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spec.Resource
+}
+
 // dialRetry dials a loopback worker that may still be starting.
-func dialRetry(s *Simulation, host string, port int, budget time.Duration) (conn *vnet.Conn, err error) {
+func dialRetry(ctx context.Context, s *Simulation, host string, port int, budget time.Duration) (conn *vnet.Conn, err error) {
 	net := s.daemon.Deployment().Net
 	deadline := time.Now().Add(budget)
 	for {
@@ -200,6 +271,9 @@ func dialRetry(s *Simulation, host string, port int, budget time.Duration) (conn
 			return c, nil
 		}
 		err = derr
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("core: sockets worker never listened: %w", err)
 		}
@@ -207,14 +281,22 @@ func dialRetry(s *Simulation, host string, port int, budget time.Duration) (conn
 	}
 }
 
-// shutdown closes the channel and stops the worker.
-func (m *modelProxy) shutdown() {
-	if m.ch != nil {
-		m.ch.close()
+// shutdown closes the channel and stops the worker, returning the
+// channel's close error. It also marks the proxy stopped, which vetoes
+// any replacement still in flight.
+func (m *modelProxy) shutdown() error {
+	m.mu.Lock()
+	m.stopped = true
+	ch, worker := m.ch, m.worker
+	m.mu.Unlock()
+	var err error
+	if ch != nil {
+		err = ch.close()
 	}
-	if m.worker != 0 {
-		m.sim.daemon.StopWorker(m.worker)
+	if worker != 0 {
+		m.sim.daemon.StopWorker(worker)
 	}
+	return err
 }
 
 // EnableReplacement turns on transparent worker replacement (§5: "in
@@ -226,6 +308,12 @@ func (m *modelProxy) EnableReplacement() {
 	m.mu.Lock()
 	m.replaceable = true
 	m.mu.Unlock()
+}
+
+func (m *modelProxy) isReplaceable() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replaceable
 }
 
 // Err returns the sticky error, if any.
@@ -243,91 +331,205 @@ func (m *modelProxy) setErr(err error) {
 	m.mu.Unlock()
 }
 
-// call performs one gob-typed RPC; on worker death with replacement
-// enabled it restarts the worker and retries once.
-func (m *modelProxy) call(method string, args any, reply any) error {
-	raw, err := m.invoke(method, encode(args))
-	if err != nil {
-		return err
+// sessionCtx substitutes the session context for a nil one.
+func (m *modelProxy) sessionCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return m.sim.ctx
 	}
-	if reply != nil {
-		return decode(raw, reply)
-	}
-	return nil
+	return ctx
 }
 
-// invoke performs one RPC with pre-encoded args and returns the raw
-// result bytes; on worker death with replacement enabled it restarts the
-// worker and retries once. Both the typed (gob) and the batched columnar
-// paths funnel through here.
-func (m *modelProxy) invoke(method string, args []byte) ([]byte, error) {
-	raw, err := m.invokeOnce(method, args)
-	if err == nil {
-		return raw, nil
-	}
-	m.mu.Lock()
-	canReplace := m.replaceable
-	m.mu.Unlock()
-	if canReplace && errors.Is(err, ErrWorkerDied) {
-		if rerr := m.replace(); rerr != nil {
-			m.setErr(rerr)
-			return nil, fmt.Errorf("core: replacement failed: %w (after %v)", rerr, err)
-		}
-		raw, err = m.invokeOnce(method, args)
-		if err == nil {
-			return raw, nil
-		}
-	}
-	m.setErr(err)
-	return nil, err
+// Go issues one typed RPC asynchronously and returns its future. The
+// request is on the channel — and, for a remote worker, on the wide-area
+// link — before Go returns; calls issued back to back from one goroutine
+// reach the worker in order. This is the primitive everything else is
+// sugar over: the AMUSE asynchronous function-call pattern
+// (call.result() ⇔ Call.Wait + Call.Decode).
+func (m *modelProxy) Go(method string, args any) *Call {
+	return m.goRaw(method, encode(args), nil)
 }
 
-func (m *modelProxy) invokeOnce(method string, args []byte) ([]byte, error) {
+// goRaw issues a call with pre-encoded args and an optional result hook.
+func (m *modelProxy) goRaw(method string, args []byte, after func([]byte) error) *Call {
+	c := newCall(m.kind, method, after)
+	c.seq = m.seq.Add(1)
+	m.startCall(c, method, args, true)
+	return c
+}
+
+// startCall issues one attempt of a call. On worker death with
+// replacement enabled it restarts the worker once and re-issues.
+func (m *modelProxy) startCall(c *Call, method string, args []byte, mayReplace bool) {
+	ch, worker, gen := m.endpoint()
+	if ch == nil {
+		c.finish(nil, fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrChannelClosed))
+		return
+	}
 	req := request{
-		ID: reqIDs.Add(1), Worker: m.worker, Method: method,
+		ID: reqIDs.Add(1), Worker: worker, Method: method,
 		Args: args, SentAt: m.sim.clock.Now(),
 	}
-	resp, arrival, err := m.ch.roundTrip(req)
-	if err != nil {
-		return nil, err
-	}
-	m.sim.clock.AdvanceTo(arrival)
-	if resp.Err != "" {
-		if strings.Contains(resp.Err, ErrWorkerDied.Error()) {
-			return nil, fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrWorkerDied)
+	ch.start(req, func(resp response, arrival time.Duration, err error) {
+		if err == nil {
+			// A response arrived (success or structured failure): its
+			// travel time is real either way.
+			m.sim.clock.AdvanceTo(arrival)
+			if werr := kernel.ResponseError(&resp); werr != nil {
+				err = werr
+			} else {
+				c.finish(resp.Result, nil)
+				return
+			}
 		}
-		return nil, fmt.Errorf("core: %s.%s: %s", m.kind, method, resp.Err)
+		err = fmt.Errorf("core: %s.%s: %w", m.kind, method, err)
+		if mayReplace && errors.Is(err, ErrWorkerDied) && m.isReplaceable() {
+			// Replacement resubmits a job and replays state — far too slow
+			// for a channel delivery goroutine. Queue the retry: a single
+			// drainer replaces the worker once and re-issues every failed
+			// call in original issue order, preserving the per-worker FIFO
+			// pipelined callers rely on.
+			m.enqueueRetry(retryItem{c: c, method: method, args: args, gen: gen, seq: c.seq, cause: err})
+			return
+		}
+		m.setErr(err)
+		c.finish(nil, err)
+	})
+}
+
+// enqueueRetry adds a failed call to the retry queue and ensures one
+// drainer goroutine is running.
+func (m *modelProxy) enqueueRetry(it retryItem) {
+	m.mu.Lock()
+	m.retries = append(m.retries, it)
+	spawn := !m.retrying
+	m.retrying = true
+	m.mu.Unlock()
+	if spawn {
+		go m.drainRetries()
 	}
-	return resp.Result, nil
+}
+
+// drainRetries replaces the dead worker (once per generation) and
+// re-issues the queued calls in issue order. When several pipelined
+// calls fail together, the slow replacement runs while the channel's
+// failure path finishes queueing them, so one batch normally covers the
+// whole pipeline. Each pass drains only the generation it replaced:
+// items from a newer generation (the replacement died too) stay queued
+// for the next pass, which replaces again.
+func (m *modelProxy) drainRetries() {
+	for {
+		m.mu.Lock()
+		if len(m.retries) == 0 {
+			m.retrying = false
+			m.mu.Unlock()
+			return
+		}
+		gen := m.retries[0].gen
+		m.mu.Unlock()
+
+		rerr := m.ensureReplaced(gen)
+
+		m.mu.Lock()
+		var batch, rest []retryItem
+		for _, it := range m.retries {
+			if it.gen == gen {
+				batch = append(batch, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+		m.retries = rest
+		m.mu.Unlock()
+		sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+		for _, it := range batch {
+			if rerr != nil {
+				m.setErr(rerr)
+				it.c.finish(nil, fmt.Errorf("core: replacement failed: %w (after %v)", rerr, it.cause))
+				continue
+			}
+			m.startCall(it.c, it.method, it.args, false)
+		}
+	}
+}
+
+// Call performs one typed RPC against the worker and blocks for the
+// result — thin sugar over Go(...).Wait(ctx).Decode. nil ctx means the
+// session context. It is the generic escape hatch kernels registered
+// outside core use to drive their workers — see internal/phys/analytic
+// for a complete external kind.
+func (m *modelProxy) Call(ctx context.Context, method string, args, reply any) error {
+	c := m.Go(method, args)
+	if err := c.Wait(m.sessionCtx(ctx)); err != nil {
+		return err
+	}
+	return c.Decode(reply)
+}
+
+// ensureReplaced replaces the worker if no earlier retry pass got there
+// first (gen is the replacement generation the failed call was issued
+// against) and the model has not been stopped. It is only called from
+// the proxy's single drainer goroutine.
+func (m *modelProxy) ensureReplaced(gen int) error {
+	m.mu.Lock()
+	current, stopped := m.gen, m.stopped
+	m.mu.Unlock()
+	if stopped {
+		return ErrChannelClosed
+	}
+	if current != gen {
+		return nil // a concurrent call already replaced the worker
+	}
+	return m.replace()
 }
 
 // replace starts a substitute worker and replays state.
 func (m *modelProxy) replace() error {
-	m.sim.trace("worker %d died; starting replacement (kind=%s)", m.worker, m.kind)
-	if m.ch != nil {
-		m.ch.close()
+	m.mu.Lock()
+	oldWorker := m.worker
+	oldCh := m.ch
+	spec := m.spec
+	setup := m.setupArgs
+	state := m.lastState
+	m.mu.Unlock()
+
+	m.sim.trace("worker %d died; starting replacement (kind=%s)", oldWorker, m.kind)
+	if oldCh != nil {
+		oldCh.close()
 	}
 	// Re-select the resource: the failed one may be gone.
-	spec := m.spec
 	spec.Resource = ""
 	resource, err := SelectResource(m.sim.daemon.Deployment(), spec)
 	if err != nil {
 		return err
 	}
-	m.spec.Resource = resource
-	if err := m.start(); err != nil {
-		return err
-	}
-	if _, err := m.invokeOnce("setup", encode(m.setupArgs)); err != nil {
-		return err
-	}
 	m.mu.Lock()
-	state := m.lastState
+	m.spec.Resource = resource
 	m.mu.Unlock()
+	if err := m.start(m.sim.ctx); err != nil {
+		return err
+	}
+	replay := func(method string, args []byte) error {
+		c := newCall(m.kind, method, nil)
+		m.startCall(c, method, args, false)
+		return c.Wait(m.sim.ctx)
+	}
+	if err := replay("setup", encode(setup)); err != nil {
+		return err
+	}
 	if state != nil {
-		if _, err := m.invokeOnce("set_particles", encode(*state)); err != nil {
+		if err := replay("set_particles", encode(*state)); err != nil {
 			return err
 		}
+	}
+	m.mu.Lock()
+	m.gen++
+	stopped := m.stopped
+	m.mu.Unlock()
+	if stopped {
+		// Simulation.Stop ran while the replacement was starting; it may
+		// have torn down only the old endpoint, so retire the new one too.
+		m.shutdown()
+		return ErrChannelClosed
 	}
 	m.sim.trace("worker replaced on resource %s", resource)
 	return nil
@@ -343,25 +545,35 @@ func (m *modelProxy) cacheState(pl kernel.ParticlesPayload) {
 
 // Common Dynamics plumbing shared by Gravity and Hydro.
 
-func (m *modelProxy) setParticles(p *data.Particles) error {
+func (m *modelProxy) setParticles(ctx context.Context, p *data.Particles) error {
 	pl := kernel.ParticlesToPayload(p)
-	if err := m.call("set_particles", pl, &kernel.Empty{}); err != nil {
+	if err := m.Call(ctx, "set_particles", pl, &kernel.Empty{}); err != nil {
 		return err
 	}
 	m.cacheState(pl)
 	return nil
 }
 
-func (m *modelProxy) evolveTo(t float64) error {
-	return m.call("evolve", kernel.EvolveArgs{T: t}, &kernel.Empty{})
+// GoEvolveTo issues the evolve call without waiting (bridge.AsyncDynamics).
+func (m *modelProxy) GoEvolveTo(t float64) Waiter {
+	return m.Go("evolve", kernel.EvolveArgs{T: t})
 }
 
-func (m *modelProxy) kick(dv []data.Vec3) error {
-	return m.call("kick", kernel.KickArgs{DV: dv}, &kernel.Empty{})
+// GoKick issues a kick without waiting (bridge.AsyncDynamics).
+func (m *modelProxy) GoKick(dv []data.Vec3) Waiter {
+	return m.Go("kick", kernel.KickArgs{DV: dv})
+}
+
+func (m *modelProxy) evolveTo(ctx context.Context, t float64) error {
+	return m.GoEvolveTo(t).Wait(m.sessionCtx(ctx))
+}
+
+func (m *modelProxy) kick(ctx context.Context, dv []data.Vec3) error {
+	return m.GoKick(dv).Wait(m.sessionCtx(ctx))
 }
 
 func (m *modelProxy) positions() []data.Vec3 {
-	st, err := m.GetState(data.AttrPos)
+	st, err := m.GetState(nil, data.AttrPos)
 	if err != nil {
 		return nil
 	}
@@ -369,54 +581,92 @@ func (m *modelProxy) positions() []data.Vec3 {
 }
 
 func (m *modelProxy) masses() []float64 {
-	st, err := m.GetState(data.AttrMass)
+	st, err := m.GetState(nil, data.AttrMass)
 	if err != nil {
 		return nil
 	}
 	return st.Float(data.AttrMass)
 }
 
-// Call performs one typed RPC against the worker (with transparent
-// replacement, like every other call). It is the generic escape hatch
-// kernels registered outside core use to drive their workers — see
-// internal/phys/analytic for a complete external kind.
-func (m *modelProxy) Call(method string, args, reply any) error {
-	return m.call(method, args, reply)
+// defaultStateAttrs is the common dynamics exchange.
+func defaultStateAttrs(attrs []string) []string {
+	if len(attrs) == 0 {
+		return []string{data.AttrMass, data.AttrPos, data.AttrVel}
+	}
+	return attrs
+}
+
+// goGetState issues a batched columnar read; the hook receives the
+// decoded payload.
+func (m *modelProxy) goGetState(attrs []string, into func(*kernel.StatePayload) error) *Call {
+	buf := kernel.GetBuf()
+	args := kernel.AppendStateRequest(*buf, &kernel.StateRequest{Attrs: attrs})
+	return m.goPooled("get_state", args, buf, func(raw []byte) error {
+		st, err := kernel.UnmarshalState(raw)
+		if err != nil {
+			return err
+		}
+		return into(st)
+	})
+}
+
+// goPooled is goRaw for args marshalled into a pooled buffer: the buffer
+// is pinned for the call's whole lifetime (replacement retries re-send
+// the args) and returned to the pool when the call finishes.
+func (m *modelProxy) goPooled(method string, args []byte, buf *[]byte, after func([]byte) error) *Call {
+	c := newCall(m.kind, method, after)
+	c.seq = m.seq.Add(1)
+	c.release = func() {
+		*buf = args[:0]
+		kernel.PutBuf(buf)
+	}
+	m.startCall(c, method, args, true)
+	return c
 }
 
 // GetState pulls whole attribute columns from the worker in one round
 // trip through the hand-rolled columnar codec — the batched alternative
 // to one RPC per attribute (or per particle). With no attrs it fetches
-// mass, position and velocity.
-func (m *modelProxy) GetState(attrs ...string) (*kernel.StatePayload, error) {
-	if len(attrs) == 0 {
-		attrs = []string{data.AttrMass, data.AttrPos, data.AttrVel}
-	}
-	buf := kernel.GetBuf()
-	args := kernel.AppendStateRequest(*buf, &kernel.StateRequest{Attrs: attrs})
-	raw, err := m.invoke("get_state", args)
-	*buf = args[:0]
-	kernel.PutBuf(buf)
-	if err != nil {
+// mass, position and velocity. nil ctx means the session context.
+func (m *modelProxy) GetState(ctx context.Context, attrs ...string) (*kernel.StatePayload, error) {
+	var out *kernel.StatePayload
+	c := m.goGetState(defaultStateAttrs(attrs), func(st *kernel.StatePayload) error {
+		out = st
+		return nil
+	})
+	if err := c.Wait(m.sessionCtx(ctx)); err != nil {
 		return nil, err
 	}
-	return kernel.UnmarshalState(raw)
+	return out, nil
+}
+
+// GoSetState issues a batched columnar write without waiting. The
+// replacement cache is merged when the call completes, whether or not
+// anyone waits on it — an abandoned-but-applied write must still replay
+// onto a replacement worker.
+func (m *modelProxy) GoSetState(st *kernel.StatePayload) *Call {
+	buf := kernel.GetBuf()
+	args, err := kernel.AppendState(*buf, st)
+	if err != nil {
+		*buf = args[:0]
+		kernel.PutBuf(buf)
+		return failedCall(m.kind, "set_state", err)
+	}
+	c := newCall(m.kind, "set_state", nil)
+	c.seq = m.seq.Add(1)
+	c.release = func() {
+		*buf = args[:0]
+		kernel.PutBuf(buf)
+	}
+	c.success = func([]byte) { m.mergeCachedState(st) }
+	m.startCall(c, "set_state", args, true)
+	return c
 }
 
 // SetState pushes whole attribute columns to the worker in one round
-// trip.
-func (m *modelProxy) SetState(st *kernel.StatePayload) error {
-	buf := kernel.GetBuf()
-	args, err := kernel.AppendState(*buf, st)
-	if err == nil {
-		_, err = m.invoke("set_state", args)
-	}
-	*buf = args[:0]
-	kernel.PutBuf(buf)
-	if err == nil {
-		m.mergeCachedState(st)
-	}
-	return err
+// trip. nil ctx means the session context.
+func (m *modelProxy) SetState(ctx context.Context, st *kernel.StatePayload) error {
+	return m.GoSetState(st).Wait(m.sessionCtx(ctx))
 }
 
 // mergeCachedState folds successfully pushed columns into the
@@ -453,24 +703,34 @@ func (m *modelProxy) mergeCachedState(st *kernel.StatePayload) {
 	}
 }
 
+// GoPull issues the batched column read and scatters it into the particle
+// set when the result is first observed — pull many models, then Gather.
+func (m *modelProxy) GoPull(p *data.Particles, attrs ...string) *Call {
+	return m.goGetState(defaultStateAttrs(attrs), func(st *kernel.StatePayload) error {
+		return kernel.ScatterState(p, st)
+	})
+}
+
 // Pull fetches the named columns (default mass/position/velocity) into
-// the particle set in one round trip.
-func (m *modelProxy) Pull(p *data.Particles, attrs ...string) error {
-	st, err := m.GetState(attrs...)
+// the particle set in one round trip. nil ctx means the session context.
+func (m *modelProxy) Pull(ctx context.Context, p *data.Particles, attrs ...string) error {
+	return m.GoPull(p, attrs...).Wait(m.sessionCtx(ctx))
+}
+
+// GoPush issues the batched column write without waiting.
+func (m *modelProxy) GoPush(p *data.Particles, attrs ...string) *Call {
+	st, err := kernel.GatherState(p, attrs...)
 	if err != nil {
-		return err
+		return failedCall(m.kind, "set_state", err)
 	}
-	return kernel.ScatterState(p, st)
+	return m.GoSetState(st)
 }
 
 // Push sends the named columns (default mass/position/velocity) of the
-// particle set to the worker in one round trip.
-func (m *modelProxy) Push(p *data.Particles, attrs ...string) error {
-	st, err := kernel.GatherState(p, attrs...)
-	if err != nil {
-		return err
-	}
-	return m.SetState(st)
+// particle set to the worker in one round trip. nil ctx means the session
+// context.
+func (m *modelProxy) Push(ctx context.Context, p *data.Particles, attrs ...string) error {
+	return m.GoPush(p, attrs...).Wait(m.sessionCtx(ctx))
 }
 
 func (m *modelProxy) particleCount() int {
@@ -479,7 +739,7 @@ func (m *modelProxy) particleCount() int {
 	return m.n
 }
 
-// Gravity is the coupler-side PhiGRAPE model (bridge.Dynamics +
+// Gravity is the coupler-side PhiGRAPE model (bridge.AsyncDynamics +
 // bridge.MassSettable).
 type Gravity struct {
 	*modelProxy
@@ -492,13 +752,14 @@ type GravityOptions struct {
 	Eta    float64 // timestep parameter (0 = default)
 }
 
-// NewGravity starts a gravitational-dynamics worker.
-func (s *Simulation) NewGravity(spec WorkerSpec, opt GravityOptions) (*Gravity, error) {
+// NewGravity starts a gravitational-dynamics worker. ctx bounds worker
+// startup (job submission, ready announcement, setup call).
+func (s *Simulation) NewGravity(ctx context.Context, spec WorkerSpec, opt GravityOptions) (*Gravity, error) {
 	if opt.Kernel == "" {
 		opt.Kernel = "phigrape-cpu"
 	}
 	spec.Kernel = opt.Kernel
-	m, err := s.newModel(KindGravity, spec, kernel.SetupGravityArgs{
+	m, err := s.newModel(ctx, KindGravity, spec, kernel.SetupGravityArgs{
 		Kernel: opt.Kernel, Eps: opt.Eps, Eta: opt.Eta,
 	})
 	if err != nil {
@@ -508,13 +769,13 @@ func (s *Simulation) NewGravity(spec WorkerSpec, opt GravityOptions) (*Gravity, 
 }
 
 // SetParticles uploads the master set.
-func (g *Gravity) SetParticles(p *data.Particles) error { return g.setParticles(p) }
+func (g *Gravity) SetParticles(p *data.Particles) error { return g.setParticles(nil, p) }
 
 // EvolveTo implements bridge.Dynamics.
-func (g *Gravity) EvolveTo(t float64) error { return g.evolveTo(t) }
+func (g *Gravity) EvolveTo(ctx context.Context, t float64) error { return g.evolveTo(ctx, t) }
 
 // Kick implements bridge.Dynamics.
-func (g *Gravity) Kick(dv []data.Vec3) error { return g.kick(dv) }
+func (g *Gravity) Kick(ctx context.Context, dv []data.Vec3) error { return g.kick(ctx, dv) }
 
 // Positions implements bridge.Dynamics (nil on RPC failure; see Err).
 func (g *Gravity) Positions() []data.Vec3 { return g.positions() }
@@ -527,37 +788,43 @@ func (g *Gravity) N() int { return g.particleCount() }
 
 // SetMass implements bridge.MassSettable (errors are sticky; see Err).
 func (g *Gravity) SetMass(i int, mass float64) {
-	g.call("set_mass", kernel.SetMassArgs{Index: i, Mass: mass}, &kernel.Empty{})
+	g.Call(nil, "set_mass", kernel.SetMassArgs{Index: i, Mass: mass}, &kernel.Empty{})
 }
 
-// Energy returns (kinetic, potential).
-func (g *Gravity) Energy() (float64, float64, error) {
+// Energy returns (kinetic, potential). nil ctx means the session context.
+func (g *Gravity) Energy(ctx context.Context) (float64, float64, error) {
 	var out kernel.EnergiesResult
-	if err := g.call("energies", kernel.Empty{}, &out); err != nil {
+	if err := g.Call(ctx, "energies", kernel.Empty{}, &out); err != nil {
 		return 0, 0, err
 	}
 	return out.Kinetic, out.Potential, nil
 }
 
-// Sync pulls masses, positions and velocities into the given master set
-// (and refreshes the replacement cache) — one batched columnar round trip
-// where the prototype paid three RPCs.
-func (g *Gravity) Sync(p *data.Particles) error {
-	st, err := g.GetState(data.AttrMass, data.AttrPos, data.AttrVel)
-	if err != nil {
-		return err
-	}
-	if st.N != p.Len() {
-		return fmt.Errorf("core: sync: worker has %d particles, set has %d", st.N, p.Len())
-	}
-	if err := kernel.ScatterState(p, st); err != nil {
-		return err
-	}
-	g.cacheState(kernel.ParticlesToPayload(p))
-	return nil
+// GoSync issues the one-round-trip state synchronization without waiting;
+// the columns land in p (and refresh the replacement cache) when the
+// result is first observed.
+func (g *Gravity) GoSync(p *data.Particles) *Call {
+	return g.goGetState([]string{data.AttrMass, data.AttrPos, data.AttrVel},
+		func(st *kernel.StatePayload) error {
+			if st.N != p.Len() {
+				return fmt.Errorf("core: sync: worker has %d particles, set has %d", st.N, p.Len())
+			}
+			if err := kernel.ScatterState(p, st); err != nil {
+				return err
+			}
+			g.cacheState(kernel.ParticlesToPayload(p))
+			return nil
+		})
 }
 
-// Hydro is the coupler-side Gadget model (bridge.Dynamics +
+// Sync pulls masses, positions and velocities into the given master set
+// (and refreshes the replacement cache) — one batched columnar round trip
+// where the prototype paid three RPCs. nil ctx means the session context.
+func (g *Gravity) Sync(ctx context.Context, p *data.Particles) error {
+	return g.GoSync(p).Wait(g.sessionCtx(ctx))
+}
+
+// Hydro is the coupler-side Gadget model (bridge.AsyncDynamics +
 // bridge.EnergyInjector).
 type Hydro struct {
 	*modelProxy
@@ -571,8 +838,8 @@ type HydroOptions struct {
 }
 
 // NewHydro starts an SPH worker (set spec.Nodes > 1 for an MPI worker).
-func (s *Simulation) NewHydro(spec WorkerSpec, opt HydroOptions) (*Hydro, error) {
-	m, err := s.newModel(KindHydro, spec, kernel.SetupHydroArgs{
+func (s *Simulation) NewHydro(ctx context.Context, spec WorkerSpec, opt HydroOptions) (*Hydro, error) {
+	m, err := s.newModel(ctx, KindHydro, spec, kernel.SetupHydroArgs{
 		SelfGravity: opt.SelfGravity, EpsGrav: opt.EpsGrav, NTarget: opt.NTarget,
 	})
 	if err != nil {
@@ -582,13 +849,13 @@ func (s *Simulation) NewHydro(spec WorkerSpec, opt HydroOptions) (*Hydro, error)
 }
 
 // SetParticles uploads the gas set.
-func (h *Hydro) SetParticles(p *data.Particles) error { return h.setParticles(p) }
+func (h *Hydro) SetParticles(p *data.Particles) error { return h.setParticles(nil, p) }
 
 // EvolveTo implements bridge.Dynamics.
-func (h *Hydro) EvolveTo(t float64) error { return h.evolveTo(t) }
+func (h *Hydro) EvolveTo(ctx context.Context, t float64) error { return h.evolveTo(ctx, t) }
 
 // Kick implements bridge.Dynamics.
-func (h *Hydro) Kick(dv []data.Vec3) error { return h.kick(dv) }
+func (h *Hydro) Kick(ctx context.Context, dv []data.Vec3) error { return h.kick(ctx, dv) }
 
 // Positions implements bridge.Dynamics.
 func (h *Hydro) Positions() []data.Vec3 { return h.positions() }
@@ -601,14 +868,15 @@ func (h *Hydro) N() int { return h.particleCount() }
 
 // InjectEnergy implements bridge.EnergyInjector.
 func (h *Hydro) InjectEnergy(center data.Vec3, radius, e float64) int {
-	h.call("inject_energy", kernel.InjectArgs{Center: center, Radius: radius, E: e}, &kernel.Empty{})
+	h.Call(nil, "inject_energy", kernel.InjectArgs{Center: center, Radius: radius, E: e}, &kernel.Empty{})
 	return 0
 }
 
-// Energy returns (kinetic, thermal, potential).
-func (h *Hydro) Energy() (float64, float64, float64, error) {
+// Energy returns (kinetic, thermal, potential). nil ctx means the session
+// context.
+func (h *Hydro) Energy(ctx context.Context) (float64, float64, float64, error) {
 	var out kernel.EnergiesResult
-	if err := h.call("energies", kernel.Empty{}, &out); err != nil {
+	if err := h.Call(ctx, "energies", kernel.Empty{}, &out); err != nil {
 		return 0, 0, 0, err
 	}
 	return out.Kinetic, out.Thermal, out.Potential, nil
@@ -622,8 +890,8 @@ type StellarModel struct {
 // NewStellar starts a stellar-evolution worker for the given ZAMS masses
 // (in MSun). myrPerTime and nbodyPerMSun are the unit scales the bridge
 // needs; with a session converter use NewStellarFromConverter.
-func (s *Simulation) NewStellar(spec WorkerSpec, massesMSun []float64, myrPerTime, nbodyPerMSun float64) (*StellarModel, error) {
-	m, err := s.newModel(KindStellar, spec, kernel.SetupStellarArgs{
+func (s *Simulation) NewStellar(ctx context.Context, spec WorkerSpec, massesMSun []float64, myrPerTime, nbodyPerMSun float64) (*StellarModel, error) {
+	m, err := s.newModel(ctx, KindStellar, spec, kernel.SetupStellarArgs{
 		MassesMSun: massesMSun, MyrPerTime: myrPerTime, NBodyPerMSun: nbodyPerMSun,
 	})
 	if err != nil {
@@ -634,7 +902,7 @@ func (s *Simulation) NewStellar(spec WorkerSpec, massesMSun []float64, myrPerTim
 
 // NewStellarFromConverter derives the unit scales from the session
 // converter (checked conversions, as AMUSE requires).
-func (s *Simulation) NewStellarFromConverter(spec WorkerSpec, massesMSun []float64) (*StellarModel, error) {
+func (s *Simulation) NewStellarFromConverter(ctx context.Context, spec WorkerSpec, massesMSun []float64) (*StellarModel, error) {
 	if s.conv == nil {
 		return nil, errors.New("core: stellar model needs a unit converter")
 	}
@@ -646,13 +914,13 @@ func (s *Simulation) NewStellarFromConverter(spec WorkerSpec, massesMSun []float
 	if err != nil {
 		return nil, err
 	}
-	return s.NewStellar(spec, massesMSun, myr, 1/msun)
+	return s.NewStellar(ctx, spec, massesMSun, myr, 1/msun)
 }
 
 // EvolveTo implements bridge.Stellar.
-func (st *StellarModel) EvolveTo(t float64) ([]bridge.StellarEvent, error) {
+func (st *StellarModel) EvolveTo(ctx context.Context, t float64) ([]bridge.StellarEvent, error) {
 	var out kernel.StellarEvolveResult
-	if err := st.call("evolve", kernel.EvolveArgs{T: t}, &out); err != nil {
+	if err := st.Call(ctx, "evolve", kernel.EvolveArgs{T: t}, &out); err != nil {
 		return nil, err
 	}
 	events := make([]bridge.StellarEvent, 0, len(out.Events))
@@ -662,8 +930,8 @@ func (st *StellarModel) EvolveTo(t float64) ([]bridge.StellarEvent, error) {
 	return events, nil
 }
 
-// FieldModel is the coupler-side coupling model (bridge.Field): Octgrav or
-// Fi.
+// FieldModel is the coupler-side coupling model (bridge.AsyncField):
+// Octgrav or Fi.
 type FieldModel struct {
 	*modelProxy
 	kernelName string
@@ -677,12 +945,12 @@ type FieldOptions struct {
 }
 
 // NewField starts a coupling worker.
-func (s *Simulation) NewField(spec WorkerSpec, opt FieldOptions) (*FieldModel, error) {
+func (s *Simulation) NewField(ctx context.Context, spec WorkerSpec, opt FieldOptions) (*FieldModel, error) {
 	if opt.Kernel == "" {
 		opt.Kernel = "fi"
 	}
 	spec.Kernel = opt.Kernel
-	m, err := s.newModel(KindField, spec, kernel.SetupFieldArgs{
+	m, err := s.newModel(ctx, KindField, spec, kernel.SetupFieldArgs{
 		Kernel: opt.Kernel, Theta: opt.Theta, Eps: opt.Eps,
 	})
 	if err != nil {
@@ -694,32 +962,58 @@ func (s *Simulation) NewField(spec WorkerSpec, opt FieldOptions) (*FieldModel, e
 // Name implements bridge.Field.
 func (f *FieldModel) Name() string { return f.kernelName }
 
+// fieldCall is the pending field evaluation behind GoFieldAt.
+type fieldCall struct {
+	call *Call
+	n    int
+}
+
+// Wait implements bridge.FieldCall.
+func (fc fieldCall) Wait(ctx context.Context) ([]data.Vec3, []float64, float64, error) {
+	var out kernel.FieldAtResult
+	if err := fc.call.Wait(ctx); err != nil {
+		return make([]data.Vec3, fc.n), make([]float64, fc.n), 0, err
+	}
+	if err := fc.call.Decode(&out); err != nil {
+		return make([]data.Vec3, fc.n), make([]float64, fc.n), 0, err
+	}
+	return out.Acc, out.Pot, 0, nil
+}
+
+// GoFieldAt issues a field evaluation without waiting
+// (bridge.AsyncField): the bridge puts both p-kick directions on the wire
+// back to back. The eps argument is fixed at setup; the worker applies
+// the configured one.
+func (f *FieldModel) GoFieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) bridge.FieldCall {
+	c := f.Go("field_at", kernel.FieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: targets})
+	return fieldCall{call: c, n: len(targets)}
+}
+
+// FieldAt implements bridge.Field (errors are sticky; see Err).
+func (f *FieldModel) FieldAt(ctx context.Context, srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+	acc, pot, flops, err := f.GoFieldAt(srcMass, srcPos, targets, eps).Wait(f.sessionCtx(ctx))
+	if err != nil {
+		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
+	}
+	return acc, pot, flops
+}
+
 // Model is the generic coupler-side handle for a worker of any registered
 // kind. Kinds added outside internal/core (one package + one import, no
 // core edits) get the full channel stack — worker start-up, replacement,
-// virtual-time accounting, typed Call and the batched GetState/SetState
-// path — through this handle; a typed wrapper like Gravity is optional
-// sugar.
+// virtual-time accounting, the asynchronous Go/Call pair and the batched
+// GetState/SetState path — through this handle; a typed wrapper like
+// Gravity is optional sugar.
 type Model struct {
 	*modelProxy
 }
 
 // NewModel starts a worker of the given kind and performs its "setup"
 // call with the provided (gob-encodable) arguments.
-func (s *Simulation) NewModel(kind Kind, spec WorkerSpec, setup any) (*Model, error) {
-	m, err := s.newModel(kind, spec, setup)
+func (s *Simulation) NewModel(ctx context.Context, kind Kind, spec WorkerSpec, setup any) (*Model, error) {
+	m, err := s.newModel(ctx, kind, spec, setup)
 	if err != nil {
 		return nil, err
 	}
 	return &Model{modelProxy: m}, nil
-}
-
-// FieldAt implements bridge.Field. The eps argument is fixed at setup; the
-// bridge passes its own but the worker applies the configured one.
-func (f *FieldModel) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
-	var out kernel.FieldAtResult
-	if err := f.call("field_at", kernel.FieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: targets}, &out); err != nil {
-		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
-	}
-	return out.Acc, out.Pot, 0
 }

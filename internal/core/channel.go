@@ -9,16 +9,30 @@ import (
 	"jungle/internal/vnet"
 )
 
+// completion receives the outcome of one started call, exactly once: a
+// decoded response plus its coupler-side virtual arrival time, or a
+// transport-level error. Completions are invoked from channel-internal
+// goroutines and must not block.
+type completion func(resp response, arrival time.Duration, err error)
+
 // channel moves RPC round trips between the coupler and one worker. The
 // three implementations mirror AMUSE's channels: "mpi" (in-process, the
 // default), "sockets" (loopback connection to a local worker process) and
 // "ibis" (via the daemon over IPL to a remote resource — this paper's
 // addition).
+//
+// The interface is asynchronous: start issues a call and returns
+// immediately; the outcome is delivered to the completion later. Calls
+// started from one goroutine are delivered to the worker in start order
+// (the worker itself is single-threaded), which is what lets the coupler
+// pipeline many calls onto one slow wide-area link and pay its latency
+// once instead of once per call.
 type channel interface {
 	name() string
-	// roundTrip performs one call; arrival is the coupler-side virtual
-	// time at which the response landed.
-	roundTrip(req request) (response, time.Duration, error)
+	// start issues one call without waiting and later delivers the
+	// outcome to done (exactly once, possibly before start returns if the
+	// channel is already closed).
+	start(req request, done completion)
 	close() error
 }
 
@@ -30,44 +44,90 @@ const (
 )
 
 // localChannel calls the service in-process. AMUSE's MPI channel costs a
-// small per-message latency; calls are serialized like a single-threaded
-// worker.
+// small per-message latency; calls are served by one goroutine in FIFO
+// order, like a single-threaded worker behind a message queue.
 type localChannel struct {
-	mu      sync.Mutex
 	svc     service
-	closed  bool
 	latency time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []localSubmission
+	closed bool
+
+	stopped chan struct{}
+}
+
+type localSubmission struct {
+	req  request
+	done completion
 }
 
 // mpiMessageLatency is the per-call cost of the local MPI channel.
 const mpiMessageLatency = 5 * time.Microsecond
 
 func newLocalChannel(svc service) *localChannel {
-	return &localChannel{svc: svc, latency: mpiMessageLatency}
+	c := &localChannel{svc: svc, latency: mpiMessageLatency, stopped: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	go c.serve()
+	return c
 }
 
 func (c *localChannel) name() string { return ChannelMPI }
 
-func (c *localChannel) roundTrip(req request) (response, time.Duration, error) {
+func (c *localChannel) start(req request, done completion) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return response{}, 0, ErrChannelClosed
+		c.mu.Unlock()
+		done(response{}, 0, ErrChannelClosed)
+		return
 	}
-	result, doneAt, err := c.svc.Dispatch(req.Method, req.Args, req.SentAt+c.latency)
-	resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
-	if err != nil {
-		resp.Err = err.Error()
+	c.queue = append(c.queue, localSubmission{req: req, done: done})
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// serve is the worker loop: pop one submission, dispatch, deliver.
+func (c *localChannel) serve() {
+	defer close(c.stopped)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.closed {
+			c.mu.Unlock()
+			c.svc.Close()
+			return
+		}
+		sub := c.queue[0]
+		c.queue = c.queue[1:]
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			sub.done(response{}, 0, ErrChannelClosed)
+			continue
+		}
+		result, doneAt, err := c.svc.Dispatch(sub.req.Method, sub.req.Args, sub.req.SentAt+c.latency)
+		resp := response{ID: sub.req.ID, Result: result, DoneAt: doneAt}
+		if err != nil {
+			resp.Code = kernel.ClassifyErr(err)
+			resp.Err = err.Error()
+		}
+		sub.done(resp, doneAt+c.latency, nil)
 	}
-	return resp, doneAt + c.latency, nil
 }
 
 func (c *localChannel) close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		c.svc.Close()
+	already := c.closed
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if !already {
+		// Wait for the serve loop to finish its in-flight dispatch, fail
+		// anything still queued and release the service.
+		<-c.stopped
 	}
 	return nil
 }
@@ -80,18 +140,13 @@ type connChannel struct {
 	conn   *vnet.Conn
 
 	mu      sync.Mutex
-	pending map[uint64]chan respArrival
+	pending map[uint64]completion
 	closed  bool
 	readErr error
 }
 
-type respArrival struct {
-	resp    response
-	arrival time.Duration
-}
-
 func newConnChannel(name string, conn *vnet.Conn) *connChannel {
-	c := &connChannel{chName: name, conn: conn, pending: make(map[uint64]chan respArrival)}
+	c := &connChannel{chName: name, conn: conn, pending: make(map[uint64]completion)}
 	go c.readLoop()
 	return c
 }
@@ -102,34 +157,47 @@ func (c *connChannel) readLoop() {
 	for {
 		msg, err := c.conn.Recv()
 		if err != nil {
-			c.mu.Lock()
-			c.closed = true
-			if c.readErr == nil {
-				c.readErr = ErrWorkerDied
-			}
-			for id, ch := range c.pending {
-				delete(c.pending, id)
-				close(ch)
-			}
-			c.mu.Unlock()
+			c.fail(ErrWorkerDied)
 			return
 		}
 		var resp response
 		if err := kernel.UnmarshalResponse(msg.Data, &resp); err != nil {
-			continue
+			// An undecodable frame cannot be matched to its waiter, and
+			// everything behind it on the stream is suspect: fail the
+			// channel (and every pending call) rather than dropping the
+			// frame and leaking the waiter forever.
+			c.fail(fmt.Errorf("%w: %s channel received undecodable response frame: %v",
+				kernel.ErrTransport, c.chName, err))
+			c.conn.Close()
+			return
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		done := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- respArrival{resp: resp, arrival: msg.Arrival}
+		if done != nil {
+			done(resp, msg.Arrival, nil)
 		}
 	}
 }
 
-func (c *connChannel) roundTrip(req request) (response, time.Duration, error) {
-	ch := make(chan respArrival, 1)
+// fail marks the channel dead and delivers err to every pending call.
+func (c *connChannel) fail(err error) {
+	c.mu.Lock()
+	c.closed = true
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	err = c.readErr
+	pend := c.pending
+	c.pending = make(map[uint64]completion)
+	c.mu.Unlock()
+	for _, done := range pend {
+		done(response{}, 0, err)
+	}
+}
+
+func (c *connChannel) start(req request, done completion) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -137,9 +205,10 @@ func (c *connChannel) roundTrip(req request) (response, time.Duration, error) {
 		if err == nil {
 			err = ErrChannelClosed
 		}
-		return response{}, 0, err
+		done(response{}, 0, err)
+		return
 	}
-	c.pending[req.ID] = ch
+	c.pending[req.ID] = done
 	c.mu.Unlock()
 
 	buf := kernel.GetBuf()
@@ -148,23 +217,32 @@ func (c *connChannel) roundTrip(req request) (response, time.Duration, error) {
 	*buf = frame[:0]
 	kernel.PutBuf(buf)
 	if sendErr != nil {
+		// The read loop may have raced us to the pending entry (it fails
+		// everything when the conn dies); only deliver if we still own it.
 		c.mu.Lock()
+		cb, ok := c.pending[req.ID]
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return response{}, 0, fmt.Errorf("core: %s channel send: %w", c.chName, sendErr)
+		if ok && cb != nil {
+			cb(response{}, 0, fmt.Errorf("%w: %s channel send: %v", kernel.ErrTransport, c.chName, sendErr))
+		}
 	}
-	ra, ok := <-ch
-	if !ok {
-		return response{}, 0, ErrWorkerDied
-	}
-	return ra.resp, ra.arrival, nil
 }
 
 func (c *connChannel) close() error {
 	c.mu.Lock()
 	already := c.closed
 	c.closed = true
+	if c.readErr == nil {
+		c.readErr = ErrChannelClosed
+	}
+	err := c.readErr
+	pend := c.pending
+	c.pending = make(map[uint64]completion)
 	c.mu.Unlock()
+	for _, done := range pend {
+		done(response{}, 0, err)
+	}
 	if !already {
 		return c.conn.Close()
 	}
@@ -172,7 +250,8 @@ func (c *connChannel) close() error {
 }
 
 // serveConn is the worker-process side of a conn channel: read requests,
-// dispatch sequentially, reply. It returns when the connection closes.
+// dispatch sequentially, reply. Pipelined requests queue on the conn and
+// execute in arrival order. It returns when the connection closes.
 func serveConn(conn *vnet.Conn, svc service) {
 	for {
 		msg, err := conn.Recv()
@@ -186,6 +265,7 @@ func serveConn(conn *vnet.Conn, svc service) {
 		result, doneAt, derr := svc.Dispatch(req.Method, req.Args, msg.Arrival)
 		resp := response{ID: req.ID, Result: result, DoneAt: doneAt}
 		if derr != nil {
+			resp.Code = kernel.ClassifyErr(derr)
 			resp.Err = derr.Error()
 		}
 		buf := kernel.GetBuf()

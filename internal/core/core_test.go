@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -27,14 +28,14 @@ func labSim(t *testing.T) (*Testbed, *Simulation) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := NewSimulation(tb.Daemon, conv)
-	t.Cleanup(sim.Stop)
+	sim := NewSimulation(context.Background(), tb.Daemon, conv)
+	t.Cleanup(func() { sim.Stop() })
 	return tb, sim
 }
 
 func TestLocalChannelGravity(t *testing.T) {
 	_, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Resource: "desktop", Channel: ChannelMPI},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "desktop", Channel: ChannelMPI},
 		GravityOptions{Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -46,14 +47,14 @@ func TestLocalChannelGravity(t *testing.T) {
 	if g.N() != 64 {
 		t.Fatalf("N = %d", g.N())
 	}
-	k0, u0, err := g.Energy()
+	k0, u0, err := g.Energy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g.EvolveTo(0.125); err != nil {
+	if err := g.EvolveTo(context.Background(), 0.125); err != nil {
 		t.Fatal(err)
 	}
-	k1, u1, err := g.Energy()
+	k1, u1, err := g.Energy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestLocalChannelGravity(t *testing.T) {
 
 func TestIbisChannelRemoteWorker(t *testing.T) {
 	tb, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -76,11 +77,11 @@ func TestIbisChannelRemoteWorker(t *testing.T) {
 	if err := g.SetParticles(stars); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.EvolveTo(1.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
 		t.Fatal(err)
 	}
 	out := stars.Clone()
-	if err := g.Sync(out); err != nil {
+	if err := g.Sync(context.Background(), out); err != nil {
 		t.Fatal(err)
 	}
 	moved := false
@@ -110,7 +111,7 @@ func TestIbisChannelRemoteWorker(t *testing.T) {
 
 func TestSocketsChannelWorker(t *testing.T) {
 	_, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Resource: "desktop", Channel: ChannelSockets},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "desktop", Channel: ChannelSockets},
 		GravityOptions{Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +120,7 @@ func TestSocketsChannelWorker(t *testing.T) {
 	if err := g.SetParticles(stars); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.EvolveTo(1.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Err(); err != nil {
@@ -135,18 +136,18 @@ func TestChannelsProduceIdenticalPhysics(t *testing.T) {
 	stars := ic.Plummer(100, 4)
 
 	run := func(spec WorkerSpec, kernel string) *data.Particles {
-		g, err := sim.NewGravity(spec, GravityOptions{Kernel: kernel, Eps: 0.01})
+		g, err := sim.NewGravity(context.Background(), spec, GravityOptions{Kernel: kernel, Eps: 0.01})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := g.SetParticles(stars); err != nil {
 			t.Fatal(err)
 		}
-		if err := g.EvolveTo(1.0 / 32); err != nil {
+		if err := g.EvolveTo(context.Background(), 1.0/32); err != nil {
 			t.Fatal(err)
 		}
 		out := stars.Clone()
-		if err := g.Sync(out); err != nil {
+		if err := g.Sync(context.Background(), out); err != nil {
 			t.Fatal(err)
 		}
 		return out
@@ -165,13 +166,13 @@ func TestChannelsProduceIdenticalPhysics(t *testing.T) {
 
 func TestStellarWorkerEvents(t *testing.T) {
 	_, sim := labSim(t)
-	st, err := sim.NewStellar(WorkerSpec{Resource: "das4-uva", Channel: ChannelIbis},
+	st, err := sim.NewStellar(context.Background(), WorkerSpec{Resource: "das4-uva", Channel: ChannelIbis},
 		[]float64{25, 1, 0.5}, 10 /* Myr per time unit */, 0.001)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 25 MSun lives ~3.2 Myr; at 10 Myr/unit, t=1 covers it.
-	events, err := st.EvolveTo(1)
+	events, err := st.EvolveTo(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,14 +189,14 @@ func TestStellarWorkerEvents(t *testing.T) {
 
 func TestFieldWorker(t *testing.T) {
 	_, sim := labSim(t)
-	f, err := sim.NewField(WorkerSpec{Resource: "das4-tud", Channel: ChannelIbis},
+	f, err := sim.NewField(context.Background(), WorkerSpec{Resource: "das4-tud", Channel: ChannelIbis},
 		FieldOptions{Kernel: "octgrav", Eps: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
 	src := ic.Plummer(200, 5)
 	targets := src.Pos[:10]
-	acc, pot, _ := f.FieldAt(src.Mass, src.Pos, targets, 0.05)
+	acc, pot, _ := f.FieldAt(context.Background(), src.Mass, src.Pos, targets, 0.05)
 	if err := f.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -231,21 +232,21 @@ func TestDistributedBridgeMatchesLocal(t *testing.T) {
 
 	run := func(t *testing.T, gravSpec, hydroSpec, fieldSpec WorkerSpec, gravKernel, fieldKernel string) (*data.Particles, time.Duration) {
 		_, sim := labSim(t)
-		g, err := sim.NewGravity(gravSpec, GravityOptions{Kernel: gravKernel, Eps: 0.01})
+		g, err := sim.NewGravity(context.Background(), gravSpec, GravityOptions{Kernel: gravKernel, Eps: 0.01})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := g.SetParticles(stars); err != nil {
 			t.Fatal(err)
 		}
-		h, err := sim.NewHydro(hydroSpec, HydroOptions{SelfGravity: true, EpsGrav: 0.01})
+		h, err := sim.NewHydro(context.Background(), hydroSpec, HydroOptions{SelfGravity: true, EpsGrav: 0.01})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := h.SetParticles(gas); err != nil {
 			t.Fatal(err)
 		}
-		f, err := sim.NewField(fieldSpec, FieldOptions{Kernel: fieldKernel, Eps: 0.05})
+		f, err := sim.NewField(context.Background(), fieldSpec, FieldOptions{Kernel: fieldKernel, Eps: 0.05})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,11 +256,11 @@ func TestDistributedBridgeMatchesLocal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := br.EvolveTo(2.0 / 32); err != nil {
+		if err := br.EvolveTo(context.Background(), 2.0/32); err != nil {
 			t.Fatal(err)
 		}
 		out := stars.Clone()
-		if err := g.Sync(out); err != nil {
+		if err := g.Sync(context.Background(), out); err != nil {
 			t.Fatal(err)
 		}
 		return out, sim.Elapsed()
@@ -292,7 +293,7 @@ func TestWorkerDeathDetected(t *testing.T) {
 	tb, sim := labSim(t)
 	died := make(chan int, 1)
 	tb.Daemon.OnWorkerDied = func(id int) { died <- id }
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +307,7 @@ func TestWorkerDeathDetected(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("death not detected")
 	}
-	err = g.EvolveTo(0.5)
+	err = g.EvolveTo(context.Background(), 0.5)
 	if err == nil {
 		t.Fatal("call to dead worker succeeded")
 	}
@@ -322,7 +323,7 @@ func TestWorkerDeathDetected(t *testing.T) {
 
 func TestWorkerReplacement(t *testing.T) {
 	tb, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Channel: ChannelIbis}, // auto resource
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Channel: ChannelIbis}, // auto resource
 		GravityOptions{Kernel: "phigrape-cpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -332,12 +333,12 @@ func TestWorkerReplacement(t *testing.T) {
 	if err := g.SetParticles(stars); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.EvolveTo(1.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
 		t.Fatal(err)
 	}
 	// Snapshot state, then kill the worker.
 	snap := stars.Clone()
-	if err := g.Sync(snap); err != nil {
+	if err := g.Sync(context.Background(), snap); err != nil {
 		t.Fatal(err)
 	}
 	died := make(chan int, 1)
@@ -351,7 +352,7 @@ func TestWorkerReplacement(t *testing.T) {
 	// §5 future work, implemented: the next call transparently restarts
 	// the worker from the last synced state.
 	var out kernel.VecResult
-	if err := g.call("get_positions", kernel.Empty{}, &out); err != nil {
+	if err := g.Call(context.Background(), "get_positions", kernel.Empty{}, &out); err != nil {
 		t.Fatalf("replacement failed: %v", err)
 	}
 	if len(out.V) != snap.Len() {
@@ -362,7 +363,7 @@ func TestWorkerReplacement(t *testing.T) {
 			t.Fatalf("replacement lost state at particle %d", i)
 		}
 	}
-	if err := g.EvolveTo(2.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 2.0/64); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -400,7 +401,7 @@ func TestHydroMPIWorkerOverIbis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := sim.NewHydro(WorkerSpec{Resource: "das4-vu", Nodes: 4, Channel: ChannelIbis},
+	h, err := sim.NewHydro(context.Background(), WorkerSpec{Resource: "das4-vu", Nodes: 4, Channel: ChannelIbis},
 		HydroOptions{SelfGravity: true})
 	if err != nil {
 		t.Fatal(err)
@@ -408,7 +409,7 @@ func TestHydroMPIWorkerOverIbis(t *testing.T) {
 	if err := h.SetParticles(gas); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.EvolveTo(0.01); err != nil {
+	if err := h.EvolveTo(context.Background(), 0.01); err != nil {
 		t.Fatal(err)
 	}
 	// The worker's intra-cluster traffic must be recorded as MPI —

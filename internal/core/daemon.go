@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -194,7 +195,9 @@ func (d *Daemon) serveCoupler(conn *vnet.Conn) {
 		wh := d.workers[req.Worker]
 		d.mu.Unlock()
 		if wh == nil {
-			d.reply(conn, req.ID, msg.Arrival, fmt.Sprintf("core: no worker %d", req.Worker))
+			// A routing failure is a transport fault, not a worker death:
+			// no worker with that id exists on this daemon.
+			d.reply(conn, req.ID, msg.Arrival, kernel.CodeTransport, fmt.Sprintf("core: no worker %d", req.Worker))
 			continue
 		}
 		wh.mu.Lock()
@@ -204,21 +207,21 @@ func (d *Daemon) serveCoupler(conn *vnet.Conn) {
 		}
 		wh.mu.Unlock()
 		if dead || sp == nil {
-			d.reply(conn, req.ID, msg.Arrival, ErrWorkerDied.Error())
+			d.reply(conn, req.ID, msg.Arrival, kernel.CodeWorkerDied, ErrWorkerDied.Error())
 			continue
 		}
 		if err := sp.Write(msg.Data, msg.Arrival); err != nil {
 			wh.mu.Lock()
 			delete(wh.pending, req.ID)
 			wh.mu.Unlock()
-			d.reply(conn, req.ID, msg.Arrival, ErrWorkerDied.Error())
+			d.reply(conn, req.ID, msg.Arrival, kernel.CodeWorkerDied, ErrWorkerDied.Error())
 		}
 	}
 }
 
-// reply sends an error response back to a coupler connection.
-func (d *Daemon) reply(conn *vnet.Conn, id uint64, at time.Duration, errStr string) {
-	resp := &response{ID: id, Err: errStr, DoneAt: at}
+// reply sends a coded error response back to a coupler connection.
+func (d *Daemon) reply(conn *vnet.Conn, id uint64, at time.Duration, code kernel.Code, errStr string) {
+	resp := &response{ID: id, Code: code, Err: errStr, DoneAt: at}
 	buf := kernel.GetBuf()
 	frame := kernel.AppendResponse(*buf, resp)
 	conn.Send(frame, at)
@@ -283,7 +286,7 @@ func (d *Daemon) failWorker(wh *workerHandle) bool {
 		sp.Close()
 	}
 	for id, conn := range pend {
-		d.reply(conn, id, 0, ErrWorkerDied.Error())
+		d.reply(conn, id, 0, kernel.CodeWorkerDied, ErrWorkerDied.Error())
 	}
 	return newly
 }
@@ -291,7 +294,12 @@ func (d *Daemon) failWorker(wh *workerHandle) bool {
 // StartWorker launches a worker per spec and returns its id. For the ibis
 // channel this is Fig. 5 end to end: submit job via IbisDeploy, wait for
 // the proxy to join the pool and announce, then connect the request port.
-func (d *Daemon) StartWorker(spec WorkerSpec) (int, error) {
+// ctx bounds the wait for the worker's ready announcement (on top of
+// ReadyTimeout); nil means no context deadline.
+func (d *Daemon) StartWorker(ctx context.Context, spec WorkerSpec) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Channel == "" {
 		spec.Channel = ChannelIbis
 	}
@@ -386,6 +394,9 @@ func (d *Daemon) StartWorker(spec WorkerSpec) (int, error) {
 			err = errors.New("core: worker job stopped before announcing")
 		}
 		return 0, fmt.Errorf("core: worker %d failed to start: %w", id, err)
+	case <-ctx.Done():
+		job.Cancel()
+		return 0, fmt.Errorf("core: worker %d start: %w", id, ctx.Err())
 	case <-time.After(d.ReadyTimeout):
 		job.Cancel()
 		return 0, fmt.Errorf("core: worker %d did not announce within %v", id, d.ReadyTimeout)

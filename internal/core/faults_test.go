@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestHostCrashKillsWorker(t *testing.T) {
 	died := make(chan int, 1)
 	tb.Daemon.OnWorkerDied = func(id int) { died <- id }
 
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +39,7 @@ func TestHostCrashKillsWorker(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("host crash not detected")
 	}
-	if err := g.EvolveTo(0.5); !errors.Is(err, ErrWorkerDied) {
+	if err := g.EvolveTo(context.Background(), 0.5); !errors.Is(err, ErrWorkerDied) {
 		t.Fatalf("err = %v, want ErrWorkerDied", err)
 	}
 }
@@ -51,7 +52,7 @@ func TestReplacementAfterHostCrash(t *testing.T) {
 	died := make(chan int, 1)
 	tb.Daemon.OnWorkerDied = func(id int) { died <- id }
 
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +72,7 @@ func TestReplacementAfterHostCrash(t *testing.T) {
 	}
 	// Next call triggers replacement. LGM is down, so selection must pick
 	// the TUD GPU nodes.
-	if err := g.EvolveTo(1.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
 		t.Fatalf("replacement failed: %v", err)
 	}
 	if g.spec.Resource != "das4-tud" {
@@ -85,7 +86,7 @@ func TestReplacementAfterHostCrash(t *testing.T) {
 // workers keep running.
 func TestMalleabilityAddResourceMidRun(t *testing.T) {
 	tb, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestMalleabilityAddResourceMidRun(t *testing.T) {
 	if err := g.SetParticles(ic.Plummer(16, 3)); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.EvolveTo(1.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
 		t.Fatal(err)
 	}
 
@@ -115,7 +116,7 @@ func TestMalleabilityAddResourceMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h, err := sim.NewHydro(WorkerSpec{Resource: "cloud", Nodes: 2, Channel: ChannelIbis},
+	h, err := sim.NewHydro(context.Background(), WorkerSpec{Resource: "cloud", Nodes: 2, Channel: ChannelIbis},
 		HydroOptions{SelfGravity: false})
 	if err != nil {
 		t.Fatalf("worker on mid-run resource: %v", err)
@@ -127,11 +128,11 @@ func TestMalleabilityAddResourceMidRun(t *testing.T) {
 	if err := h.SetParticles(gas); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.EvolveTo(0.005); err != nil {
+	if err := h.EvolveTo(context.Background(), 0.005); err != nil {
 		t.Fatal(err)
 	}
 	// The original worker is unaffected.
-	if err := g.EvolveTo(2.0 / 64); err != nil {
+	if err := g.EvolveTo(context.Background(), 2.0/64); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -142,7 +143,7 @@ func TestStopWorkerGraceful(t *testing.T) {
 	tb, sim := labSim(t)
 	fired := make(chan int, 4)
 	tb.Daemon.OnWorkerDied = func(id int) { fired <- id }
-	g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)

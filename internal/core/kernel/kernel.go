@@ -26,12 +26,31 @@ import (
 	"jungle/internal/vtime"
 )
 
-// Errors shared across the protocol stack.
+// Errors shared across the protocol stack. These four sentinels are the
+// wire error taxonomy: every Response carries a Code that maps back to
+// exactly one of them coupler-side (see Code and WireError in wire.go),
+// so errors survive the hand-rolled codec and unwrap with errors.Is — no
+// string matching anywhere on the path.
 var (
 	// ErrBadKind is returned when no factory is registered for a kind.
 	ErrBadKind = errors.New("core: unknown worker kind")
 	// ErrNoSuchMethod is returned by Dispatch for unknown methods.
 	ErrNoSuchMethod = errors.New("core: no such method")
+	// ErrBadMethod is the wire-taxonomy name for ErrNoSuchMethod.
+	ErrBadMethod = ErrNoSuchMethod
+	// ErrWorkerFault marks a model-level failure: the worker is alive and
+	// the channel healthy, but the dispatched call itself failed (bad
+	// arguments, physics error). Retrying on a replacement worker will not
+	// help.
+	ErrWorkerFault = errors.New("core: worker fault")
+	// ErrWorkerDied marks a dead worker process: the job was killed, the
+	// host crashed, or the pool observed the member leave. Replacement (if
+	// enabled) is the correct recovery.
+	ErrWorkerDied = errors.New("core: worker died")
+	// ErrTransport marks a channel- or daemon-level failure (unroutable
+	// worker id, undecodable frame, send on a closed connection) — the
+	// call never reached, or never returned from, a live worker.
+	ErrTransport = errors.New("core: transport fault")
 )
 
 // Service is the worker-side model host: it owns the kernel, a virtual

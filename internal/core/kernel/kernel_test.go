@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
@@ -104,7 +105,7 @@ func TestRequestResponseRoundTrip(t *testing.T) {
 		t.Fatalf("request round trip: %+v != %+v", got, req)
 	}
 
-	resp := Response{ID: 42, Result: []byte{9, 8}, Err: "boom", DoneAt: time.Minute}
+	resp := Response{ID: 42, Result: []byte{9, 8}, Code: CodeWorkerFault, Err: "boom", DoneAt: time.Minute}
 	var gotR Response
 	if err := UnmarshalResponse(AppendResponse(nil, &resp), &gotR); err != nil {
 		t.Fatal(err)
@@ -120,6 +121,70 @@ func TestRequestResponseRoundTrip(t *testing.T) {
 	}
 	if gotE.ID != 1 || len(gotE.Result) != 0 || gotE.Err != "" {
 		t.Fatalf("empty response round trip: %+v", gotE)
+	}
+}
+
+// TestErrorCodeRoundTrip: each taxonomy code must survive the codec and
+// unwrap to its sentinel with errors.Is on the decoded side — the
+// structured replacement for the old string-typed resp.Err matching.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		code Code
+		want error
+	}{
+		{CodeBadMethod, ErrBadMethod},
+		{CodeBadMethod, ErrNoSuchMethod}, // same sentinel, both names
+		{CodeBadKind, ErrBadKind},
+		{CodeWorkerFault, ErrWorkerFault},
+		{CodeWorkerDied, ErrWorkerDied},
+		{CodeTransport, ErrTransport},
+		{Code(250), ErrTransport}, // unknown codes degrade to transport
+	}
+	for _, c := range cases {
+		frame := AppendResponse(nil, &Response{ID: 9, Code: c.code, Err: "detail"})
+		var got Response
+		if err := UnmarshalResponse(frame, &got); err != nil {
+			t.Fatal(err)
+		}
+		err := ResponseError(&got)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("code %d: errors.Is(%v, %v) = false", c.code, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "detail") {
+			t.Fatalf("code %d: message lost: %q", c.code, err)
+		}
+	}
+	ok := Response{ID: 9}
+	if err := ResponseError(&ok); err != nil {
+		t.Fatalf("CodeOK produced error %v", err)
+	}
+}
+
+// TestClassifyErr: the worker-side encode half must be the inverse of
+// Sentinel for the whole taxonomy, and default unknown errors to a
+// worker fault (retry elsewhere will not help).
+func TestClassifyErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Code
+	}{
+		{nil, CodeOK},
+		{ErrNoSuchMethod, CodeBadMethod},
+		{fmt.Errorf("gravity.%s: %w", "nope", ErrBadMethod), CodeBadMethod},
+		{ErrBadKind, CodeBadKind},
+		{ErrWorkerDied, CodeWorkerDied},
+		{ErrTransport, CodeTransport},
+		{errors.New("physics exploded"), CodeWorkerFault},
+	}
+	for _, c := range cases {
+		if got := ClassifyErr(c.err); got != c.want {
+			t.Fatalf("ClassifyErr(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// WireError wraps transparently through fmt.Errorf chains.
+	wrapped := fmt.Errorf("core: gravity.evolve: %w", &WireError{Code: CodeWorkerDied, Msg: "gone"})
+	if !errors.Is(wrapped, ErrWorkerDied) {
+		t.Fatalf("wrapped WireError does not unwrap: %v", wrapped)
 	}
 }
 

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -25,11 +26,98 @@ type Request struct {
 type Response struct {
 	ID     uint64
 	Result []byte
-	Err    string
+	// Code classifies the outcome (CodeOK for success). It is the
+	// machine-readable half of the error: the coupler maps it back to a
+	// sentinel error with errors.Is semantics via ResponseError.
+	Code Code
+	// Err is the human-readable half: the originating error's message.
+	Err string
 	// DoneAt is the worker's virtual clock when the call finished
 	// (arrival + compute); the reply's network arrival is added on top by
 	// the transport.
 	DoneAt time.Duration
+}
+
+// Code is the structured wire error class carried by every Response. It
+// survives the hand-rolled codec as a single byte, unlike the Go error
+// values it stands for.
+type Code uint8
+
+// Wire error codes.
+const (
+	CodeOK          Code = iota // success
+	CodeBadMethod               // no such method on the worker kind
+	CodeBadKind                 // no service registered for the kind
+	CodeWorkerFault             // the model call itself failed (worker alive)
+	CodeWorkerDied              // worker process/job/host is gone
+	CodeTransport               // channel or daemon failure en route
+)
+
+// Sentinel returns the taxonomy sentinel a code unwraps to (nil for
+// CodeOK; unknown codes map to ErrTransport — a frame we cannot
+// interpret is a transport problem by definition).
+func (c Code) Sentinel() error {
+	switch c {
+	case CodeOK:
+		return nil
+	case CodeBadMethod:
+		return ErrBadMethod
+	case CodeBadKind:
+		return ErrBadKind
+	case CodeWorkerFault:
+		return ErrWorkerFault
+	case CodeWorkerDied:
+		return ErrWorkerDied
+	default:
+		return ErrTransport
+	}
+}
+
+// ClassifyErr maps a worker-side dispatch error to its wire code. It is
+// the encode half of the taxonomy: serveConn, the local channel and the
+// daemon run every error through it before framing a Response.
+func ClassifyErr(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrNoSuchMethod):
+		return CodeBadMethod
+	case errors.Is(err, ErrBadKind):
+		return CodeBadKind
+	case errors.Is(err, ErrWorkerDied):
+		return CodeWorkerDied
+	case errors.Is(err, ErrTransport):
+		return CodeTransport
+	default:
+		return CodeWorkerFault
+	}
+}
+
+// WireError is a decoded wire failure: the code plus the originating
+// message. It unwraps to the code's sentinel, so
+// errors.Is(err, kernel.ErrBadMethod) (etc.) holds on the coupler side
+// of any channel.
+type WireError struct {
+	Code Code
+	Msg  string
+}
+
+func (e *WireError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return e.Code.Sentinel().Error()
+}
+
+func (e *WireError) Unwrap() error { return e.Code.Sentinel() }
+
+// ResponseError converts a decoded Response into the coupler-side error
+// (nil on CodeOK).
+func ResponseError(resp *Response) error {
+	if resp.Code == CodeOK {
+		return nil
+	}
+	return &WireError{Code: resp.Code, Msg: resp.Err}
 }
 
 // Wire framing: a hand-rolled little-endian binary codec. Every RPC on
@@ -222,6 +310,7 @@ func UnmarshalRequest(b []byte, req *Request) error {
 func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, tagResponse)
 	dst = appendU64(dst, resp.ID)
+	dst = append(dst, byte(resp.Code))
 	dst = appendU64(dst, uint64(resp.DoneAt))
 	dst = appendString16(dst, resp.Err)
 	return appendBytes32(dst, resp.Result)
@@ -235,6 +324,7 @@ func UnmarshalResponse(b []byte, resp *Response) error {
 		return fmt.Errorf("kernel: not a response frame (tag 0x%02x)", tag)
 	}
 	resp.ID = r.u64("id")
+	resp.Code = Code(r.u8("code"))
 	resp.DoneAt = time.Duration(r.u64("doneAt"))
 	resp.Err = r.string16("err")
 	resp.Result = r.bytes32("result")

@@ -20,11 +20,17 @@ import (
 	"jungle/internal/core/kernel"
 )
 
-// Errors.
+// Errors. The wire taxonomy sentinels are the kernel package's: any error
+// a worker, channel or the daemon produces crosses the codec as a
+// structured code and unwraps to exactly one of these with errors.Is —
+// see kernel.Code and kernel.WireError.
 var (
-	ErrWorkerDied    = errors.New("core: worker died")
+	ErrWorkerDied    = kernel.ErrWorkerDied
 	ErrNoSuchMethod  = kernel.ErrNoSuchMethod
+	ErrBadMethod     = kernel.ErrBadMethod
 	ErrBadKind       = kernel.ErrBadKind
+	ErrWorkerFault   = kernel.ErrWorkerFault
+	ErrTransport     = kernel.ErrTransport
 	ErrChannelClosed = errors.New("core: channel closed")
 )
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -26,7 +27,7 @@ func TestSeedKindsRegistered(t *testing.T) {
 // fast with ErrBadKind, before any worker job is submitted.
 func TestUnknownKindReturnsErrBadKind(t *testing.T) {
 	_, sim := labSim(t)
-	_, err := sim.NewModel("no-such-kind", WorkerSpec{Resource: "desktop", Channel: ChannelMPI}, kernel.Empty{})
+	_, err := sim.NewModel(context.Background(), "no-such-kind", WorkerSpec{Resource: "desktop", Channel: ChannelMPI}, kernel.Empty{})
 	if !errors.Is(err, ErrBadKind) {
 		t.Fatalf("err = %v, want ErrBadKind", err)
 	}
@@ -41,7 +42,7 @@ func TestBatchedStateMatchesPerCall(t *testing.T) {
 	stars := ic.Plummer(64, 12)
 
 	newWorker := func() *Gravity {
-		g, err := sim.NewGravity(WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+		g, err := sim.NewGravity(context.Background(), WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
 			GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
 		if err != nil {
 			t.Fatal(err)
@@ -67,7 +68,7 @@ func TestBatchedStateMatchesPerCall(t *testing.T) {
 
 	batched := newWorker()
 	st := kernel.NewState(stars.Len()).AddFloat(data.AttrMass, masses)
-	if err := batched.SetState(st); err != nil {
+	if err := batched.SetState(context.Background(), st); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,7 +81,7 @@ func TestBatchedStateMatchesPerCall(t *testing.T) {
 
 	// Batched pull == per-attribute getters.
 	out := stars.Clone()
-	if err := batched.Pull(out); err != nil {
+	if err := batched.Pull(context.Background(), out); err != nil {
 		t.Fatal(err)
 	}
 	pos := batched.Positions()
@@ -99,7 +100,7 @@ func TestBatchedStateMatchesPerCall(t *testing.T) {
 // replay cache is refreshed on bulk writes, not only on set_particles.
 func TestReplacementReplaysPushedState(t *testing.T) {
 	tb, sim := labSim(t)
-	g, err := sim.NewGravity(WorkerSpec{Channel: ChannelIbis},
+	g, err := sim.NewGravity(context.Background(), WorkerSpec{Channel: ChannelIbis},
 		GravityOptions{Kernel: "phigrape-cpu", Eps: 0.01})
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +114,7 @@ func TestReplacementReplaysPushedState(t *testing.T) {
 	for i := range masses {
 		masses[i] = 0.5 + float64(i)
 	}
-	if err := g.SetState(kernel.NewState(len(masses)).AddFloat(data.AttrMass, masses)); err != nil {
+	if err := g.SetState(context.Background(), kernel.NewState(len(masses)).AddFloat(data.AttrMass, masses)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,14 +141,14 @@ func TestReplacementReplaysPushedState(t *testing.T) {
 func TestExternalKindRunsUnmodifiedCore(t *testing.T) {
 	_, sim := labSim(t)
 	pot := analytic.Plummer{M: 2, A: 0.5}
-	m, err := sim.NewModel(Kind(analytic.Kind), WorkerSpec{Resource: "das4-uva", Channel: ChannelIbis},
+	m, err := sim.NewModel(context.Background(), Kind(analytic.Kind), WorkerSpec{Resource: "das4-uva", Channel: ChannelIbis},
 		analytic.SetupArgs{M: pot.M, A: pot.A})
 	if err != nil {
 		t.Fatal(err)
 	}
 	field := analytic.NewRemote(m)
 	targets := []data.Vec3{{1, 0, 0}, {0, 2, 0}, {0.3, -0.4, 0.5}}
-	acc, p, _ := field.FieldAt(nil, nil, targets, 0)
+	acc, p, _ := field.FieldAt(context.Background(), nil, nil, targets, 0)
 	if err := m.Err(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -36,14 +37,14 @@ func AblateTheta(nSrc, nTargets int) (string, []ThetaRow, error) {
 	// Direct-summation reference.
 	ref := tree.NewFi(cpu)
 	ref.Theta = 0
-	refAcc, _, _ := ref.FieldAt(src.Mass, src.Pos, targets, 0.05)
+	refAcc, _, _ := ref.FieldAt(context.Background(), src.Mass, src.Pos, targets, 0.05)
 
 	var rows []ThetaRow
 	var tableRows [][]string
 	for _, theta := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 		k := tree.NewFi(cpu)
 		k.Theta = theta
-		acc, _, flops := k.FieldAt(src.Mass, src.Pos, targets, 0.05)
+		acc, _, flops := k.FieldAt(context.Background(), src.Mass, src.Pos, targets, 0.05)
 		var maxErr float64
 		for i := range acc {
 			if n := refAcc[i].Norm(); n > 0 {
@@ -108,10 +109,10 @@ func AblateBridgeDT(nStars, nGas int, tEnd float64) (string, []DTRow, error) {
 		total := func() float64 {
 			ks, us := grav.Energy()
 			kg, tg, ug := hydro.Energy()
-			return ks + us + kg + tg + ug + br.CrossPotential()
+			return ks + us + kg + tg + ug + br.CrossPotential(context.Background())
 		}
 		e0 := total()
-		if err := br.EvolveTo(tEnd); err != nil {
+		if err := br.EvolveTo(context.Background(), tEnd); err != nil {
 			return "", nil, err
 		}
 		e1 := total()
@@ -158,8 +159,8 @@ func AblateChannels() (string, []ChannelRow, error) {
 	var rows []ChannelRow
 	var tableRows [][]string
 	for _, c := range cases {
-		sim := core.NewSimulation(tb.Daemon, nil)
-		g, err := sim.NewGravity(c.spec, core.GravityOptions{Eps: 0.01})
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		g, err := sim.NewGravity(context.Background(), c.spec, core.GravityOptions{Eps: 0.01})
 		if err != nil {
 			sim.Stop()
 			return "", nil, fmt.Errorf("%s: %w", c.name, err)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestCalibrationMeasurements(t *testing.T) {
 
 	g := nbody.NewSystem(nbody.NewCPUKernel(cpu), 0.01)
 	g.SetParticles(stars)
-	if err := g.EvolveTo(w.DT); err != nil {
+	if err := g.EvolveTo(context.Background(), w.DT); err != nil {
 		t.Fatal(err)
 	}
 	pg := g.Flops()
@@ -37,14 +38,14 @@ func TestCalibrationMeasurements(t *testing.T) {
 	if err := h.SetParticles(gas); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.EvolveTo(w.DT); err != nil {
+	if err := h.EvolveTo(context.Background(), w.DT); err != nil {
 		t.Fatal(err)
 	}
 	sphF := h.Flops()
 
 	k := tree.NewFi(cpu)
-	_, _, f1 := k.FieldAt(gas.Mass, gas.Pos, stars.Pos, w.Eps)
-	_, _, f2 := k.FieldAt(stars.Mass, stars.Pos, gas.Pos, w.Eps)
+	_, _, f1 := k.FieldAt(context.Background(), gas.Mass, gas.Pos, stars.Pos, w.Eps)
+	_, _, f2 := k.FieldAt(context.Background(), stars.Mass, stars.Pos, gas.Pos, w.Eps)
 	coupling := 2 * (f1 + f2)
 
 	fmt.Printf("calibration: phigrape=%.3e sph=%.3e coupling=%.3e flops/iter\n",

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -131,30 +132,32 @@ type RunResult struct {
 
 // RunScenario executes the workload under a placement on the testbed and
 // measures virtual per-iteration time, mirroring §6.2's methodology ("we
-// ran a single iteration (time step) of the simulation").
-func RunScenario(tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
+// ran a single iteration (time step) of the simulation"). ctx bounds the
+// whole run — worker startup, state uploads and every bridge iteration
+// (nil means no deadline).
+func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
 	stars, gas, err := w.Build()
 	if err != nil {
 		return RunResult{}, err
 	}
-	sim := core.NewSimulation(tb.Daemon, nil)
+	sim := core.NewSimulation(ctx, tb.Daemon, nil)
 	defer sim.Stop()
 
-	g, err := sim.NewGravity(p.Gravity, core.GravityOptions{Kernel: p.GravityKernel, Eps: 0.01})
+	g, err := sim.NewGravity(ctx, p.Gravity, core.GravityOptions{Kernel: p.GravityKernel, Eps: 0.01})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("gravity: %w", err)
 	}
 	if err := g.SetParticles(stars); err != nil {
 		return RunResult{}, err
 	}
-	h, err := sim.NewHydro(p.Hydro, core.HydroOptions{SelfGravity: true, EpsGrav: 0.01})
+	h, err := sim.NewHydro(ctx, p.Hydro, core.HydroOptions{SelfGravity: true, EpsGrav: 0.01})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("hydro: %w", err)
 	}
 	if err := h.SetParticles(gas); err != nil {
 		return RunResult{}, err
 	}
-	f, err := sim.NewField(p.Field, core.FieldOptions{Kernel: p.FieldKernel, Eps: w.Eps})
+	f, err := sim.NewField(ctx, p.Field, core.FieldOptions{Kernel: p.FieldKernel, Eps: w.Eps})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("field: %w", err)
 	}
@@ -173,7 +176,7 @@ func RunScenario(tb *core.Testbed, w Workload, p Placement, iterations int) (Run
 	for i := range masses {
 		masses[i] = stars.Mass[i] * msunPerNBody
 	}
-	st, err := sim.NewStellar(p.Stellar, masses, 2.0 /* Myr per unit */, 1/msunPerNBody)
+	st, err := sim.NewStellar(ctx, p.Stellar, masses, 2.0 /* Myr per unit */, 1/msunPerNBody)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("stellar: %w", err)
 	}
@@ -189,7 +192,7 @@ func RunScenario(tb *core.Testbed, w Workload, p Placement, iterations int) (Run
 
 	setup := sim.Elapsed()
 	for i := 0; i < iterations; i++ {
-		if err := br.Step(); err != nil {
+		if err := br.Step(ctx); err != nil {
 			return RunResult{}, fmt.Errorf("scenario %s iteration %d: %w", p.Name, i, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,7 +45,7 @@ func E1(scale float64, iterations int) (string, []RunResult, error) {
 				placement = p
 			}
 		}
-		res, err := RunScenario(tb, w, placement, iterations)
+		res, err := RunScenario(context.Background(), tb, w, placement, iterations)
 		tb.Close()
 		if err != nil {
 			return "", nil, fmt.Errorf("E1 %s: %w", name, err)
@@ -75,7 +76,7 @@ func E2(scale float64, iterations int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	labRes, err := RunScenario(labTB, w, LabScenarios(labTB)[3], iterations)
+	labRes, err := RunScenario(context.Background(), labTB, w, LabScenarios(labTB)[3], iterations)
 	labTB.Close()
 	if err != nil {
 		return "", fmt.Errorf("E2 lab reference: %w", err)
@@ -85,7 +86,7 @@ func E2(scale float64, iterations int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	scRes, err := RunScenario(scTB, w, SC11Placement(scTB), iterations)
+	scRes, err := RunScenario(context.Background(), scTB, w, SC11Placement(scTB), iterations)
 	overlay := scTB.Deployment.Overlay().RenderMap()
 	scTB.Close()
 	if err != nil {
@@ -140,7 +141,7 @@ func E4(scale float64) (string, error) {
 	}
 	defer tb.Close()
 	w := DefaultWorkload().Scaled(scale)
-	if _, err := RunScenario(tb, w, LabScenarios(tb)[3], 1); err != nil {
+	if _, err := RunScenario(context.Background(), tb, w, LabScenarios(tb)[3], 1); err != nil {
 		return "", err
 	}
 
@@ -261,7 +262,7 @@ func E5(stars, gas int, tEnd float64) (string, []E5Stage, error) {
 	}
 	stages = append(stages, st)
 	for k := 1; k < 4; k++ {
-		if err := br.EvolveTo(tEnd * float64(k) / 3); err != nil {
+		if err := br.EvolveTo(context.Background(), tEnd*float64(k)/3); err != nil {
 			return "", nil, err
 		}
 		st, err := snapshot(labels[k])
@@ -321,7 +322,7 @@ func E6() (string, []string, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if err := br.Step(); err != nil {
+	if err := br.Step(context.Background()); err != nil {
 		return "", nil, err
 	}
 	var b strings.Builder
@@ -345,7 +346,7 @@ func E8(iterations int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		dRes, err := RunScenario(tb, w, LabScenarios(tb)[0], iterations)
+		dRes, err := RunScenario(context.Background(), tb, w, LabScenarios(tb)[0], iterations)
 		tb.Close()
 		if err != nil {
 			return "", fmt.Errorf("E8 desktop @%v: %w", s, err)
@@ -354,7 +355,7 @@ func E8(iterations int) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		jRes, err := RunScenario(tb2, w, LabScenarios(tb2)[3], iterations)
+		jRes, err := RunScenario(context.Background(), tb2, w, LabScenarios(tb2)[3], iterations)
 		tb2.Close()
 		if err != nil {
 			return "", fmt.Errorf("E8 jungle @%v: %w", s, err)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"jungle/internal/core"
@@ -31,7 +32,7 @@ func TestSupercomputerScaleUp(t *testing.T) {
 			p.Hydro = core.WorkerSpec{Resource: name, Nodes: 32, Channel: core.ChannelIbis}
 			p.Name = "jungle+supercomputer"
 		}
-		res, err := RunScenario(tb, w, p, 1)
+		res, err := RunScenario(context.Background(), tb, w, p, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}

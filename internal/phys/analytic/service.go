@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,9 +74,10 @@ func (s *service) Dispatch(method string, args []byte, at time.Duration) ([]byte
 }
 
 // Caller is the coupler-side handle the Remote wrapper drives: one typed
-// RPC per call. *core.Model satisfies it.
+// RPC per call, bounded by the caller's context. *core.Model satisfies
+// it.
 type Caller interface {
-	Call(method string, args, reply any) error
+	Call(ctx context.Context, method string, args, reply any) error
 }
 
 // Remote adapts a running analytic worker to the bridge.Field interface
@@ -92,9 +94,9 @@ func (r *Remote) Name() string { return Kind }
 
 // FieldAt implements bridge.Field. The analytic background ignores the
 // source particles; eps is meaningless for a closed-form potential.
-func (r *Remote) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+func (r *Remote) FieldAt(ctx context.Context, srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
 	var out kernel.FieldAtResult
-	if err := r.c.Call("field_at", kernel.FieldAtArgs{Targets: targets}, &out); err != nil {
+	if err := r.c.Call(ctx, "field_at", kernel.FieldAtArgs{Targets: targets}, &out); err != nil {
 		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
 	}
 	return out.Acc, out.Pot, 0

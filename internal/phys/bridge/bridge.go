@@ -6,9 +6,17 @@
 // parallel, and receive the closing half-kick; stellar evolution runs at a
 // slower cadence, every n-th step, feeding mass loss back into the dynamics
 // and injecting supernova energy into the gas.
+//
+// The integrator is latency-aware in the way the paper's distributed AMUSE
+// daemon is: every model method takes a context, and models that expose the
+// asynchronous interfaces (AsyncDynamics, AsyncField — core's remote worker
+// proxies do) have their per-phase calls issued to all models before the
+// bridge waits on any of them. A kick phase over K remote models then costs
+// about one wide-area round trip instead of K.
 package bridge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,18 +26,39 @@ import (
 
 // Dynamics is the contract the bridge needs from a dynamical model (the
 // nbody and sph systems implement it; the core package's remote-worker
-// proxies implement it over RPC).
+// proxies implement it over RPC). The context bounds the call: in-process
+// models poll it between integration steps, remote proxies use it to
+// abort the wait on an in-flight RPC.
 type Dynamics interface {
 	// EvolveTo advances the model to the given model time.
-	EvolveTo(t float64) error
+	EvolveTo(ctx context.Context, t float64) error
 	// Kick applies per-particle velocity increments.
-	Kick(dv []data.Vec3) error
+	Kick(ctx context.Context, dv []data.Vec3) error
 	// Positions returns current positions (length N).
 	Positions() []data.Vec3
 	// Masses returns current masses (length N).
 	Masses() []float64
 	// N returns the particle count.
 	N() int
+}
+
+// Waiter is a pending asynchronous operation — the future half of the
+// coupler's split-phase calls (*core.Call satisfies it).
+type Waiter interface {
+	// Wait blocks until the operation completes or ctx is done. A context
+	// error abandons only the wait: the operation itself stays in flight
+	// and its resources are reclaimed when it eventually completes.
+	Wait(ctx context.Context) error
+}
+
+// AsyncDynamics is implemented by dynamics models whose calls can be
+// issued without waiting (core's remote worker proxies). The bridge uses
+// it to put every model's kick and evolve on the wire before waiting, so
+// wide-area latency is paid once per phase, not once per model.
+type AsyncDynamics interface {
+	Dynamics
+	GoEvolveTo(t float64) Waiter
+	GoKick(dv []data.Vec3) Waiter
 }
 
 // MassSettable is implemented by dynamics models that accept external mass
@@ -48,7 +77,20 @@ type EnergyInjector interface {
 // source set at target points (tree.Kernel implements it).
 type Field interface {
 	Name() string
-	FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64)
+	FieldAt(ctx context.Context, srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64)
+}
+
+// FieldCall is a pending field evaluation.
+type FieldCall interface {
+	Wait(ctx context.Context) (acc []data.Vec3, pot []float64, flops float64, err error)
+}
+
+// AsyncField is implemented by coupling models that can pipeline field
+// evaluations (core's remote field proxy): both p-kick directions are
+// issued back to back and travel the wide-area link together.
+type AsyncField interface {
+	Field
+	GoFieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) FieldCall
 }
 
 // StellarEvent describes a supernova delivered to the bridge.
@@ -61,7 +103,7 @@ type StellarEvent struct {
 // Stellar is the contract for the stellar-evolution model: advance to a
 // model time (bridge units) and report per-star mass loss and supernovae.
 type Stellar interface {
-	EvolveTo(t float64) ([]StellarEvent, error)
+	EvolveTo(ctx context.Context, t float64) ([]StellarEvent, error)
 }
 
 // Config assembles a Bridge.
@@ -151,18 +193,67 @@ func (b *Bridge) trace(format string, args ...any) {
 
 func (b *Bridge) hasGas() bool { return b.cfg.Gas != nil && b.cfg.Gas.N() > 0 }
 
+// sample reads a dynamical model's field inputs (two RPCs when remote).
+type sample struct {
+	mass []float64
+	pos  []data.Vec3
+}
+
+// sampleBoth fetches both models' masses and positions concurrently — one
+// goroutine per model, so two remote models answer in parallel. The
+// read-only getters are session-scoped by the Dynamics interface, so a
+// per-step context cannot abort this sampling phase; Step documents the
+// limitation.
+func sampleBoth(stars, gas Dynamics) (ss, gs sample) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ss = sample{mass: stars.Masses(), pos: stars.Positions()}
+	}()
+	go func() {
+		defer wg.Done()
+		gs = sample{mass: gas.Masses(), pos: gas.Positions()}
+	}()
+	wg.Wait()
+	return ss, gs
+}
+
 // kick applies half-step cross-gravity kicks in both directions — the
-// "p-kick" boxes of Fig. 7.
-func (b *Bridge) kick(dt float64) error {
+// "p-kick" boxes of Fig. 7. Both field evaluations, then both kicks, are
+// in flight before the bridge waits on either.
+func (b *Bridge) kick(ctx context.Context, dt float64) error {
 	if !b.hasGas() {
 		return nil
 	}
 	stars, gas, cpl := b.cfg.Stars, b.cfg.Gas, b.cfg.Coupler
+	ss, gs := sampleBoth(stars, gas)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	b.trace("coupler.field gas->stars (%s)", cpl.Name())
-	accS, _, f1 := cpl.FieldAt(gas.Masses(), gas.Positions(), stars.Positions(), b.cfg.Eps)
-	b.trace("coupler.field stars->gas (%s)", cpl.Name())
-	accG, _, f2 := cpl.FieldAt(stars.Masses(), stars.Positions(), gas.Positions(), b.cfg.Eps)
+	var accS, accG []data.Vec3
+	var f1, f2 float64
+	if acpl, ok := cpl.(AsyncField); ok {
+		b.trace("coupler.field gas->stars (%s)", cpl.Name())
+		c1 := acpl.GoFieldAt(gs.mass, gs.pos, ss.pos, b.cfg.Eps)
+		b.trace("coupler.field stars->gas (%s)", cpl.Name())
+		c2 := acpl.GoFieldAt(ss.mass, ss.pos, gs.pos, b.cfg.Eps)
+		var err1, err2 error
+		accS, _, f1, err1 = c1.Wait(ctx)
+		accG, _, f2, err2 = c2.Wait(ctx)
+		if err1 != nil {
+			return fmt.Errorf("bridge: field gas->stars: %w", err1)
+		}
+		if err2 != nil {
+			return fmt.Errorf("bridge: field stars->gas: %w", err2)
+		}
+	} else {
+		b.trace("coupler.field gas->stars (%s)", cpl.Name())
+		accS, _, f1 = cpl.FieldAt(ctx, gs.mass, gs.pos, ss.pos, b.cfg.Eps)
+		b.trace("coupler.field stars->gas (%s)", cpl.Name())
+		accG, _, f2 = cpl.FieldAt(ctx, ss.mass, ss.pos, gs.pos, b.cfg.Eps)
+	}
 	b.flops += f1 + f2
 
 	for i := range accS {
@@ -171,37 +262,62 @@ func (b *Bridge) kick(dt float64) error {
 	for i := range accG {
 		accG[i] = accG[i].Scale(dt)
 	}
+
+	as, aok := stars.(AsyncDynamics)
+	ag, gok := gas.(AsyncDynamics)
+	if aok && gok {
+		b.trace("stars.kick dt=%g", dt)
+		ws := as.GoKick(accS)
+		b.trace("gas.kick dt=%g", dt)
+		wg := ag.GoKick(accG)
+		if err := ws.Wait(ctx); err != nil {
+			return fmt.Errorf("bridge: star kick: %w", err)
+		}
+		if err := wg.Wait(ctx); err != nil {
+			return fmt.Errorf("bridge: gas kick: %w", err)
+		}
+		return nil
+	}
 	b.trace("stars.kick dt=%g", dt)
-	if err := stars.Kick(accS); err != nil {
+	if err := stars.Kick(ctx, accS); err != nil {
 		return fmt.Errorf("bridge: star kick: %w", err)
 	}
 	b.trace("gas.kick dt=%g", dt)
-	if err := gas.Kick(accG); err != nil {
+	if err := gas.Kick(ctx, accG); err != nil {
 		return fmt.Errorf("bridge: gas kick: %w", err)
 	}
 	return nil
 }
 
 // evolve advances both models to time t concurrently — the parallel
-// "evolve" circles of Fig. 7.
-func (b *Bridge) evolve(t float64) error {
+// "evolve" circles of Fig. 7. Async-capable pairs are pipelined (both
+// evolve calls on the wire before waiting); plain models fall back to one
+// goroutine each.
+func (b *Bridge) evolve(ctx context.Context, t float64) error {
 	if !b.hasGas() {
 		b.trace("stars.evolve t=%g", t)
-		return b.cfg.Stars.EvolveTo(t)
+		return b.cfg.Stars.EvolveTo(ctx, t)
 	}
 	b.trace("stars.evolve t=%g || gas.evolve t=%g", t, t)
-	var wg sync.WaitGroup
 	var errS, errG error
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		errS = b.cfg.Stars.EvolveTo(t)
-	}()
-	go func() {
-		defer wg.Done()
-		errG = b.cfg.Gas.EvolveTo(t)
-	}()
-	wg.Wait()
+	as, aok := b.cfg.Stars.(AsyncDynamics)
+	ag, gok := b.cfg.Gas.(AsyncDynamics)
+	if aok && gok {
+		ws, wg := as.GoEvolveTo(t), ag.GoEvolveTo(t)
+		errS, errG = ws.Wait(ctx), wg.Wait(ctx)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			errS = b.cfg.Stars.EvolveTo(ctx, t)
+		}()
+		go func() {
+			defer wg.Done()
+			errG = b.cfg.Gas.EvolveTo(ctx, t)
+		}()
+		wg.Wait()
+	}
 	if errS != nil {
 		return fmt.Errorf("bridge: star evolve: %w", errS)
 	}
@@ -213,12 +329,12 @@ func (b *Bridge) evolve(t float64) error {
 
 // stellarUpdate runs stellar evolution to the current bridge time and
 // pushes mass loss and supernova feedback into the dynamical models.
-func (b *Bridge) stellarUpdate() error {
+func (b *Bridge) stellarUpdate(ctx context.Context) error {
 	if b.cfg.Stellar == nil {
 		return nil
 	}
 	b.trace("stellar.evolve t=%g", b.time)
-	events, err := b.cfg.Stellar.EvolveTo(b.time)
+	events, err := b.cfg.Stellar.EvolveTo(ctx, b.time)
 	if err != nil {
 		return fmt.Errorf("bridge: stellar evolve: %w", err)
 	}
@@ -247,23 +363,31 @@ func (b *Bridge) stellarUpdate() error {
 
 // Step advances the coupled system by one bridge step DT: the Fig. 7
 // sequence kick(dt/2) → parallel evolve(dt) → kick(dt/2), with stellar
-// evolution every StellarEvery-th step.
-func (b *Bridge) Step() error {
+// evolution every StellarEvery-th step. The context cancels or bounds
+// every mutating call of the step; a context error leaves the models
+// consistent with the last completed phase. One caveat: the kick phase's
+// read-only state sampling (Masses/Positions) runs under each model's
+// session context — a per-step deadline takes effect from the first
+// field evaluation onward.
+func (b *Bridge) Step(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dt := b.cfg.DT
 	b.trace("bridge.step t=%g", b.time)
-	if err := b.kick(dt / 2); err != nil {
+	if err := b.kick(ctx, dt/2); err != nil {
 		return err
 	}
-	if err := b.evolve(b.time + dt); err != nil {
+	if err := b.evolve(ctx, b.time+dt); err != nil {
 		return err
 	}
-	if err := b.kick(dt / 2); err != nil {
+	if err := b.kick(ctx, dt/2); err != nil {
 		return err
 	}
 	b.time += dt
 	b.steps++
 	if b.steps%b.cfg.StellarEvery == 0 {
-		if err := b.stellarUpdate(); err != nil {
+		if err := b.stellarUpdate(ctx); err != nil {
 			return err
 		}
 	}
@@ -272,9 +396,12 @@ func (b *Bridge) Step() error {
 
 // EvolveTo runs bridge steps until the model time reaches t (the last step
 // may overshoot by less than DT; bridge steps are fixed-size as in Fig. 7).
-func (b *Bridge) EvolveTo(t float64) error {
+func (b *Bridge) EvolveTo(ctx context.Context, t float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for b.time < t-1e-15 {
-		if err := b.Step(); err != nil {
+		if err := b.Step(ctx); err != nil {
 			return err
 		}
 	}
@@ -283,12 +410,15 @@ func (b *Bridge) EvolveTo(t float64) error {
 
 // CrossPotential returns the star↔gas interaction energy Σ m_i φ_gas(x_i),
 // used by the energy diagnostics (counted against the coupler's flops).
-func (b *Bridge) CrossPotential() float64 {
+func (b *Bridge) CrossPotential(ctx context.Context) float64 {
 	if !b.hasGas() {
 		return 0
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stars, gas := b.cfg.Stars, b.cfg.Gas
-	_, pot, f := b.cfg.Coupler.FieldAt(gas.Masses(), gas.Positions(), stars.Positions(), b.cfg.Eps)
+	_, pot, f := b.cfg.Coupler.FieldAt(ctx, gas.Masses(), gas.Positions(), stars.Positions(), b.cfg.Eps)
 	b.flops += f
 	var u float64
 	masses := stars.Masses()

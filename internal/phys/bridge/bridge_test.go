@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestStarsOnlyMatchesPlainNBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.EvolveTo(0.25); err != nil {
+	if err := b.EvolveTo(context.Background(), 0.25); err != nil {
 		t.Fatal(err)
 	}
 
@@ -78,7 +79,7 @@ func TestStarsOnlyMatchesPlainNBody(t *testing.T) {
 	// The bridge evolves in DT chunks; EvolveTo in the same chunks is
 	// bitwise identical.
 	for i := 1; i <= 4; i++ {
-		if err := ref.EvolveTo(float64(i) / 16); err != nil {
+		if err := ref.EvolveTo(context.Background(), float64(i)/16); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -102,10 +103,10 @@ func TestCoupledEnergyConservation(t *testing.T) {
 	total := func() float64 {
 		ks, us := grav.Energy()
 		kg, tg, ug := hydro.Energy()
-		return ks + us + kg + tg + ug + b.CrossPotential()
+		return ks + us + kg + tg + ug + b.CrossPotential(context.Background())
 	}
 	e0 := total()
-	if err := b.EvolveTo(0.125); err != nil {
+	if err := b.EvolveTo(context.Background(), 0.125); err != nil {
 		t.Fatal(err)
 	}
 	e1 := total()
@@ -134,7 +135,7 @@ func TestCallSequenceMatchesFig7(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Step(); err != nil {
+	if err := b.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{
@@ -177,7 +178,7 @@ func TestCallSequenceMatchesFig7(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b2.Step(); err != nil {
+	if err := b2.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range calls {
@@ -186,7 +187,7 @@ func TestCallSequenceMatchesFig7(t *testing.T) {
 		}
 	}
 	calls = nil
-	if err := b2.Step(); err != nil {
+	if err := b2.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	found := false
@@ -225,7 +226,7 @@ func TestStellarMassLossReachesDynamics(t *testing.T) {
 		t.Fatal(err)
 	}
 	th0 := hydro.ThermalEnergy()
-	if err := b.EvolveTo(1.0); err != nil {
+	if err := b.EvolveTo(context.Background(), 1.0); err != nil {
 		t.Fatal(err)
 	}
 	if got := grav.Masses()[0]; got >= m0 {
@@ -280,7 +281,7 @@ func TestGasExpulsionStages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.EvolveTo(1.5); err != nil {
+	if err := b.EvolveTo(context.Background(), 1.5); err != nil {
 		t.Fatal(err)
 	}
 	if b.Supernovae() < 2 {

@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 
 	"jungle/internal/phys/stellar"
@@ -26,8 +27,12 @@ func NewSSEAdapter(pop *stellar.Population, myrPerTime, nbodyPerMSun float64) (*
 	return &SSEAdapter{Pop: pop, MyrPerTime: myrPerTime, NBodyPerMSun: nbodyPerMSun}, nil
 }
 
-// EvolveTo implements Stellar.
-func (a *SSEAdapter) EvolveTo(t float64) ([]StellarEvent, error) {
+// EvolveTo implements Stellar. The SSE lookups are effectively free, so
+// the context is only checked on entry.
+func (a *SSEAdapter) EvolveTo(ctx context.Context, t float64) ([]StellarEvent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	loss := a.Pop.EvolveTo(t * a.MyrPerTime)
 	var events []StellarEvent
 	for i, dm := range loss {

@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,7 +57,7 @@ func (s *stellarService) Dispatch(method string, args []byte, at time.Duration) 
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		events, err := s.adapter.EvolveTo(a.T)
+		events, err := s.adapter.EvolveTo(context.Background(), a.T)
 		if err != nil {
 			return nil, s.clock.Now(), err
 		}

@@ -1,6 +1,7 @@
 package nbody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -112,8 +113,12 @@ func (s *System) SetMass(i int, m float64) {
 }
 
 // Kick applies velocity increments (BRIDGE coupling kicks from an external
-// field). len(dv) must equal N.
-func (s *System) Kick(dv []data.Vec3) error {
+// field). len(dv) must equal N. The kick is a single cheap pass; the
+// context is only checked on entry.
+func (s *System) Kick(ctx context.Context, dv []data.Vec3) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(dv) != len(s.vel) {
 		return fmt.Errorf("nbody: kick length %d != N %d", len(dv), len(s.vel))
 	}
@@ -175,12 +180,17 @@ func (s *System) Step() (float64, error) {
 }
 
 // EvolveTo advances the system to model time t (it does not step past t:
-// the final step is shortened to land exactly).
-func (s *System) EvolveTo(t float64) error {
+// the final step is shortened to land exactly). The context is polled
+// between shared steps, so cancellation aborts a long integration at the
+// next step boundary with the state consistent.
+func (s *System) EvolveTo(ctx context.Context, t float64) error {
 	if len(s.mass) == 0 {
 		return ErrNoParticles
 	}
 	for s.time < t-1e-15 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.refreshForces()
 		dt := s.sharedTimestep()
 		if s.time+dt > t {

@@ -1,6 +1,7 @@
 package nbody
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestTwoBodyEnergyConservation(t *testing.T) {
 	s.SetParticles(twoBody())
 	k0, u0 := s.Energy()
 	e0 := k0 + u0
-	if err := s.EvolveTo(10); err != nil { // several orbits
+	if err := s.EvolveTo(context.Background(), 10); err != nil { // several orbits
 		t.Fatal(err)
 	}
 	k1, u1 := s.Energy()
@@ -59,7 +60,7 @@ func TestTwoBodyPeriod(t *testing.T) {
 	s.Eta = 0.005
 	p := twoBody()
 	s.SetParticles(p)
-	if err := s.EvolveTo(2 * math.Pi); err != nil {
+	if err := s.EvolveTo(context.Background(), 2*math.Pi); err != nil {
 		t.Fatal(err)
 	}
 	out := p.Clone()
@@ -80,7 +81,7 @@ func TestPlummerEnergyConservation(t *testing.T) {
 	s.SetParticles(stars)
 	k0, u0 := s.Energy()
 	e0 := k0 + u0
-	if err := s.EvolveTo(0.25); err != nil {
+	if err := s.EvolveTo(context.Background(), 0.25); err != nil {
 		t.Fatal(err)
 	}
 	k1, u1 := s.Energy()
@@ -118,10 +119,10 @@ func TestKernelsBitIdentical(t *testing.T) {
 	s2 := NewSystem(gpu, 0.01)
 	s1.SetParticles(stars)
 	s2.SetParticles(stars)
-	if err := s1.EvolveTo(0.05); err != nil {
+	if err := s1.EvolveTo(context.Background(), 0.05); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.EvolveTo(0.05); err != nil {
+	if err := s2.EvolveTo(context.Background(), 0.05); err != nil {
 		t.Fatal(err)
 	}
 	p1, p2 := s1.Positions(), s2.Positions()
@@ -173,13 +174,13 @@ func TestKickChangesVelocities(t *testing.T) {
 	s := NewSystem(NewCPUKernel(cpuDev()), 0)
 	s.SetParticles(twoBody())
 	kick := []data.Vec3{{1, 0, 0}, {1, 0, 0}}
-	if err := s.Kick(kick); err != nil {
+	if err := s.Kick(context.Background(), kick); err != nil {
 		t.Fatal(err)
 	}
 	if s.Velocities()[0] != (data.Vec3{1, -0.5, 0}) {
 		t.Fatalf("vel after kick: %v", s.Velocities()[0])
 	}
-	if err := s.Kick([]data.Vec3{{1, 0, 0}}); err == nil {
+	if err := s.Kick(context.Background(), []data.Vec3{{1, 0, 0}}); err == nil {
 		t.Fatal("short kick accepted")
 	}
 }
@@ -190,7 +191,7 @@ func TestSetMassAffectsDynamics(t *testing.T) {
 	s.SetParticles(twoBody())
 	s.SetMass(0, 1e-9)
 	s.SetMass(1, 1e-9)
-	if err := s.EvolveTo(2); err != nil {
+	if err := s.EvolveTo(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	// With (almost) no gravity the bodies coast: separation grows ~ v_rel·t.
@@ -202,7 +203,7 @@ func TestSetMassAffectsDynamics(t *testing.T) {
 
 func TestEvolveEmptySystem(t *testing.T) {
 	s := NewSystem(NewCPUKernel(cpuDev()), 0)
-	if err := s.EvolveTo(1); err != ErrNoParticles {
+	if err := s.EvolveTo(context.Background(), 1); err != ErrNoParticles {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := s.Step(); err != ErrNoParticles {

@@ -1,6 +1,7 @@
 package nbody
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,7 +75,7 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		if err := s.sys.EvolveTo(a.T); err != nil {
+		if err := s.sys.EvolveTo(context.Background(), a.T); err != nil {
 			return nil, s.clock.Now(), err
 		}
 		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
@@ -84,7 +85,7 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		if err := s.sys.Kick(a.DV); err != nil {
+		if err := s.sys.Kick(context.Background(), a.DV); err != nil {
 			return nil, s.clock.Now(), err
 		}
 		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil

@@ -1,6 +1,7 @@
 package sph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -130,8 +131,12 @@ func (g *Gas) Velocities() []data.Vec3 { return g.vel }
 // Masses exposes internal masses.
 func (g *Gas) Masses() []float64 { return g.mass }
 
-// Kick applies external velocity increments (BRIDGE coupling).
-func (g *Gas) Kick(dv []data.Vec3) error {
+// Kick applies external velocity increments (BRIDGE coupling). The kick
+// is a single cheap pass; the context is only checked on entry.
+func (g *Gas) Kick(ctx context.Context, dv []data.Vec3) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(dv) != len(g.vel) {
 		return fmt.Errorf("sph: kick length %d != N %d", len(dv), len(g.mass))
 	}
@@ -215,21 +220,23 @@ func (g *Gas) maxH() float64 {
 	return m
 }
 
-// EvolveTo advances the gas serially to time t.
-func (g *Gas) EvolveTo(t float64) error {
-	return g.evolve(t, nil, nil)
+// EvolveTo advances the gas serially to time t. The context is polled
+// between SPH steps, so cancellation aborts a long integration at the
+// next step boundary.
+func (g *Gas) EvolveTo(ctx context.Context, t float64) error {
+	return g.evolve(ctx, t, nil, nil)
 }
 
 // EvolveToParallel advances the gas to time t data-parallel over the world:
 // each rank computes a slab of the density and force loops, exchanges
 // results via allgathers (recorded as "mpi" traffic) and accounts its share
 // of the compute on its own clock against dev.
-func (g *Gas) EvolveToParallel(t float64, w *mpisim.World, dev *vtime.Device) error {
+func (g *Gas) EvolveToParallel(ctx context.Context, t float64, w *mpisim.World, dev *vtime.Device) error {
 	if w == nil {
-		return g.evolve(t, nil, dev)
+		return g.evolve(ctx, t, nil, dev)
 	}
 	return w.Run(func(r *mpisim.Rank) error {
-		return g.evolve(t, r, dev)
+		return g.evolve(ctx, t, r, dev)
 	})
 }
 
@@ -238,7 +245,7 @@ func (g *Gas) EvolveToParallel(t float64, w *mpisim.World, dev *vtime.Device) er
 // All ranks execute identical step sequences, so the full arrays remain
 // bitwise identical across ranks after each exchange; rank 0's copy is the
 // canonical result written back into g.
-func (g *Gas) evolve(t float64, r *mpisim.Rank, dev *vtime.Device) error {
+func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.Device) error {
 	n := len(g.mass)
 	if n == 0 {
 		return ErrNoGas
@@ -277,6 +284,14 @@ func (g *Gas) evolve(t float64, r *mpisim.Rank, dev *vtime.Device) error {
 	flops += f
 
 	for time < t-1e-15 {
+		// Serial runs poll for cancellation between steps. MPI ranks do
+		// not: one rank bailing out of a collective would wedge the rest,
+		// and worker-side services always evolve under Background anyway.
+		if r == nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		dt := st.timestep(lo, hi)
 		if r != nil {
 			m, err := r.AllreduceMax([]float64{-dt})

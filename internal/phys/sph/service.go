@@ -1,6 +1,7 @@
 package sph
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,12 +89,12 @@ func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([
 		}
 		if s.world != nil {
 			s.world.SyncTo(s.clock.Now())
-			if err := s.gas.EvolveToParallel(a.T, s.world, s.dev); err != nil {
+			if err := s.gas.EvolveToParallel(context.Background(), a.T, s.world, s.dev); err != nil {
 				return nil, s.clock.Now(), err
 			}
 			s.clock.AdvanceTo(s.world.MaxTime())
 		} else {
-			if err := s.gas.EvolveTo(a.T); err != nil {
+			if err := s.gas.EvolveTo(context.Background(), a.T); err != nil {
 				return nil, s.clock.Now(), err
 			}
 			s.clock.Advance(s.dev.Time(s.gas.ResetFlops(), 0))
@@ -104,7 +105,7 @@ func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		if err := s.gas.Kick(a.DV); err != nil {
+		if err := s.gas.Kick(context.Background(), a.DV); err != nil {
 			return nil, s.clock.Now(), err
 		}
 		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil

@@ -1,6 +1,7 @@
 package sph
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -127,7 +128,7 @@ func TestEvolveConservesEnergyShortTerm(t *testing.T) {
 	}
 	k0, th0, p0 := g.Energy()
 	e0 := k0 + th0 + p0
-	if err := g.EvolveTo(0.05); err != nil {
+	if err := g.EvolveTo(context.Background(), 0.05); err != nil {
 		t.Fatal(err)
 	}
 	k1, th1, p1 := g.Energy()
@@ -155,7 +156,7 @@ func TestPressureExpandsHotSphere(t *testing.T) {
 		t.Fatal(err)
 	}
 	r0 := meanRadius(g.pos)
-	if err := g.EvolveTo(0.3); err != nil {
+	if err := g.EvolveTo(context.Background(), 0.3); err != nil {
 		t.Fatal(err)
 	}
 	r1 := meanRadius(g.pos)
@@ -187,20 +188,20 @@ func TestKickAppliesToAll(t *testing.T) {
 	for i := range dv {
 		dv[i] = data.Vec3{0.5, 0, 0}
 	}
-	if err := g.Kick(dv); err != nil {
+	if err := g.Kick(context.Background(), dv); err != nil {
 		t.Fatal(err)
 	}
 	if g.Velocities()[7][0] != gas.Vel[7][0]+0.5 {
 		t.Fatal("kick not applied")
 	}
-	if err := g.Kick(dv[:1]); err == nil {
+	if err := g.Kick(context.Background(), dv[:1]); err == nil {
 		t.Fatal("short kick accepted")
 	}
 }
 
 func TestEmptyGas(t *testing.T) {
 	g := New()
-	if err := g.EvolveTo(1); err != ErrNoGas {
+	if err := g.EvolveTo(context.Background(), 1); err != ErrNoGas {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -215,7 +216,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err := serial.SetParticles(gas); err != nil {
 		t.Fatal(err)
 	}
-	if err := serial.EvolveTo(0.02); err != nil {
+	if err := serial.EvolveTo(context.Background(), 0.02); err != nil {
 		t.Fatal(err)
 	}
 
@@ -236,7 +237,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err := par.SetParticles(gas); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.EvolveToParallel(0.02, w, dev); err != nil {
+	if err := par.EvolveToParallel(context.Background(), 0.02, w, dev); err != nil {
 		t.Fatal(err)
 	}
 
@@ -278,7 +279,7 @@ func TestParallelStepsAccounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := &vtime.Device{Name: "node", Kind: vtime.CPU, Gflops: 5, Cores: 8}
-	if err := g.EvolveToParallel(0.01, w, dev); err != nil {
+	if err := g.EvolveToParallel(context.Background(), 0.01, w, dev); err != nil {
 		t.Fatal(err)
 	}
 	if g.Time() < 0.01-1e-12 {

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,7 +67,7 @@ func (s *fieldService) Dispatch(method string, args []byte, at time.Duration) ([
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		acc, pot, flops := s.k.FieldAt(a.SrcMass, a.SrcPos, a.Targets, s.eps)
+		acc, pot, flops := s.k.FieldAt(context.Background(), a.SrcMass, a.SrcPos, a.Targets, s.eps)
 		s.clock.Advance(s.dev.Time(flops, 0))
 		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
 	case "stats":

@@ -7,6 +7,7 @@
 package tree
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -334,7 +335,12 @@ func (k *Kernel) Device() *vtime.Device { return k.dev }
 // FieldAt builds a tree over the sources and evaluates the field at the
 // targets. It returns the accelerations, potentials and accounted flops
 // (tree build cost ≈ N log N is folded in at 40 flops per body-level).
-func (k *Kernel) FieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+// One evaluation is a single kernel launch; the context is only checked
+// on entry.
+func (k *Kernel) FieldAt(ctx context.Context, srcMass []float64, srcPos, targets []data.Vec3, eps float64) ([]data.Vec3, []float64, float64) {
+	if ctx.Err() != nil {
+		return make([]data.Vec3, len(targets)), make([]float64, len(targets)), 0
+	}
 	tr := Build(srcMass, srcPos)
 	acc := make([]data.Vec3, len(targets))
 	pot := make([]float64, len(targets))

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -59,7 +60,7 @@ func TestTreeMatchesDirectSummation(t *testing.T) {
 	}
 	k := NewFi(cpu())
 	k.Theta = 0.5
-	acc, pot, flops := k.FieldAt(p.Mass, p.Pos, targets, 0.01)
+	acc, pot, flops := k.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.01)
 	dacc, dpot := directField(p.Mass, p.Pos, targets, 0.01)
 	if flops <= 0 {
 		t.Fatal("no flops accounted")
@@ -83,7 +84,7 @@ func TestThetaZeroIsExact(t *testing.T) {
 	targets := p.Pos[:20]
 	k := NewFi(cpu())
 	k.Theta = 0
-	acc, _, _ := k.FieldAt(p.Mass, p.Pos, targets, 0.01)
+	acc, _, _ := k.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.01)
 	dacc, _ := directField(p.Mass, p.Pos, targets, 0.01)
 	for i := range targets {
 		if rel := acc[i].Sub(dacc[i]).Norm() / dacc[i].Norm(); rel > 1e-10 {
@@ -99,8 +100,8 @@ func TestLargerThetaFewerFlops(t *testing.T) {
 	loose.Theta = 1.0
 	tight := NewOctgrav(gpu())
 	tight.Theta = 0.2
-	_, _, fLoose := loose.FieldAt(p.Mass, p.Pos, targets, 0.01)
-	_, _, fTight := tight.FieldAt(p.Mass, p.Pos, targets, 0.01)
+	_, _, fLoose := loose.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.01)
+	_, _, fTight := tight.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.01)
 	if fLoose >= fTight {
 		t.Fatalf("theta=1.0 flops %v not below theta=0.2 flops %v", fLoose, fTight)
 	}
@@ -114,8 +115,8 @@ func TestOctgravFiIdentical(t *testing.T) {
 	targets := p.Pos[:64]
 	a := NewOctgrav(gpu())
 	b := NewFi(cpu())
-	accA, potA, _ := a.FieldAt(p.Mass, p.Pos, targets, 0.02)
-	accB, potB, _ := b.FieldAt(p.Mass, p.Pos, targets, 0.02)
+	accA, potA, _ := a.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.02)
+	accB, potB, _ := b.FieldAt(context.Background(), p.Mass, p.Pos, targets, 0.02)
 	for i := range targets {
 		for d := 0; d < 3; d++ {
 			if math.Float64bits(accA[i][d]) != math.Float64bits(accB[i][d]) {
@@ -184,7 +185,7 @@ func TestSelfFieldMomentumBalance(t *testing.T) {
 	// at the sources themselves: Σ m·a ≈ 0.
 	p := ic.Plummer(400, 6)
 	k := NewFi(cpu())
-	acc, _, _ := k.FieldAt(p.Mass, p.Pos, p.Pos, 0.01)
+	acc, _, _ := k.FieldAt(context.Background(), p.Mass, p.Pos, p.Pos, 0.01)
 	var net data.Vec3
 	for i := range acc {
 		net = net.Add(acc[i].Scale(p.Mass[i]))

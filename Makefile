@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench ci
+.PHONY: all build vet fmt-check test test-short race bench ci
 
 all: ci
 
@@ -12,6 +12,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite (the GitHub
+# workflow runs the same check).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 # Fast suite: unit + protocol + reduced-scale integration (seconds).
 test-short:

@@ -376,6 +376,79 @@ func BenchmarkPipelinedKick(b *testing.B) {
 	})
 }
 
+// BenchmarkDirectVsHairpinTransfer measures the direct data plane against
+// the coupler hairpin it replaces, on the multi-site topology the refactor
+// targets: the coupler behind a DSL-class uplink, two remote sites joined
+// by a fast research link, and a 1000-particle mass/position/velocity
+// column set moving between them each step. "hairpin" Pulls the columns
+// worker->coupler and Pushes them coupler->worker (two crossings of the
+// slow uplink); "direct" orchestrates by RPC while the bytes flow
+// worker->worker (one crossing of the fast inter-site link). Compare the
+// virtual-us/step metrics: the modelled win is the acceptance bar's
+// >= 1.5x (measured ~4x; see CHANGES.md for recorded numbers).
+func BenchmarkDirectVsHairpinTransfer(b *testing.B) {
+	const nStars = 1000
+	setup := func(b *testing.B) (*core.Testbed, *core.Simulation, *core.Gravity, *core.Gravity) {
+		b.Helper()
+		tb, err := core.NewDSLTestbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		newWorker := func(resource string, seed int64) *core.Gravity {
+			g, err := sim.NewGravity(context.Background(),
+				core.WorkerSpec{Resource: resource, Channel: core.ChannelIbis},
+				core.GravityOptions{Eps: 0.01})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.SetParticles(ic.Plummer(nStars, seed)); err != nil {
+				b.Fatal(err)
+			}
+			return g
+		}
+		return tb, sim, newWorker(tb.SiteA, 17), newWorker(tb.SiteB, 18)
+	}
+
+	b.Run("hairpin", func(b *testing.B) {
+		tb, sim, src, dst := setup(b)
+		defer tb.Close()
+		defer sim.Stop()
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := src.GetState(context.Background(), data.AttrMass, data.AttrPos, data.AttrVel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.SetState(context.Background(), st); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	})
+	b.Run("direct", func(b *testing.B) {
+		tb, sim, src, dst := setup(b)
+		defer tb.Close()
+		defer sim.Stop()
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.TransferState(context.Background(), src, dst,
+				data.AttrMass, data.AttrPos, data.AttrVel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		stats := sim.TransferStats()
+		if stats.Direct != b.N || stats.Fallback != 0 {
+			b.Fatalf("transfer stats %+v: direct path not exercised", stats)
+		}
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	})
+}
+
 // BenchmarkIbisChannelRoundTrip measures one coupler->daemon->IPL->proxy->
 // worker RPC round trip (the Fig. 5 path).
 func BenchmarkIbisChannelRoundTrip(b *testing.B) {

@@ -23,9 +23,18 @@
 // phase's calls to all models before waiting on any — the paper's "many
 // slow links at once" execution shape.
 //
+// Bulk state moves on a direct worker-to-worker data plane: the coupler
+// orchestrates a transfer by RPC (Simulation.TransferState,
+// data.RemoteChannel), but the column bytes stream between workers over
+// SmartSockets virtual connections through the hub overlay, never
+// crossing the user's machine — with a transparent fallback to the
+// coupler hairpin when no peer path exists. The bridge stages each
+// p-kick's field inputs on the coupling worker the same way.
+//
 // See DESIGN.md for the system inventory, the kernel-registry, batched
-// state-transfer and async-coupler architecture, and measured-vs-paper
-// notes; the examples directory holds runnable entry points.
+// state-transfer, async-coupler and direct-data-plane architecture, and
+// measured-vs-paper notes; the examples directory holds runnable entry
+// points.
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation (run: go test -bench=. -benchmem).
 package jungle

@@ -1,9 +1,12 @@
 // SC11-demo: recreates the paper's SuperComputing'11 demonstration (§6.1,
 // Figs. 8–10): the coupler runs on a laptop in Seattle behind the
 // exhibition NAT; all four models run in The Netherlands, reached over a
-// transatlantic 1G lightpath. The demo's GUI views are printed: the
-// resource list, the jobs, and the SmartSockets overlay with its tunnels
-// and one-way links.
+// transatlantic 1G lightpath. The coupled step moves its bulk state on
+// the direct worker-to-worker data plane — the laptop orchestrates, the
+// Dutch sites exchange the columns among themselves — and the demo shows
+// a standalone TransferState between two sites next to the hairpin it
+// replaces. The GUI views are printed: the resource list, the jobs, and
+// the SmartSockets overlay with its tunnels and one-way links.
 package main
 
 import (
@@ -11,6 +14,8 @@ import (
 	"fmt"
 	"log"
 
+	"jungle/internal/amuse/data"
+	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
 	"jungle/internal/exp"
 )
@@ -31,8 +36,11 @@ func main() {
 		log.Fatalf("run: %v", err)
 	}
 
-	fmt.Printf("\none iteration across the Atlantic: %v (startup %v)\n\n",
-		res.PerIteration, res.Setup)
+	fmt.Printf("\none iteration across the Atlantic: %v (startup %v)\n", res.PerIteration, res.Setup)
+	fmt.Printf("state transfers: %d direct worker-to-worker, %d via the laptop, %d fallback\n\n",
+		res.Transfers.Direct, res.Transfers.Hairpin, res.Transfers.Fallback)
+
+	demoDirectTransfer(tb)
 
 	// Fig. 10's three views.
 	fmt.Println(tb.Deployment.RenderStatus())
@@ -50,4 +58,50 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("  %-24s -> %-24s %-9s %12d\n", r.From, r.To, r.Class, r.Bytes)
 	}
+}
+
+// demoDirectTransfer moves a 1000-particle column set between two Dutch
+// sites both ways: once over the direct data plane (TransferState — the
+// bytes go site-to-site) and once over the hairpin it replaces (Pull to
+// Seattle, Push back out over the transatlantic link), printing the
+// modelled cost of each.
+func demoDirectTransfer(tb *core.Testbed) {
+	sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+	defer sim.Stop()
+	src, err := sim.NewGravity(context.Background(),
+		core.WorkerSpec{Resource: tb.LGM, Channel: core.ChannelIbis}, core.GravityOptions{Eps: 0.01})
+	if err != nil {
+		log.Fatalf("transfer demo src: %v", err)
+	}
+	if err := src.SetParticles(ic.Plummer(1000, 42)); err != nil {
+		log.Fatalf("transfer demo upload: %v", err)
+	}
+	dst, err := sim.NewGravity(context.Background(),
+		core.WorkerSpec{Resource: tb.TUD, Channel: core.ChannelIbis}, core.GravityOptions{Eps: 0.01})
+	if err != nil {
+		log.Fatalf("transfer demo dst: %v", err)
+	}
+	if err := dst.SetParticles(ic.Plummer(1000, 43)); err != nil {
+		log.Fatalf("transfer demo upload: %v", err)
+	}
+
+	attrs := []string{data.AttrMass, data.AttrPos, data.AttrVel}
+	start := sim.Elapsed()
+	if err := sim.TransferState(context.Background(), src, dst, attrs...); err != nil {
+		log.Fatalf("direct transfer: %v", err)
+	}
+	direct := sim.Elapsed() - start
+
+	start = sim.Elapsed()
+	st, err := src.GetState(context.Background(), attrs...)
+	if err != nil {
+		log.Fatalf("hairpin pull: %v", err)
+	}
+	if err := dst.SetState(context.Background(), st); err != nil {
+		log.Fatalf("hairpin push: %v", err)
+	}
+	hairpin := sim.Elapsed() - start
+
+	fmt.Printf("moving 1000 particles LGM -> TUD: direct %v, via-Seattle hairpin %v (%.1fx)\n\n",
+		direct, hairpin, float64(hairpin)/float64(direct))
 }

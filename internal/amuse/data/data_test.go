@@ -1,8 +1,11 @@
 package data
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -236,6 +239,61 @@ func TestChannelUnknownAttr(t *testing.T) {
 	}
 	if err := ch.Copy("spin"); err == nil {
 		t.Fatal("unknown attribute accepted")
+	}
+}
+
+// TestChannelMissingAttrNamesAttribute: an attribute the destination set
+// cannot hold must fail with an error that names it — the diagnosability
+// contract both channel flavors (local and remote) share.
+func TestChannelMissingAttrNamesAttribute(t *testing.T) {
+	p := NewParticles(2)
+	q := p.Clone()
+	ch, err := NewChannel(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ch.Copy(AttrMass, "vorticity")
+	if err == nil {
+		t.Fatal("copy of absent attribute succeeded")
+	}
+	if !strings.Contains(err.Error(), "vorticity") {
+		t.Fatalf("error %q does not name the attribute", err)
+	}
+}
+
+// TestRemoteChannelDefaultsAndErrors: the remote mirror of Channel
+// defaults to the dynamics exchange and surfaces the transfer's
+// attribute-naming errors unchanged. The real worker-to-worker flavor is
+// exercised in internal/core's transfer tests.
+func TestRemoteChannelDefaultsAndErrors(t *testing.T) {
+	var got [][]string
+	ch := NewRemoteChannel(func(attrs []string) error {
+		got = append(got, attrs)
+		for _, a := range attrs {
+			if a != AttrMass && a != AttrPos && a != AttrVel {
+				return fmt.Errorf("worker: unknown attribute %q", a)
+			}
+		}
+		return nil
+	})
+	if err := ch.Copy(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{AttrMass, AttrPos, AttrVel}
+	if len(got) != 1 || len(got[0]) != len(want) {
+		t.Fatalf("transfer saw %v, want %v", got, want)
+	}
+	for i, a := range want {
+		if got[0][i] != a {
+			t.Fatalf("default attrs %v, want %v", got[0], want)
+		}
+	}
+	err := ch.Copy("vorticity")
+	if err == nil || !strings.Contains(err.Error(), "vorticity") {
+		t.Fatalf("error %v does not name the attribute", err)
+	}
+	if err := NewRemoteChannel(nil).Copy(); !errors.Is(err, ErrNoTransfer) {
+		t.Fatalf("nil transfer: err = %v, want ErrNoTransfer", err)
 	}
 }
 

@@ -34,8 +34,15 @@ type Simulation struct {
 	// replacements); the bridge's own trace covers Fig. 7's call sequence.
 	Trace func(event string)
 
-	mu     sync.Mutex
-	models []*modelProxy
+	// OnTransferFallback, when set, receives the classified direct-path
+	// error each time a state transfer falls back to the coupler hairpin
+	// (errors.Is ErrTransport or ErrWorkerDied). Set before starting
+	// transfers.
+	OnTransferFallback func(err error)
+
+	mu        sync.Mutex
+	models    []*modelProxy
+	transfers TransferStats
 }
 
 // NewSimulation creates a coupler session on a running daemon. ctx is the

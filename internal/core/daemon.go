@@ -12,6 +12,7 @@ import (
 	"jungle/internal/deploy"
 	"jungle/internal/gat"
 	"jungle/internal/ipl"
+	"jungle/internal/smartsockets"
 	"jungle/internal/vnet"
 )
 
@@ -450,6 +451,39 @@ func (d *Daemon) WorkerJob(id int) *gat.Job {
 		return wh.job
 	}
 	return nil
+}
+
+// WorkerPeerAddr resolves an ibis worker's peer-stream address — where
+// other workers dial it for direct worker-to-worker state transfers —
+// from its pool identity. It reports false for non-ibis workers, workers
+// still starting, and dead workers.
+func (d *Daemon) WorkerPeerAddr(id int) (smartsockets.Address, bool) {
+	d.mu.Lock()
+	wh := d.workers[id]
+	d.mu.Unlock()
+	if wh == nil {
+		return smartsockets.Address{}, false
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	if wh.dead || wh.member.Host == "" {
+		return smartsockets.Address{}, false
+	}
+	return ipl.PeerAddr(wh.member), true
+}
+
+// AbortTransfer streams an abort marker for a transfer id to a worker's
+// peer listener, so an accept_state whose offering side failed stops
+// waiting immediately instead of timing out. Best effort: if the abort
+// cannot be delivered the accept still fails via its timeout.
+func (d *Daemon) AbortTransfer(addr smartsockets.Address, id uint64) {
+	conn, err := d.ibis.DialPeer(addr, 0)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.SetClass("peer")
+	conn.Send(kernel.AppendTransferAbort(nil, id), 0)
 }
 
 // workerSocketAddr returns host/port for a sockets-channel worker.

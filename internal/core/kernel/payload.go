@@ -119,6 +119,13 @@ type FieldAtResult struct {
 	Pot []float64
 }
 
+// FieldStagedArgs evaluates the field of the sources staged under Slot at
+// the targets staged under the same slot (both delivered over the direct
+// data plane via stage_sources/stage_targets), then frees the slot.
+type FieldStagedArgs struct {
+	Slot uint64
+}
+
 type VecResult struct {
 	V []data.Vec3
 }

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"fmt"
+)
+
+// Third-party state transfer: the coupler orchestrates by RPC, the column
+// bytes flow worker-to-worker over a SmartSockets virtual connection — the
+// Fig. 5 topology minus the hairpin through the user's machine. Two proxy
+// ops and two stream frames make up the protocol:
+//
+//   - "offer_state" (coupler -> source worker): read the named columns and
+//     stream them to the peer address as one transfer frame; wait for the
+//     peer's ack.
+//   - "accept_state" (coupler -> destination worker): wait for the transfer
+//     frame with the given id to arrive on the peer listener and apply it
+//     with the named method ("set_state", or a staging method).
+//
+// Both ops are handled by the worker's proxy (which owns the SmartSockets
+// factory), not the model service; the service only ever sees its ordinary
+// get_state/set_state/stage_* dispatch. The stream payload is the columnar
+// StatePayload frame unchanged, so the transfer codec adds a fixed-size
+// header, never a re-encode.
+
+// Proxy-level transfer methods.
+const (
+	MethodOfferState  = "offer_state"
+	MethodAcceptState = "accept_state"
+)
+
+// MethodApplyState is the default apply method for accepted transfers.
+const MethodApplyState = "set_state"
+
+// OfferStateArgs asks a worker to stream state columns to a peer.
+type OfferStateArgs struct {
+	// ID names the transfer; the accepting peer matches streams by it.
+	ID uint64
+	// Attrs selects the columns (get_state semantics).
+	Attrs []string
+	// Peer is the destination worker's peer-listener address
+	// ("host:port" in the SmartSockets address space).
+	Peer string
+}
+
+// AcceptStateArgs asks a worker to wait for a transfer stream and apply it.
+type AcceptStateArgs struct {
+	// ID names the expected transfer.
+	ID uint64
+	// Apply is the worker method the payload is applied with; empty means
+	// MethodApplyState. Staging methods (Slot != 0) receive the payload
+	// wrapped by AppendStaged.
+	Apply string
+	// Slot tags staged applications (stage_sources/stage_targets) so
+	// several staged exchanges can be in flight on one worker.
+	Slot uint64
+}
+
+// Transfer stream framing (worker-to-worker peer connections).
+
+// AppendTransfer frames one state stream message: the transfer id followed
+// by an unmodified StatePayload frame.
+func AppendTransfer(dst []byte, id uint64, state []byte) []byte {
+	dst = append(dst, tagTransfer)
+	dst = appendU64(dst, id)
+	dst = append(dst, 0) // data, not abort
+	return appendBytes32(dst, state)
+}
+
+// AppendTransferAbort frames an abort marker for a transfer id: the peer
+// stops waiting and fails the matching accept_state with a transport error
+// (sent by the coupler's daemon when the offering side failed, so the
+// accepting worker does not wait out its timeout).
+func AppendTransferAbort(dst []byte, id uint64) []byte {
+	dst = append(dst, tagTransfer)
+	dst = appendU64(dst, id)
+	dst = append(dst, 1) // abort
+	return appendU32(dst, 0)
+}
+
+// UnmarshalTransfer parses a frame produced by AppendTransfer or
+// AppendTransferAbort. state aliases b.
+func UnmarshalTransfer(b []byte) (id uint64, state []byte, abort bool, err error) {
+	r := reader{b: b}
+	if tag := r.u8("tag"); r.err == nil && tag != tagTransfer {
+		return 0, nil, false, fmt.Errorf("kernel: not a transfer frame (tag 0x%02x)", tag)
+	}
+	id = r.u64("id")
+	abort = r.u8("abort") == 1
+	state = r.bytes32("state")
+	return id, state, abort, r.err
+}
+
+// AppendTransferAck frames the receiving peer's acknowledgement.
+func AppendTransferAck(dst []byte, id uint64) []byte {
+	dst = append(dst, tagTransferAck)
+	return appendU64(dst, id)
+}
+
+// UnmarshalTransferAck parses a frame produced by AppendTransferAck.
+func UnmarshalTransferAck(b []byte) (uint64, error) {
+	r := reader{b: b}
+	if tag := r.u8("tag"); r.err == nil && tag != tagTransferAck {
+		return 0, fmt.Errorf("kernel: not a transfer ack frame (tag 0x%02x)", tag)
+	}
+	id := r.u64("id")
+	return id, r.err
+}
+
+// AppendStaged wraps a StatePayload frame with its staging slot for the
+// stage_* apply methods (field workers hold several staged inputs at once).
+func AppendStaged(dst []byte, slot uint64, state []byte) []byte {
+	dst = append(dst, tagStaged)
+	dst = appendU64(dst, slot)
+	return appendBytes32(dst, state)
+}
+
+// UnmarshalStaged parses a frame produced by AppendStaged. state aliases b.
+func UnmarshalStaged(b []byte) (slot uint64, state []byte, err error) {
+	r := reader{b: b}
+	if tag := r.u8("tag"); r.err == nil && tag != tagStaged {
+		return 0, nil, fmt.Errorf("kernel: not a staged frame (tag 0x%02x)", tag)
+	}
+	slot = r.u64("slot")
+	state = r.bytes32("state")
+	return slot, state, r.err
+}

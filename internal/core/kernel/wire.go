@@ -126,10 +126,13 @@ func ResponseError(resp *Response) error {
 // marshalling appends into a caller-provided buffer (see GetBuf/PutBuf)
 // and unmarshalling aliases sub-slices of the received frame.
 const (
-	tagRequest  = 0x52 // 'R'
-	tagResponse = 0x50 // 'P'
-	tagState    = 0x53 // 'S'
-	tagStateReq = 0x51 // 'Q'
+	tagRequest     = 0x52 // 'R'
+	tagResponse    = 0x50 // 'P'
+	tagState       = 0x53 // 'S'
+	tagStateReq    = 0x51 // 'Q'
+	tagTransfer    = 0x54 // 'T' — worker-to-worker state stream (transfer.go)
+	tagTransferAck = 0x41 // 'A' — stream receipt acknowledgement
+	tagStaged      = 0x47 // 'G' — slot-tagged staged state application
 )
 
 var bufPool = sync.Pool{New: func() any {

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jungle/internal/core/kernel"
+	"jungle/internal/ipl"
+	"jungle/internal/smartsockets"
+	"jungle/internal/vnet"
+)
+
+// The worker side of the direct data plane. Each ibis worker's proxy owns
+// a peer listener on the SmartSockets overlay (ipl.PeerAddr of its pool
+// identity): bulk state streamed by other workers lands here, and the
+// proxy's offer_state/accept_state handlers move it between the stream
+// and the model service over the local loopback — the coupler only ever
+// orchestrates, its machine never carries the column bytes.
+
+// PeerAcceptTimeout bounds, in real time, how long an accept_state waits
+// for its transfer stream before failing with a transport error. The
+// normal failure path never waits it out — a failed offer makes the
+// daemon stream an abort marker — so it only fires when the abort path is
+// unreachable too. A variable so fault tests can tighten it.
+var PeerAcceptTimeout = 10 * time.Second
+
+// testPeerStreamFault, when set, kills the peer stream connection right
+// after dialing — the fault-injection hook for "the stream died
+// mid-transfer". Set only from tests, before workers start.
+var testPeerStreamFault func() bool
+
+// peerDelivery is one parked transfer stream (or its abort).
+type peerDelivery struct {
+	state   []byte
+	arrival time.Duration
+	err     error
+}
+
+// peerMailbox parks transfer streams until the matching accept_state
+// arrives; streams and accepts race freely, whichever comes first waits
+// for the other.
+type peerMailbox struct {
+	mu      sync.Mutex
+	box     map[uint64]peerDelivery
+	waiters map[uint64]chan peerDelivery
+	// consumed marks ids whose accept already returned (successfully or
+	// by timeout): late streams and redundant aborts for them are dropped
+	// instead of parked forever — accepts are never retried, so a
+	// consumed id can receive nothing anyone will wait for.
+	consumed map[uint64]bool
+	closed   bool
+}
+
+func newPeerMailbox() *peerMailbox {
+	return &peerMailbox{
+		box:      make(map[uint64]peerDelivery),
+		waiters:  make(map[uint64]chan peerDelivery),
+		consumed: make(map[uint64]bool),
+	}
+}
+
+// deposit hands a delivery to a waiting accept, or parks it.
+func (mb *peerMailbox) deposit(id uint64, d peerDelivery) {
+	mb.mu.Lock()
+	if mb.closed || mb.consumed[id] {
+		mb.mu.Unlock()
+		return
+	}
+	if ch, ok := mb.waiters[id]; ok {
+		delete(mb.waiters, id)
+		mb.consumed[id] = true
+		mb.mu.Unlock()
+		ch <- d
+		return
+	}
+	mb.box[id] = d
+	mb.mu.Unlock()
+}
+
+// wait blocks (in real time, up to timeout) for the delivery with the
+// given id.
+func (mb *peerMailbox) wait(id uint64, timeout time.Duration) (peerDelivery, error) {
+	mb.mu.Lock()
+	if d, ok := mb.box[id]; ok {
+		delete(mb.box, id)
+		mb.consumed[id] = true
+		mb.mu.Unlock()
+		return d, nil
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		return peerDelivery{}, fmt.Errorf("%w: peer plane closed", kernel.ErrTransport)
+	}
+	ch := make(chan peerDelivery, 1)
+	mb.waiters[id] = ch
+	mb.mu.Unlock()
+	select {
+	case d := <-ch:
+		return d, nil
+	case <-time.After(timeout):
+		mb.mu.Lock()
+		delete(mb.waiters, id)
+		mb.consumed[id] = true
+		mb.mu.Unlock()
+		return peerDelivery{}, fmt.Errorf("%w: transfer %d: no peer stream within %v",
+			kernel.ErrTransport, id, timeout)
+	}
+}
+
+// close fails every parked and future wait (worker teardown).
+func (mb *peerMailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	waiters := mb.waiters
+	mb.waiters = make(map[uint64]chan peerDelivery)
+	mb.box = make(map[uint64]peerDelivery)
+	mb.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- peerDelivery{err: fmt.Errorf("%w: peer plane closed", kernel.ErrTransport)}
+	}
+}
+
+// peerPlane is the proxy-side endpoint of the direct data plane: the
+// stream listener plus the transfer-op handlers.
+type peerPlane struct {
+	ib      *ipl.Ibis
+	mailbox *peerMailbox
+	lis     *smartsockets.Listener
+	wg      sync.WaitGroup
+}
+
+// newPeerPlane opens the worker's peer listener and starts serving
+// inbound streams.
+func newPeerPlane(ib *ipl.Ibis) (*peerPlane, error) {
+	lis, err := ib.ListenPeer()
+	if err != nil {
+		return nil, fmt.Errorf("core: peer listener: %w", err)
+	}
+	p := &peerPlane{ib: ib, mailbox: newPeerMailbox(), lis: lis}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// serve accepts peer stream connections: each carries one transfer frame,
+// acknowledged at its virtual arrival time.
+func (p *peerPlane) serve() {
+	defer p.wg.Done()
+	defer p.mailbox.close()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer conn.Close()
+			conn.SetClass("peer")
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			id, state, abort, err := kernel.UnmarshalTransfer(msg.Data)
+			if err != nil {
+				return
+			}
+			if abort {
+				p.mailbox.deposit(id, peerDelivery{err: fmt.Errorf(
+					"%w: transfer %d aborted by coupler", kernel.ErrTransport, id)})
+				return
+			}
+			// state aliases msg.Data, which is private to this stream:
+			// no copy needed before the loopback apply.
+			p.mailbox.deposit(id, peerDelivery{state: state, arrival: msg.Arrival})
+			conn.Send(kernel.AppendTransferAck(nil, id), msg.Arrival)
+		}()
+	}
+}
+
+// stop closes the listener and waits for stream handlers. The factory
+// close in ib.End()/Kill() also closes the listener; stop makes teardown
+// explicit on the clean path.
+func (p *peerPlane) stop() {
+	p.lis.Close()
+	p.wg.Wait()
+}
+
+// isTransferMethod reports whether a request is a proxy-level transfer op.
+func isTransferMethod(method string) bool {
+	return method == kernel.MethodOfferState || method == kernel.MethodAcceptState
+}
+
+// handleTransfer executes one offer_state/accept_state against the model
+// service behind loop. It returns the response to write back to the
+// daemon and never forwards the op to the worker's dispatch table.
+func (p *peerPlane) handleTransfer(req *request, arrival time.Duration, loop *vnet.Conn) *response {
+	fail := func(code kernel.Code, err error) *response {
+		return &response{ID: req.ID, Code: code, Err: err.Error(), DoneAt: arrival}
+	}
+	switch req.Method {
+	case kernel.MethodOfferState:
+		var a kernel.OfferStateArgs
+		if err := decode(req.Args, &a); err != nil {
+			return fail(kernel.CodeWorkerFault, err)
+		}
+		return p.offer(req.ID, &a, arrival, loop)
+	case kernel.MethodAcceptState:
+		var a kernel.AcceptStateArgs
+		if err := decode(req.Args, &a); err != nil {
+			return fail(kernel.CodeWorkerFault, err)
+		}
+		return p.accept(req.ID, &a, arrival, loop)
+	default:
+		return fail(kernel.CodeTransport, fmt.Errorf("core: not a transfer op: %q", req.Method))
+	}
+}
+
+// loopCall runs one synthesized RPC against the model service over the
+// proxy's loopback connection. The relay loop is single-threaded, so the
+// loopback never has more than one call in flight.
+func loopCall(loop *vnet.Conn, id uint64, method string, args []byte, at time.Duration) (*response, error) {
+	buf := kernel.GetBuf()
+	frame := kernel.AppendRequest(*buf, &request{ID: id, Method: method, Args: args, SentAt: at})
+	_, err := loop.Send(frame, at)
+	*buf = frame[:0]
+	kernel.PutBuf(buf)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := loop.Recv()
+	if err != nil {
+		return nil, err
+	}
+	resp := new(response)
+	if err := kernel.UnmarshalResponse(reply.Data, resp); err != nil {
+		return nil, err
+	}
+	resp.DoneAt = maxDuration(resp.DoneAt, reply.Arrival)
+	return resp, nil
+}
+
+// offer reads the requested columns from the service and streams them to
+// the peer, waiting for the receipt ack. Any failure on the peer path is
+// a transport fault — the coupler uses the classification to fall back to
+// its hairpin.
+func (p *peerPlane) offer(reqID uint64, a *kernel.OfferStateArgs, arrival time.Duration, loop *vnet.Conn) *response {
+	fail := func(code kernel.Code, err error) *response {
+		return &response{ID: reqID, Code: code, Err: err.Error(), DoneAt: arrival}
+	}
+	stBuf := kernel.GetBuf()
+	stArgs := kernel.AppendStateRequest(*stBuf, &kernel.StateRequest{Attrs: a.Attrs})
+	got, err := loopCall(loop, reqID, "get_state", stArgs, arrival)
+	*stBuf = stArgs[:0]
+	kernel.PutBuf(stBuf)
+	if err != nil {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: read state: %w", a.ID, err))
+	}
+	if got.Code != kernel.CodeOK {
+		return &response{ID: reqID, Code: got.Code, Err: got.Err, DoneAt: got.DoneAt}
+	}
+	addr, err := smartsockets.ParseAddress(a.Peer)
+	if err != nil {
+		return fail(kernel.CodeWorkerFault, err)
+	}
+	conn, err := p.ib.DialPeer(addr, got.DoneAt)
+	if err != nil {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: peer %s unreachable: %w", a.ID, a.Peer, err))
+	}
+	defer conn.Close()
+	conn.SetClass("peer")
+	if testPeerStreamFault != nil && testPeerStreamFault() {
+		conn.Close() // injected fault: the stream dies under the transfer
+	}
+	frame := kernel.AppendTransfer(nil, a.ID, got.Result)
+	if err := conn.Send(frame, maxDuration(got.DoneAt, conn.EstablishedAt())); err != nil {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: stream to %s: %w", a.ID, a.Peer, err))
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: no ack from %s: %w", a.ID, a.Peer, err))
+	}
+	if id, err := kernel.UnmarshalTransferAck(ack.Data); err != nil || id != a.ID {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: bad ack (id %d, err %v)", a.ID, id, err))
+	}
+	return &response{ID: reqID, DoneAt: ack.Arrival}
+}
+
+// accept waits for the announced stream and applies it to the service
+// with the requested method.
+func (p *peerPlane) accept(reqID uint64, a *kernel.AcceptStateArgs, arrival time.Duration, loop *vnet.Conn) *response {
+	fail := func(err error) *response {
+		code := kernel.CodeTransport
+		if !errors.Is(err, kernel.ErrTransport) {
+			code = kernel.ClassifyErr(err)
+		}
+		return &response{ID: reqID, Code: code, Err: err.Error(), DoneAt: arrival}
+	}
+	d, err := p.mailbox.wait(a.ID, PeerAcceptTimeout)
+	if err != nil {
+		return fail(err)
+	}
+	if d.err != nil {
+		return fail(d.err)
+	}
+	apply := a.Apply
+	if apply == "" {
+		apply = kernel.MethodApplyState
+	}
+	args := d.state
+	if a.Slot != 0 {
+		args = kernel.AppendStaged(nil, a.Slot, d.state)
+	}
+	resp, err := loopCall(loop, reqID, apply, args, maxDuration(arrival, d.arrival))
+	if err != nil {
+		return fail(fmt.Errorf("%w: accept %d: apply: %v", kernel.ErrTransport, a.ID, err))
+	}
+	resp.ID = reqID
+	return resp
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -20,11 +20,14 @@ type Testbed struct {
 	Daemon     *Daemon
 
 	// Resource names registered with the deployment.
-	Client string // "desktop" (lab) or "laptop" (SC11)
+	Client string // "desktop" (lab) or "laptop" (SC11) or "home" (DSL)
 	VU     string // DAS-4 VU: 8-node cluster (Gadget)
 	UvA    string // DAS-4 UvA: 1 node (SSE)
 	TUD    string // DAS-4 TUD: 2 GPU nodes (Octgrav)
 	LGM    string // Little Green Machine: Tesla C2050 (PhiGRAPE)
+
+	// DSL testbed sites (NewDSLTestbed only).
+	SiteA, SiteB string
 }
 
 // Device models: honest relative peaks for the paper's hardware.
@@ -206,6 +209,56 @@ func NewSC11Testbed() (*Testbed, error) {
 	}
 	if err := tb.registerDutchResources(vu, uva, tud); err != nil {
 		return nil, err
+	}
+	d, err := NewDaemon(dep, "amuse")
+	if err != nil {
+		return nil, err
+	}
+	tb.Daemon = d
+	return tb, nil
+}
+
+// NewDSLTestbed builds the home-user topology the direct data plane
+// targets: the coupler on a home machine whose DSL-class uplink is the
+// slowest link by orders of magnitude, and two well-connected remote
+// sites joined by a fast research network. Any state hairpinned through
+// the coupler pays the DSL serialization twice per channel; the direct
+// worker-to-worker path pays the fast inter-site link once.
+func NewDSLTestbed() (*Testbed, error) {
+	const dsl = 1.25e6 // ~10 Mbit/s uplink
+	n := vnet.New()
+	rec := trace.New()
+	n.SetRecorder(rec)
+	if _, err := n.AddHost("home", "home", vnet.Open); err != nil {
+		return nil, err
+	}
+	for _, site := range []string{"site-a", "site-b"} {
+		if _, err := n.AddHost(site, site, vnet.Open); err != nil {
+			return nil, err
+		}
+		if err := n.AddLink("home", site, 20*time.Millisecond, dsl); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddLink("site-a", "site-b", 2*time.Millisecond, tenG); err != nil {
+		return nil, err
+	}
+
+	dep, err := deploy.New(n, "home")
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Net: n, Recorder: rec, Deployment: dep, Client: "home",
+		SiteA: "site-a", SiteB: "site-b"}
+	resources := []deploy.Resource{
+		{Name: "home", Middleware: "local", Frontend: "home", CPU: laptopCPU()},
+		{Name: "site-a", Middleware: "ssh", Frontend: "site-a", CPU: das4Node(), GPU: teslaC2050()},
+		{Name: "site-b", Middleware: "ssh", Frontend: "site-b", CPU: das4Node(), GPU: gtx480()},
+	}
+	for _, r := range resources {
+		if err := dep.AddResource(r); err != nil {
+			return nil, err
+		}
 	}
 	d, err := NewDaemon(dep, "amuse")
 	if err != nil {

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"jungle/internal/amuse/data"
+	"jungle/internal/core/kernel"
+	"jungle/internal/phys/bridge"
+	"jungle/internal/smartsockets"
+)
+
+// Third-party state transfer: the coupler orchestrates ("send your columns
+// to peer A" / "expect stream T from peer B"), the column bytes flow
+// worker-to-worker over the SmartSockets overlay. Where the coupled step
+// used to Pull worker->coupler and Push coupler->worker — two WAN
+// crossings with the user's uplink as the bottleneck — the direct plane
+// costs one inter-site leg plus small control RPCs. When the peer path is
+// unreachable (local workers, sockets channel, a dead stream) the
+// transfer falls back to exactly that Pull/Push hairpin, so TransferState
+// is always safe to call; the direct-path failure that triggered the
+// fallback is classified under ErrTransport/ErrWorkerDied and reported
+// through OnTransferFallback.
+
+// transferIDs allocates transfer stream ids and staging slots,
+// process-wide so concurrent simulations on one daemon cannot collide.
+var transferIDs atomic.Uint64
+
+// StateEndpoint is any coupler-side model handle whose worker holds
+// particle state — Gravity, Hydro, FieldModel, StellarModel and the
+// generic Model all satisfy it.
+type StateEndpoint interface {
+	stateProxy() *modelProxy
+}
+
+func (m *modelProxy) stateProxy() *modelProxy { return m }
+
+// peerAddr resolves the worker's direct-transfer address; ok is false
+// when the worker has no peer plane (mpi and sockets channels, or a
+// worker that is gone).
+func (m *modelProxy) peerAddr() (smartsockets.Address, bool) {
+	m.mu.Lock()
+	ch := m.spec.Channel
+	worker := m.worker
+	m.mu.Unlock()
+	if ch != ChannelIbis || worker == 0 {
+		return smartsockets.Address{}, false
+	}
+	return m.sim.daemon.WorkerPeerAddr(worker)
+}
+
+// TransferStats counts how transfers were carried.
+type TransferStats struct {
+	Direct   int // worker-to-worker streams
+	Fallback int // direct path failed, hairpin completed the transfer
+	Hairpin  int // no peer path existed, hairpin from the start
+}
+
+// TransferStats returns the session's transfer counters.
+func (s *Simulation) TransferStats() TransferStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transfers
+}
+
+func (s *Simulation) countTransfer(f func(*TransferStats)) {
+	s.mu.Lock()
+	f(&s.transfers)
+	s.mu.Unlock()
+}
+
+// GoTransferState starts moving the named attribute columns (default
+// mass/position/velocity) from src's worker to dst's worker and returns
+// the transfer's future. The orchestration RPCs are on the wire before it
+// returns; the bytes travel worker-to-worker when both ends have a peer
+// plane, through the coupler otherwise.
+func (s *Simulation) GoTransferState(src, dst StateEndpoint, attrs ...string) *Call {
+	return s.goTransfer(src.stateProxy(), dst.stateProxy(), kernel.MethodApplyState, 0, attrs)
+}
+
+// TransferState moves the named attribute columns from src's worker to
+// dst's worker and waits for completion — GoTransferState.Wait sugar.
+// nil ctx means the session context.
+func (s *Simulation) TransferState(ctx context.Context, src, dst StateEndpoint, attrs ...string) error {
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	return s.GoTransferState(src, dst, attrs...).Wait(ctx)
+}
+
+// isPeerPathErr classifies errors that warrant falling back to the
+// hairpin: the transfer machinery failed (stream, dial, abort, timeout)
+// or the worker died mid-flight (a replacement may serve the hairpin).
+func isPeerPathErr(err error) bool {
+	return errors.Is(err, ErrTransport) || errors.Is(err, ErrWorkerDied)
+}
+
+// goTransfer is the general transfer: apply names the method the
+// destination applies the payload with (set_state, or a staging method
+// tagged by slot).
+func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64, attrs []string) *Call {
+	attrs = defaultStateAttrs(attrs)
+	c := newCall("transfer", "transfer_state", nil)
+	dstPeer, dstOK := dst.peerAddr()
+	_, srcOK := src.peerAddr()
+	// A self-transfer cannot use the peer plane either: the worker's
+	// relay loop is single-threaded, so its accept_state would block the
+	// very offer_state that feeds it until the accept timed out. The
+	// hairpin handles all three cases at ordinary RPC cost.
+	if !srcOK || !dstOK || src == dst {
+		s.countTransfer(func(t *TransferStats) { t.Hairpin++ })
+		go s.runHairpin(c, src, dst, apply, slot, attrs)
+		return c
+	}
+
+	id := transferIDs.Add(1)
+	// Both control RPCs are pipelined; their big cousin — the column
+	// payload — never touches this machine. Transfer ops bypass worker
+	// replacement: a replacement worker has a different peer identity, so
+	// a failed op falls back to the hairpin instead (which replays on the
+	// replacement as usual).
+	accept := dst.goNoReplace(kernel.MethodAcceptState, kernel.AcceptStateArgs{ID: id, Apply: apply, Slot: slot})
+	offer := src.goNoReplace(kernel.MethodOfferState, kernel.OfferStateArgs{ID: id, Attrs: attrs, Peer: dstPeer.String()})
+	go func() {
+		err := offer.Wait(s.ctx)
+		if err != nil {
+			// No stream is coming whatever the failure class (a worker
+			// fault like an unknown attribute included): unblock the
+			// accept so it does not hold the destination's relay loop —
+			// and every RPC queued behind it — for the accept timeout.
+			s.daemon.AbortTransfer(dstPeer, id)
+		} else if err = accept.Wait(s.ctx); err != nil && isPeerPathErr(err) {
+			// The accept may still be parked (its stream died en route).
+			s.daemon.AbortTransfer(dstPeer, id)
+		}
+		if err == nil {
+			s.countTransfer(func(t *TransferStats) { t.Direct++ })
+			c.finish(nil, nil)
+			return
+		}
+		if !isPeerPathErr(err) {
+			c.finish(nil, err)
+			return
+		}
+		// Direct path failed: carry the columns over the coupler instead.
+		s.countTransfer(func(t *TransferStats) { t.Fallback++ })
+		s.trace("transfer %d: direct path failed (%v); falling back to coupler hairpin", id, err)
+		if hook := s.onTransferFallback(); hook != nil {
+			hook(err)
+		}
+		s.runHairpin(c, src, dst, apply, slot, attrs)
+	}()
+	return c
+}
+
+func (s *Simulation) onTransferFallback() func(error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.OnTransferFallback
+}
+
+// runHairpin carries the columns through the coupler: one batched read
+// from src, one batched apply on dst — the pre-direct-plane data path,
+// kept as the universal fallback. It finishes c.
+func (s *Simulation) runHairpin(c *Call, src, dst *modelProxy, apply string, slot uint64, attrs []string) {
+	raw, err := src.getStateRaw(s.ctx, attrs)
+	if err != nil {
+		c.finish(nil, err)
+		return
+	}
+	args := raw
+	if slot != 0 {
+		args = kernel.AppendStaged(nil, slot, raw)
+	}
+	ac := dst.goRaw(apply, args, nil)
+	c.finish(nil, ac.Wait(s.ctx))
+}
+
+// getStateRaw fetches the named columns as an unparsed StatePayload frame
+// (the hairpin forwards it verbatim, so the coupler never decodes the
+// columns it relays).
+func (m *modelProxy) getStateRaw(ctx context.Context, attrs []string) ([]byte, error) {
+	var raw []byte
+	buf := kernel.GetBuf()
+	args := kernel.AppendStateRequest(*buf, &kernel.StateRequest{Attrs: attrs})
+	c := m.goPooled("get_state", args, buf, func(b []byte) error {
+		raw = append([]byte(nil), b...)
+		return nil
+	})
+	if err := c.Wait(m.sessionCtx(ctx)); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// goNoReplace issues one RPC that must not be replayed on a replacement
+// worker (transfer ops are bound to a specific peer identity).
+func (m *modelProxy) goNoReplace(method string, args any) *Call {
+	c := newCall(m.kind, method, nil)
+	c.seq = m.seq.Add(1)
+	m.startCall(c, method, encode(args), false)
+	return c
+}
+
+// NewRemoteChannel mirrors data.NewChannel for particle sets that live on
+// workers: Copy moves columns from src's worker to dst's worker over the
+// direct data plane (or its fallback) without materializing them on the
+// coupler. nil ctx means the session context.
+func (s *Simulation) NewRemoteChannel(ctx context.Context, src, dst StateEndpoint) *data.RemoteChannel {
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	return data.NewRemoteChannel(func(attrs []string) error {
+		return s.TransferState(ctx, src, dst, attrs...)
+	})
+}
+
+// GoFieldDirect evaluates the field of src's particles at tgt's positions
+// with both inputs staged on the field worker over the direct data plane:
+// the coupler orchestrates three RPCs but never holds the columns
+// (bridge.DirectField). Staging pays one extra control round trip (the
+// evaluation is issued after both stage applications), so it is used only
+// when all three workers have peer planes — exactly the placements where
+// the column payloads would otherwise hairpin over the coupler's WAN
+// links. Everything else takes the classic sampled GoFieldAt path at its
+// pre-direct-plane cost.
+func (f *FieldModel) GoFieldDirect(src, tgt bridge.Dynamics) bridge.FieldCall {
+	se, sok := src.(StateEndpoint)
+	te, tok := tgt.(StateEndpoint)
+	if sok && tok {
+		_, srcOK := se.stateProxy().peerAddr()
+		_, tgtOK := te.stateProxy().peerAddr()
+		_, selfOK := f.peerAddr()
+		if srcOK && tgtOK && selfOK {
+			return f.goFieldStaged(se.stateProxy(), te.stateProxy(), tgt.N())
+		}
+	}
+	return f.goFieldSampled(src, tgt)
+}
+
+// goFieldStaged moves both inputs worker-to-worker and issues the staged
+// evaluation once their applications are queued on the field worker.
+func (f *FieldModel) goFieldStaged(src, tgt *modelProxy, n int) bridge.FieldCall {
+	s := f.sim
+	slot := transferIDs.Add(1)
+	t1 := s.goTransfer(src, f.modelProxy, "stage_sources", slot,
+		[]string{data.AttrMass, data.AttrPos})
+	t2 := s.goTransfer(tgt, f.modelProxy, "stage_targets", slot,
+		[]string{data.AttrPos})
+	dc := &directFieldCall{n: n, done: make(chan struct{})}
+	go func() {
+		defer close(dc.done)
+		err1 := t1.Wait(s.ctx)
+		err2 := t2.Wait(s.ctx)
+		if err1 != nil || err2 != nil {
+			// The evaluation that would consume the slot will never be
+			// issued; release whatever half was staged so the field
+			// worker does not accumulate orphaned columns.
+			f.Go("stage_release", kernel.FieldStagedArgs{Slot: slot})
+			if err1 != nil {
+				dc.err = fmt.Errorf("core: field staging (sources): %w", err1)
+			} else {
+				dc.err = fmt.Errorf("core: field staging (targets): %w", err2)
+			}
+			return
+		}
+		// Both stage applications are queued on the field worker (FIFO),
+		// so the evaluation issued now runs against this slot's state.
+		dc.call = f.Go("field_staged", kernel.FieldStagedArgs{Slot: slot})
+	}()
+	return dc
+}
+
+// goFieldSampled is the classic data path as a future: sample the two
+// models concurrently, then issue the evaluation with the columns in the
+// call arguments.
+func (f *FieldModel) goFieldSampled(src, tgt bridge.Dynamics) bridge.FieldCall {
+	dc := &directFieldCall{n: tgt.N(), done: make(chan struct{})}
+	go func() {
+		defer close(dc.done)
+		var srcMass []float64
+		var srcPos, tgtPos []data.Vec3
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			srcMass, srcPos = src.Masses(), src.Positions()
+		}()
+		go func() {
+			defer wg.Done()
+			tgtPos = tgt.Positions()
+		}()
+		wg.Wait()
+		dc.call = f.Go("field_at", kernel.FieldAtArgs{SrcMass: srcMass, SrcPos: srcPos, Targets: tgtPos})
+	}()
+	return dc
+}
+
+// directFieldCall is the pending staged field evaluation behind
+// GoFieldDirect.
+type directFieldCall struct {
+	n    int
+	done chan struct{}
+	err  error
+	call *Call
+}
+
+// Wait implements bridge.FieldCall.
+func (dc *directFieldCall) Wait(ctx context.Context) ([]data.Vec3, []float64, float64, error) {
+	zeros := func(err error) ([]data.Vec3, []float64, float64, error) {
+		return make([]data.Vec3, dc.n), make([]float64, dc.n), 0, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-dc.done:
+	case <-ctx.Done():
+		return zeros(ctx.Err())
+	}
+	if dc.err != nil {
+		return zeros(dc.err)
+	}
+	var out kernel.FieldAtResult
+	if err := dc.call.Wait(ctx); err != nil {
+		return zeros(err)
+	}
+	if err := dc.call.Decode(&out); err != nil {
+		return zeros(err)
+	}
+	return out.Acc, out.Pot, 0, nil
+}

@@ -111,6 +111,14 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	}
 	loop.SetClass("loopback")
 
+	// Direct data plane: peer streams from other workers land on this
+	// listener and never touch the daemon's machine.
+	plane, err := newPeerPlane(ib)
+	if err != nil {
+		ib.End()
+		return err
+	}
+
 	// Find the daemon and open the response path.
 	daemonID, err := ib.Elect(electionDaemon)
 	if err != nil {
@@ -148,12 +156,23 @@ func workerMain(env *Env, ctx *gat.Context) error {
 		}
 	}()
 
-	// Relay loop: daemon -> proxy -> worker -> proxy -> daemon.
+	// Relay loop: daemon -> proxy -> worker -> proxy -> daemon. Transfer
+	// ops (offer_state/accept_state) are the proxy's own: they move state
+	// between the peer plane and the worker without involving the daemon.
 	var relayErr error
 	for {
 		rm, err := reqPort.Receive()
 		if err != nil {
 			break // port closed: daemon shut us down or we were killed
+		}
+		var req request
+		if err := kernel.UnmarshalRequest(rm.Data, &req); err == nil && isTransferMethod(req.Method) {
+			resp := plane.handleTransfer(&req, rm.Arrival, loop)
+			if err := respPort.Write(kernel.AppendResponse(nil, resp), resp.DoneAt); err != nil {
+				relayErr = err
+				break
+			}
+			continue
 		}
 		if _, err := loop.Send(rm.Data, rm.Arrival); err != nil {
 			relayErr = err
@@ -171,6 +190,7 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	}
 	close(relayDone)
 	loop.Close()
+	plane.stop()
 	ib.End()
 	<-serveDone
 	if ctx.Canceled() {

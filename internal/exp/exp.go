@@ -128,6 +128,10 @@ type RunResult struct {
 	PerIteration time.Duration // virtual seconds per bridge iteration
 	Setup        time.Duration // virtual time to start all workers
 	Supernovae   int
+	// Transfers counts how the coupled steps moved bulk state: Direct is
+	// the worker-to-worker data plane, Hairpin the coupler path (local
+	// workers), Fallback a direct attempt that failed over.
+	Transfers core.TransferStats
 }
 
 // RunScenario executes the workload under a placement on the testbed and
@@ -203,6 +207,7 @@ func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement,
 		PerIteration: total / time.Duration(iterations),
 		Setup:        setup,
 		Supernovae:   br.Supernovae(),
+		Transfers:    sim.TransferStats(),
 	}, nil
 }
 

@@ -88,6 +88,15 @@ func TestE2TransatlanticPenalty(t *testing.T) {
 	if !strings.Contains(table, "SmartSockets overlay") {
 		t.Fatalf("missing overlay map:\n%s", table)
 	}
+	// The SC11-style runs must move state on the direct worker-to-worker
+	// plane by default, with the hairpin reachable only as fallback. The
+	// leading space keeps "40 direct" from matching the zero check.
+	if strings.Contains(table, " 0 direct") {
+		t.Fatalf("a run moved no state over the direct plane:\n%s", table)
+	}
+	if !strings.Contains(table, "/ 0 fallback") {
+		t.Fatalf("a healthy run fell back to the hairpin:\n%s", table)
+	}
 }
 
 func TestE3OverlayConnectivity(t *testing.T) {

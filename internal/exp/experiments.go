@@ -93,14 +93,17 @@ func E2(scale float64, iterations int) (string, error) {
 		return "", fmt.Errorf("E2 sc11: %w", err)
 	}
 
+	transferMix := func(t core.TransferStats) string {
+		return fmt.Sprintf("%d direct / %d hairpin / %d fallback", t.Direct, t.Hairpin, t.Fallback)
+	}
 	rows := [][]string{
 		{"desktop client (Fig.12)", fmt.Sprintf("%.2f", labRes.PerIteration.Seconds()),
-			fmt.Sprintf("%.2f", labRes.Setup.Seconds())},
+			fmt.Sprintf("%.2f", labRes.Setup.Seconds()), transferMix(labRes.Transfers)},
 		{"Seattle laptop (Fig.9)", fmt.Sprintf("%.2f", scRes.PerIteration.Seconds()),
-			fmt.Sprintf("%.2f", scRes.Setup.Seconds())},
+			fmt.Sprintf("%.2f", scRes.Setup.Seconds()), transferMix(scRes.Transfers)},
 	}
 	table := Table("E2 SC11 worst case (Fig. 9): transatlantic coupler",
-		[]string{"client", "s/iteration", "setup s"}, rows)
+		[]string{"client", "s/iteration", "setup s", "state transfers"}, rows)
 	penalty := scRes.PerIteration.Seconds() - labRes.PerIteration.Seconds()
 	table += fmt.Sprintf("transatlantic penalty: %+.2f s/iteration\n\n%s", penalty, overlay)
 	return table, nil

@@ -111,6 +111,26 @@ func (ib *Ibis) Identifier() Identifier { return ib.id }
 // Factory exposes the underlying SmartSockets factory (for stats).
 func (ib *Ibis) Factory() *smartsockets.Factory { return ib.factory }
 
+// PeerAddr returns the peer-stream address of a pool member: where its
+// ListenPeer listener accepts direct worker-to-worker transfers.
+func PeerAddr(id Identifier) smartsockets.Address {
+	return smartsockets.Address{Host: id.Host, Port: id.Port + PeerPortOffset}
+}
+
+// ListenPeer opens this instance's peer-stream listener (PeerAddr of its
+// identity). Bulk state moving worker-to-worker arrives here, bypassing
+// the daemon on the user's machine entirely; like every factory listener
+// it accepts direct, reverse and hub-routed connections.
+func (ib *Ibis) ListenPeer() (*smartsockets.Listener, error) {
+	return ib.factory.Listen(ib.id.Port + PeerPortOffset)
+}
+
+// DialPeer opens a virtual connection to another member's peer listener
+// through the overlay. sentAt is the caller's virtual clock.
+func (ib *Ibis) DialPeer(addr smartsockets.Address, sentAt time.Duration) (*smartsockets.VirtualConn, error) {
+	return ib.factory.Connect(addr, sentAt)
+}
+
 // Members returns the current pool membership as known locally.
 func (ib *Ibis) Members() []Identifier {
 	ib.mu.Lock()

@@ -36,6 +36,13 @@ type Identifier struct {
 // String renders "pool/id@host".
 func (id Identifier) String() string { return fmt.Sprintf("%s/%d@%s", id.Pool, id.ID, id.Host) }
 
+// Port layout relative to an instance's identity port: identity+1 is the
+// IPL data listener (port connections), identity+PeerPortOffset the peer
+// stream listener (bulk worker-to-worker transfers that bypass the
+// daemon). Both are SmartSockets virtual ports, so they work across
+// firewalls through the hub overlay.
+const PeerPortOffset = 2
+
 // EventKind classifies registry events.
 type EventKind int
 

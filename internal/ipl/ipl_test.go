@@ -424,3 +424,43 @@ func TestMalleabilityJoinLater(t *testing.T) {
 		}
 	}
 }
+
+// TestPeerListenAndDial: the worker-to-worker stream path — one member
+// listens on its peer port, another dials it via PeerAddr of the pool
+// identity, and a payload crosses without touching any send/receive port.
+func TestPeerListenAndDial(t *testing.T) {
+	tp := newTestPool(t, 2)
+	a := tp.join(t, 0, "peers")
+	b := tp.join(t, 1, "peers")
+
+	l, err := a.ListenPeer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := PeerAddr(a.Identifier())
+	if want := (smartsockets.Address{Host: tp.hosts[0], Port: 20000 + PeerPortOffset}); addr != want {
+		t.Fatalf("peer addr %v, want %v", addr, want)
+	}
+	conn, err := b.DialPeer(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("columns"), conn.EstablishedAt()); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := accepted.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "columns" {
+		t.Fatalf("peer stream delivered %q", msg.Data)
+	}
+	if msg.Arrival <= time.Second {
+		t.Fatalf("arrival %v not after virtual send time", msg.Arrival)
+	}
+}

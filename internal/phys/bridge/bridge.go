@@ -93,6 +93,20 @@ type AsyncField interface {
 	GoFieldAt(srcMass []float64, srcPos, targets []data.Vec3, eps float64) FieldCall
 }
 
+// DirectField is implemented by coupling models that can pull both field
+// inputs straight from the peer models' workers over a direct data plane
+// (core's FieldModel): the source columns and target positions move
+// worker-to-worker, and the bridge never samples them into the coupler —
+// a kick phase stops hairpinning bulk state through the user's machine.
+// Implementations fall back internally when a peer path is unavailable,
+// so the bridge may always prefer this interface.
+type DirectField interface {
+	Field
+	// GoFieldDirect evaluates the field of src's particles at tgt's
+	// positions, staging both inputs on the coupling worker.
+	GoFieldDirect(src, tgt Dynamics) FieldCall
+}
+
 // StellarEvent describes a supernova delivered to the bridge.
 type StellarEvent struct {
 	Index    int     // star index
@@ -227,14 +241,32 @@ func (b *Bridge) kick(ctx context.Context, dt float64) error {
 		return nil
 	}
 	stars, gas, cpl := b.cfg.Stars, b.cfg.Gas, b.cfg.Coupler
-	ss, gs := sampleBoth(stars, gas)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
 	var accS, accG []data.Vec3
 	var f1, f2 float64
-	if acpl, ok := cpl.(AsyncField); ok {
+	if dcpl, ok := cpl.(DirectField); ok {
+		// Direct data plane: both directions' inputs move worker-to-worker
+		// (gas state to the coupling worker, star positions likewise) and
+		// the coupler never holds the columns — the bulk never crosses the
+		// user's uplink.
+		b.trace("coupler.field gas->stars (%s, direct)", cpl.Name())
+		c1 := dcpl.GoFieldDirect(gas, stars)
+		b.trace("coupler.field stars->gas (%s, direct)", cpl.Name())
+		c2 := dcpl.GoFieldDirect(stars, gas)
+		var err1, err2 error
+		accS, _, f1, err1 = c1.Wait(ctx)
+		accG, _, f2, err2 = c2.Wait(ctx)
+		if err1 != nil {
+			return fmt.Errorf("bridge: field gas->stars: %w", err1)
+		}
+		if err2 != nil {
+			return fmt.Errorf("bridge: field stars->gas: %w", err2)
+		}
+	} else if acpl, ok := cpl.(AsyncField); ok {
+		ss, gs := sampleBoth(stars, gas)
 		b.trace("coupler.field gas->stars (%s)", cpl.Name())
 		c1 := acpl.GoFieldAt(gs.mass, gs.pos, ss.pos, b.cfg.Eps)
 		b.trace("coupler.field stars->gas (%s)", cpl.Name())
@@ -249,6 +281,7 @@ func (b *Bridge) kick(ctx context.Context, dt float64) error {
 			return fmt.Errorf("bridge: field stars->gas: %w", err2)
 		}
 	} else {
+		ss, gs := sampleBoth(stars, gas)
 		b.trace("coupler.field gas->stars (%s)", cpl.Name())
 		accS, _, f1 = cpl.FieldAt(ctx, gs.mass, gs.pos, ss.pos, b.cfg.Eps)
 		b.trace("coupler.field stars->gas (%s)", cpl.Name())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"jungle/internal/amuse/data"
 	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
 	"jungle/internal/vtime"
@@ -30,10 +31,37 @@ type fieldService struct {
 	k     *Kernel
 	dev   *vtime.Device
 	eps   float64
+
+	// Staged inputs for the direct data plane: sources (mass+position)
+	// and targets (position) arrive worker-to-worker via
+	// stage_sources/stage_targets, keyed by slot so several exchanges can
+	// be in flight; field_staged consumes a slot.
+	srcStage map[uint64]stagedSources
+	tgtStage map[uint64][]data.Vec3
+}
+
+// stagedSources is one slot's field-source columns.
+type stagedSources struct {
+	mass []float64
+	pos  []data.Vec3
 }
 
 func newFieldService(cfg kernel.Config) (kernel.Service, error) {
-	return &fieldService{res: cfg.Res, clock: vtime.NewClock()}, nil
+	return &fieldService{
+		res: cfg.Res, clock: vtime.NewClock(),
+		srcStage: make(map[uint64]stagedSources),
+		tgtStage: make(map[uint64][]data.Vec3),
+	}, nil
+}
+
+// unstage parses a slot-tagged state frame and returns its columns.
+func unstage(args []byte) (slot uint64, st *kernel.StatePayload, err error) {
+	slot, raw, err := kernel.UnmarshalStaged(args)
+	if err != nil {
+		return 0, nil, err
+	}
+	st, err = kernel.UnmarshalState(raw)
+	return slot, st, err
 }
 
 func (s *fieldService) Close() {}
@@ -68,6 +96,59 @@ func (s *fieldService) Dispatch(method string, args []byte, at time.Duration) ([
 			return nil, s.clock.Now(), err
 		}
 		acc, pot, flops := s.k.FieldAt(context.Background(), a.SrcMass, a.SrcPos, a.Targets, s.eps)
+		s.clock.Advance(s.dev.Time(flops, 0))
+		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
+	case "stage_sources":
+		slot, st, err := unstage(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		mass, pos := st.Float(data.AttrMass), st.Vec(data.AttrPos)
+		if mass == nil {
+			return nil, s.clock.Now(), fmt.Errorf("tree: stage_sources: missing attribute %q", data.AttrMass)
+		}
+		if pos == nil {
+			return nil, s.clock.Now(), fmt.Errorf("tree: stage_sources: missing attribute %q", data.AttrPos)
+		}
+		s.srcStage[slot] = stagedSources{mass: mass, pos: pos}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "stage_targets":
+		slot, st, err := unstage(args)
+		if err != nil {
+			return nil, s.clock.Now(), err
+		}
+		pos := st.Vec(data.AttrPos)
+		if pos == nil {
+			return nil, s.clock.Now(), fmt.Errorf("tree: stage_targets: missing attribute %q", data.AttrPos)
+		}
+		s.tgtStage[slot] = pos
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "stage_release":
+		// Abandon a slot whose evaluation will never be issued (one of
+		// its staging transfers failed): frees the staged columns.
+		var a kernel.FieldStagedArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		delete(s.srcStage, a.Slot)
+		delete(s.tgtStage, a.Slot)
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case "field_staged":
+		var a kernel.FieldStagedArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		src, ok := s.srcStage[a.Slot]
+		if !ok {
+			return nil, s.clock.Now(), fmt.Errorf("tree: field_staged: no sources staged for slot %d", a.Slot)
+		}
+		tgt, ok := s.tgtStage[a.Slot]
+		if !ok {
+			return nil, s.clock.Now(), fmt.Errorf("tree: field_staged: no targets staged for slot %d", a.Slot)
+		}
+		delete(s.srcStage, a.Slot)
+		delete(s.tgtStage, a.Slot)
+		acc, pot, flops := s.k.FieldAt(context.Background(), src.mass, src.pos, tgt, s.eps)
 		s.clock.Advance(s.dev.Time(flops, 0))
 		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
 	case "stats":

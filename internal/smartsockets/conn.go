@@ -17,6 +17,7 @@ type VirtualConn struct {
 	end         *routedEnd
 	remote      Address
 	established time.Duration
+	route       []string
 }
 
 // Type reports how the connection was established.
@@ -29,6 +30,11 @@ func (c *VirtualConn) Remote() Address { return c.remote }
 // usable at this endpoint (connection setup through the overlay costs
 // virtual time).
 func (c *VirtualConn) EstablishedAt() time.Duration { return c.established }
+
+// Route returns the hub hosts relaying a routed connection, in order from
+// the dialer's hub to the acceptor's. Direct and reverse connections
+// return nil: no hub touches their payload bytes.
+func (c *VirtualConn) Route() []string { return c.route }
 
 // SetClass tags the underlying traffic for the recorder. Routed circuits
 // ride hub connections, whose class is "hub".

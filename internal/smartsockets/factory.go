@@ -35,7 +35,7 @@ type Factory struct {
 	mu          sync.Mutex
 	listeners   map[int]*Listener
 	pendingRev  map[uint64]chan revResult
-	pendingOpen map[string]chan error
+	pendingOpen map[string]chan openResult
 	pendingReg  map[Address]chan struct{}
 	circuits    map[string]*routedEnd
 	nextPort    int
@@ -57,6 +57,13 @@ type revResult struct {
 	err         error
 }
 
+// openResult completes a routed circuit open: the error, and on success
+// the hub route the circuit was installed along.
+type openResult struct {
+	err   error
+	route []string
+}
+
 // NewFactory connects a factory on host to the hub at hubHost. base is this
 // process's identity port; listeners and ephemeral ports are allocated above
 // it.
@@ -70,7 +77,7 @@ func NewFactory(network *vnet.Network, host string, base int, hubHost string) (*
 		net: network, host: host, base: base, hubHost: hubHost, hubConn: conn,
 		listeners:   make(map[int]*Listener),
 		pendingRev:  make(map[uint64]chan revResult),
-		pendingOpen: make(map[string]chan error),
+		pendingOpen: make(map[string]chan openResult),
 		pendingReg:  make(map[Address]chan struct{}),
 		circuits:    make(map[string]*routedEnd),
 		nextPort:    base + 1,
@@ -175,10 +182,10 @@ func (f *Factory) hubReadLoop() {
 		case kCircuitOpen:
 			f.handleCircuitOpen(fr)
 		case kCircuitAck:
-			f.completeOpen(fr.Circuit, nil)
+			f.completeOpen(fr.Circuit, openResult{route: fr.Route})
 		case kCircuitNak:
 			if fr.Circuit != "" {
-				f.completeOpen(fr.Circuit, ErrNoListener)
+				f.completeOpen(fr.Circuit, openResult{err: ErrNoListener})
 			}
 			if fr.ReqID != 0 {
 				f.completeRev(fr.ReqID, revResult{err: ErrNoListener})
@@ -212,13 +219,13 @@ func (f *Factory) hubReadLoop() {
 	}
 }
 
-func (f *Factory) completeOpen(circuit string, err error) {
+func (f *Factory) completeOpen(circuit string, r openResult) {
 	f.mu.Lock()
 	ch := f.pendingOpen[circuit]
 	delete(f.pendingOpen, circuit)
 	f.mu.Unlock()
 	if ch != nil {
-		ch <- err
+		ch <- r
 	}
 }
 
@@ -279,11 +286,11 @@ func (f *Factory) handleCircuitOpen(fr *frame) {
 	}
 	reply := &frame{
 		Kind: kind, Src: fr.Src, Dst: fr.Dst, Circuit: fr.Circuit,
-		Path: fr.Path, SentAt: fr.SentAt + hubProcessing,
+		Path: fr.Path, Route: fr.Path, SentAt: fr.SentAt + hubProcessing,
 	}
 	sendFrame(f.hubConn, reply)
 	if end != nil {
-		vc := &VirtualConn{typ: Routed, end: end, remote: fr.Src, established: fr.SentAt}
+		vc := &VirtualConn{typ: Routed, end: end, remote: fr.Src, established: fr.SentAt, route: fr.Path}
 		if !l.push(vc) {
 			end.close()
 		}
@@ -393,7 +400,7 @@ func (f *Factory) connectRouted(target Address, sentAt time.Duration) (*VirtualC
 	f.mu.Lock()
 	f.nextCircuit++
 	key := fmt.Sprintf("%s/%d", f.Addr(), f.nextCircuit)
-	ch := make(chan error, 1)
+	ch := make(chan openResult, 1)
 	f.pendingOpen[key] = ch
 	end := newRoutedEnd(f, key)
 	f.circuits[key] = end
@@ -405,12 +412,12 @@ func (f *Factory) connectRouted(target Address, sentAt time.Duration) (*VirtualC
 		return nil, err
 	}
 	select {
-	case err := <-ch:
-		if err != nil {
+	case r := <-ch:
+		if r.err != nil {
 			f.dropCircuit(key)
-			return nil, err
+			return nil, r.err
 		}
-		return &VirtualConn{typ: Routed, end: end, remote: target, established: sentAt}, nil
+		return &VirtualConn{typ: Routed, end: end, remote: target, established: sentAt, route: r.route}, nil
 	case <-time.After(f.Timeout):
 		f.dropCircuit(key)
 		return nil, ErrTimeout

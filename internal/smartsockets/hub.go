@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"jungle/internal/vnet"
 )
@@ -25,7 +26,8 @@ type Hub struct {
 	clients    map[Address]string    // registered service address -> client identity
 	hosts      map[string]bool       // hosts with at least one registered client
 	circuits   map[string]*circuit
-	seen       map[string]bool // flood dedup
+	seen       map[string]bool         // flood dedup
+	opens      map[string]*pendingOpen // circuit opens settling at this (destination) hub
 	nextClient int
 	closed     bool
 
@@ -36,6 +38,28 @@ type Hub struct {
 type circuit struct {
 	aID, bID string // identities of the two neighbors of this hub on the circuit
 }
+
+// pendingOpen collects the flooded copies of one circuit open at the
+// destination hub. Copies arrive in real time, but the path that matters
+// is the lowest *virtual* latency one — real goroutine scheduling is
+// uncorrelated with modelled link latency, so first-arrival selection
+// could relay bulk data over a transatlantic detour two sites never
+// needed. The hub lets the copies settle briefly and delivers the
+// earliest-SentAt one.
+type pendingOpen struct {
+	dstID string
+	best  frame
+	// delivered tombstones the entry once the settle timer fired: a copy
+	// straggling in on a long path must not open the circuit a second
+	// time (a duplicate open would replace the factory's circuit end and
+	// orphan frames already in flight on the first).
+	delivered bool
+}
+
+// openSettle is the real-time window the destination hub waits for
+// flooded circuit-open copies before picking the lowest-virtual-latency
+// path.
+const openSettle = 2 * time.Millisecond
 
 // HubEdge describes one overlay link as seen from a hub.
 type HubEdge struct {
@@ -56,6 +80,7 @@ func NewHub(network *vnet.Network, host string) (*Hub, error) {
 		hosts:    make(map[string]bool),
 		circuits: make(map[string]*circuit),
 		seen:     make(map[string]bool),
+		opens:    make(map[string]*pendingOpen),
 	}
 	for _, port := range []int{HubPort, vnet.SSHPort} {
 		l, err := network.Listen(host, port)
@@ -350,13 +375,10 @@ func floodKey(f *frame) string {
 func (h *Hub) handleFlood(origin string, f *frame) {
 	key := floodKey(f)
 	h.mu.Lock()
-	if h.seen[key] {
-		h.mu.Unlock()
-		return
-	}
-	h.seen[key] = true
 	dstID, local := h.clients[f.Dst]
 	knownHost := h.hosts[f.Dst.Host]
+	seen := h.seen[key]
+	h.seen[key] = true
 	h.mu.Unlock()
 
 	path := append(append([]string(nil), f.Path...), h.host)
@@ -365,7 +387,19 @@ func (h *Hub) handleFlood(origin string, f *frame) {
 	fwd.SentAt = f.SentAt + hubProcessing
 
 	if local {
+		if f.Kind == kCircuitOpen {
+			// The destination hub sees every flooded copy (the seen map
+			// gates forwarding, not delivery) and picks the best path.
+			h.collectOpen(dstID, &fwd)
+			return
+		}
+		if seen {
+			return
+		}
 		h.sendTo(dstID, &fwd)
+		return
+	}
+	if seen {
 		return
 	}
 	if knownHost {
@@ -377,7 +411,12 @@ func (h *Hub) handleFlood(origin string, f *frame) {
 		})
 		return
 	}
-	// Forward to all hub neighbors except where it came from.
+	// Forward to all hub neighbors except where it came from — nearest
+	// first. The first open to reach the destination installs the
+	// circuit, so forwarding in ascending link latency biases the race
+	// toward the lowest-latency hub path: a transatlantic detour through
+	// the user's machine must not relay bulk transfers between two sites
+	// that share a fast link.
 	h.mu.Lock()
 	targets := make([]string, 0, len(h.conns))
 	for cid := range h.conns {
@@ -386,9 +425,65 @@ func (h *Hub) handleFlood(origin string, f *frame) {
 		}
 	}
 	h.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool {
+		return h.linkLatency(targets[i]) < h.linkLatency(targets[j])
+	})
 	for _, cid := range targets {
 		h.sendTo(cid, &fwd)
 	}
+}
+
+// linkLatency estimates the virtual latency to a hub neighbor (by conn
+// id); unknown routes sort last.
+func (h *Hub) linkLatency(cid string) time.Duration {
+	peer := strings.TrimPrefix(cid, "h:")
+	p, err := h.net.Route(h.host, peer)
+	if err != nil {
+		return time.Duration(1<<62 - 1)
+	}
+	return p.Latency
+}
+
+// collectOpen records one flooded copy of a circuit open addressed to a
+// local client, keeping the copy with the earliest virtual SentAt. The
+// first copy arms a short real-time settle timer; when it fires the best
+// copy — the lowest-virtual-latency hub path — is delivered.
+func (h *Hub) collectOpen(dstID string, fwd *frame) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	po, ok := h.opens[fwd.Circuit]
+	if ok {
+		if !po.delivered && fwd.SentAt < po.best.SentAt {
+			po.best = *fwd
+		}
+		h.mu.Unlock()
+		return
+	}
+	po = &pendingOpen{dstID: dstID, best: *fwd}
+	h.opens[fwd.Circuit] = po
+	h.mu.Unlock()
+	circuit := fwd.Circuit
+	time.AfterFunc(openSettle, func() {
+		h.mu.Lock()
+		po.delivered = true
+		best := po.best
+		closed := h.closed
+		h.mu.Unlock()
+		if !closed {
+			h.sendTo(po.dstID, &best)
+		}
+		// Keep the tombstone long enough to absorb any straggler copy
+		// still in flight, then drop it — the map must not grow with
+		// every circuit ever opened.
+		time.AfterFunc(100*openSettle, func() {
+			h.mu.Lock()
+			delete(h.opens, circuit)
+			h.mu.Unlock()
+		})
+	})
 }
 
 // handleBacktrack walks an ack or nak backwards along the recorded path,

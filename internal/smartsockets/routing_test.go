@@ -1,0 +1,204 @@
+package smartsockets
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// lineNet builds a three-site chain where the end hubs cannot link
+// directly: ha and hc are outbound-only, so the only edges are the
+// one-way links ha->hb and hc->hb, and any ha-site to hc-site circuit
+// must be relayed multi-hop through hb.
+func lineNet(t *testing.T) (*vnet.Network, *Overlay) {
+	t.Helper()
+	n := vnet.New()
+	add := func(name, site string, p vnet.Policy) {
+		t.Helper()
+		if _, err := n.AddHost(name, site, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("ha", "sa", vnet.OutboundOnly)
+	add("hb", "sb", vnet.Open)
+	add("hc", "sc", vnet.OutboundOnly)
+	add("ca", "sa", vnet.OutboundOnly)
+	add("cc", "sc", vnet.OutboundOnly)
+	links := [][2]string{{"ha", "hb"}, {"hb", "hc"}, {"ha", "ca"}, {"hc", "cc"}}
+	for _, l := range links {
+		if err := n.AddLink(l[0], l[1], time.Millisecond, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov, err := StartHubs(n, []string{"ha", "hb", "hc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ov.Stop)
+	return n, ov
+}
+
+// TestRoutedMultiHopMatchesOverlayEdges: with both clients firewalled and
+// the end hubs mutually unreachable, a connection must be routed across
+// every hub of the chain — and the hub pairs it traverses must be exactly
+// overlay links, with the link types Edges() reports (one-way here, since
+// the outbound-only end hubs can dial but never accept).
+func TestRoutedMultiHopMatchesOverlayEdges(t *testing.T) {
+	n, ov := lineNet(t)
+
+	// The overlay must have formed only the two chain links, both one-way.
+	edges := ov.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %+v, want the two chain links", edges)
+	}
+	for _, e := range edges {
+		if e.Type != EdgeOneWay {
+			t.Fatalf("edge %s-%s type %v, want one-way", e.A, e.B, e.Type)
+		}
+	}
+	if !ov.Connected() {
+		t.Fatal("chain overlay should be connected")
+	}
+
+	fa := newFactory(t, n, "ca", 20000, "ha")
+	fc := newFactory(t, n, "cc", 20000, "hc")
+	l, err := fc.Listen(21000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := fa.Connect(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Type() != Routed {
+		t.Fatalf("conn type %v, want routed", conn.Type())
+	}
+	route := conn.Route()
+	want := []string{"ha", "hb", "hc"}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v, want %v", route, want)
+	}
+	edgeType := func(a, b string) (EdgeType, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		for _, e := range ov.Edges() {
+			if e.A == a && e.B == b {
+				return e.Type, true
+			}
+		}
+		return 0, false
+	}
+	for i := range route {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+		if i == 0 {
+			continue
+		}
+		// Every consecutive hub pair on the circuit is an overlay link of
+		// the advertised type.
+		typ, ok := edgeType(route[i-1], route[i])
+		if !ok {
+			t.Fatalf("route hop %s-%s is not an overlay edge (%+v)", route[i-1], route[i], ov.Edges())
+		}
+		if typ != EdgeOneWay {
+			t.Fatalf("route hop %s-%s type %v, want one-way", route[i-1], route[i], typ)
+		}
+	}
+	// The relayed circuit must carry data with per-hop virtual cost: two
+	// WAN hops plus hub processing on each of the three hubs.
+	if err := conn.Send([]byte("x"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minArrival := time.Second + 2*time.Millisecond + 3*hubProcessing; msg.Arrival < minArrival {
+		t.Fatalf("multi-hop arrival %v, want >= %v", msg.Arrival, minArrival)
+	}
+}
+
+// TestDisconnectedOverlayCleanDialError: two islands whose hubs cannot
+// reach each other in either direction. Connected() must report false and
+// a cross-island dial must fail with the structured connect error rather
+// than hanging.
+func TestDisconnectedOverlayCleanDialError(t *testing.T) {
+	n := vnet.New()
+	add := func(name, site string, p vnet.Policy) {
+		t.Helper()
+		if _, err := n.AddHost(name, site, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both hubs firewalled: neither can accept the other's hub link.
+	add("ha", "sa", vnet.OutboundOnly)
+	add("hc", "sc", vnet.OutboundOnly)
+	add("ca", "sa", vnet.OutboundOnly)
+	add("cc", "sc", vnet.OutboundOnly)
+	for _, l := range [][2]string{{"ha", "hc"}, {"ha", "ca"}, {"hc", "cc"}} {
+		if err := n.AddLink(l[0], l[1], time.Millisecond, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov, err := StartHubs(n, []string{"ha", "hc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Stop()
+	if ov.Connected() {
+		t.Fatalf("overlay claims connectivity with no edges: %+v", ov.Edges())
+	}
+
+	fa := newFactory(t, n, "ca", 20000, "ha")
+	fc := newFactory(t, n, "cc", 20000, "hc")
+	l, err := fc.Listen(21000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Timeout = 100 * time.Millisecond
+	_, err = fa.Connect(l.Addr(), 0)
+	if err == nil {
+		t.Fatal("dial across a disconnected overlay succeeded")
+	}
+	if !errors.Is(err, ErrConnectFailed) && !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrConnectFailed or ErrTimeout", err)
+	}
+}
+
+// TestRouteEmptyForDirectAndReverse: only routed connections expose a hub
+// route; direct and reverse payloads never touch a hub.
+func TestRouteEmptyForDirectAndReverse(t *testing.T) {
+	tn := newTestNet(t, vnet.Open, vnet.OutboundOnly)
+	fa := newFactory(t, tn.net, tn.clientA, 20000, tn.hubA)
+	fb := newFactory(t, tn.net, tn.clntB, 20000, tn.hubB)
+	lb, err := fb.Listen(21000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := fa.Connect(lb.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Type() != Reverse || rev.Route() != nil {
+		t.Fatalf("reverse conn type %v route %v, want reverse/nil", rev.Type(), rev.Route())
+	}
+	la, err := fa.Listen(21001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := fb.Connect(la.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Type() != Direct || dir.Route() != nil {
+		t.Fatalf("direct conn type %v route %v, want direct/nil", dir.Type(), dir.Route())
+	}
+}

@@ -27,6 +27,11 @@ type frame struct {
 	Circuit  string
 	Path     []string
 	Payload  []byte
+	// Route is the full hub path of an established circuit, copied into
+	// the kCircuitAck by the accepting factory. Unlike Path it is not
+	// consumed by the backtrack, so the dialer learns which hubs relay
+	// its traffic (Fig. 10's routed lines).
+	Route []string
 
 	// Reverse connection setup.
 	ReqID     uint64

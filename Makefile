@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench ci
+.PHONY: all build vet fmt-check doc-check test test-short race bench ci
 
 all: ci
 
@@ -17,6 +17,13 @@ vet:
 # workflow runs the same check).
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Documentation gate: formatting (covers the runnable Example_* files),
+# vet, and a package comment on every internal/ package — godoc is part
+# of the contract, so an undocumented package fails CI.
+doc-check: fmt-check vet
+	@bad=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...); \
+	if [ -n "$$bad" ]; then echo "missing package comment:" >&2; echo "$$bad" >&2; exit 1; fi
 
 # Fast suite: unit + protocol + reduced-scale integration (seconds).
 test-short:
@@ -36,4 +43,4 @@ bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
 # Tier-1 gate: everything a PR must keep green, in one command.
-ci: build vet test-short race
+ci: build vet doc-check test-short race

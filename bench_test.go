@@ -449,6 +449,55 @@ func BenchmarkDirectVsHairpinTransfer(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedKick measures a coupled step against a gravity model at
+// 4000 particles on the two-site DSL testbed, solo (K=1) versus deployed
+// as a K=4 gang (WorkerSpec.Workers) on site-a. Each iteration is one
+// kick + one shared Hermite step: the force evaluation is the O(N²) cost
+// the gang divides by K, while the slab halo exchange rides the site's
+// internal links and the coupler pays only the broadcast control RPCs.
+// Compare the virtual-us/step metrics: the acceptance bar is the gang
+// modelling >= 2x faster per virtual step.
+func BenchmarkShardedKick(b *testing.B) {
+	const nStars = 4000
+	run := func(b *testing.B, workers int) {
+		tb, err := core.NewDSLTestbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tb.Close()
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		defer sim.Stop()
+		g, err := sim.NewGravity(context.Background(),
+			core.WorkerSpec{Resource: tb.SiteA, Channel: core.ChannelIbis, Workers: workers},
+			core.GravityOptions{Eps: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.SetParticles(ic.Plummer(nStars, 5)); err != nil {
+			b.Fatal(err)
+		}
+		dv := make([]data.Vec3, nStars) // zero kick: the channel-stack cost
+		target := 0.0
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.Kick(context.Background(), dv); err != nil {
+				b.Fatal(err)
+			}
+			// A hair past the current time: exactly one (shortened)
+			// Hermite step per iteration, so per-step costs compare.
+			target += 1e-6
+			if err := g.EvolveTo(context.Background(), target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, 1) })
+	b.Run("gang-4", func(b *testing.B) { run(b, 4) })
+}
+
 // BenchmarkIbisChannelRoundTrip measures one coupler->daemon->IPL->proxy->
 // worker RPC round trip (the Fig. 5 path).
 func BenchmarkIbisChannelRoundTrip(b *testing.B) {

@@ -31,10 +31,21 @@
 // coupler hairpin when no peer path exists. The bridge stages each
 // p-kick's field inputs on the coupling worker the same way.
 //
-// See DESIGN.md for the system inventory, the kernel-registry, batched
-// state-transfer, async-coupler and direct-data-plane architecture, and
-// measured-vs-paper notes; the examples directory holds runnable entry
-// points.
+// A kernel can span multiple workers: WorkerSpec.Workers = K deploys it
+// as a gang of K rank workers running one domain-decomposed instance
+// behind a single model handle (the paper's models are internally
+// MPI-parallel; here the intra-model parallelism crosses worker
+// processes). Ranks are co-located on one site, split each force
+// evaluation by spatial slab, and exchange halo columns and energy
+// reductions over their own peer links on the overlay — the coupler API
+// and the bridge are unchanged, and a K-rank gang reproduces the solo
+// worker's results bit for bit.
+//
+// See ARCHITECTURE.md for the top-down system map (the onboarding
+// document) and DESIGN.md for the system inventory, the kernel-registry,
+// batched state-transfer, async-coupler, direct-data-plane and
+// sharded-kernel architecture, plus measured-vs-paper notes; the
+// examples directory holds runnable entry points.
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation (run: go test -bench=. -benchmem).
 package jungle

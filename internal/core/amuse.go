@@ -123,7 +123,10 @@ type modelProxy struct {
 	spec   WorkerSpec
 	ch     channel
 	worker int
-	gen    int // bumped per successful replacement
+	// gangWorkers holds every rank's worker id when the model is a gang
+	// (worker is rank 0's id then); empty for solo workers.
+	gangWorkers []int
+	gen         int // bumped per successful replacement
 
 	n       int
 	lastErr error
@@ -191,6 +194,9 @@ func (m *modelProxy) start(ctx context.Context) error {
 	m.mu.Lock()
 	spec := m.spec
 	m.mu.Unlock()
+	if spec.Workers > 1 && spec.Channel != ChannelIbis {
+		return fmt.Errorf("core: gangs require the ibis channel, not %q (ranks exchange halos over their peer planes)", spec.Channel)
+	}
 	switch spec.Channel {
 	case ChannelMPI:
 		// In-process worker on the local resource (AMUSE's default
@@ -206,7 +212,7 @@ func (m *modelProxy) start(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		svc, err := newService(m.kind, res, []string{s.daemon.Deployment().LocalHost()}, s.daemon.Env())
+		svc, err := newService(m.kind, res, []string{s.daemon.Deployment().LocalHost()}, s.daemon.Env(), nil)
 		if err != nil {
 			return err
 		}
@@ -228,6 +234,9 @@ func (m *modelProxy) start(ctx context.Context) error {
 		m.setEndpoint(spec, newConnChannel(ChannelSockets, conn), id)
 		return nil
 	case ChannelIbis:
+		if spec.Workers > 1 {
+			return m.startGang(ctx, spec)
+		}
 		id, err := s.daemon.StartWorker(ctx, spec)
 		if err != nil {
 			return err
@@ -243,6 +252,71 @@ func (m *modelProxy) start(ctx context.Context) error {
 	default:
 		return fmt.Errorf("core: unknown channel %q", spec.Channel)
 	}
+}
+
+// startGang launches the K rank workers, opens one daemon channel per
+// rank, wires the ranks' peer links (gang_init), and installs the gang
+// channel — all behind this single proxy, so callers see one model.
+func (m *modelProxy) startGang(ctx context.Context, spec WorkerSpec) error {
+	s := m.sim
+	if spec.Resource == "" {
+		resource, err := SelectResource(s.daemon.Deployment(), spec)
+		if err != nil {
+			return err
+		}
+		spec.Resource = resource
+	}
+	ids, err := s.daemon.StartGang(ctx, spec)
+	if err != nil {
+		return err
+	}
+	stopAll := func() {
+		for _, id := range ids {
+			s.daemon.StopWorker(id)
+		}
+	}
+	local := s.daemon.Deployment().LocalHost()
+	members := make([]channel, len(ids))
+	for i := range ids {
+		conn, err := s.daemon.Deployment().Net.Dial(local, local, DaemonPort)
+		if err != nil {
+			for _, ch := range members[:i] {
+				ch.close()
+			}
+			stopAll()
+			return err
+		}
+		conn.SetClass("loopback")
+		members[i] = newConnChannel(ChannelIbis, conn)
+	}
+	gch := newGangChannel(members, ids)
+	if err := gch.wireGang(ctx, s); err != nil {
+		gch.close()
+		stopAll()
+		return err
+	}
+	m.mu.Lock()
+	m.gangWorkers = append([]int(nil), ids...)
+	m.mu.Unlock()
+	m.setEndpoint(spec, gch, ids[0])
+	s.trace("gang started kind=%s size=%d resource=%s workers=%v", m.kind, spec.Workers, spec.Resource, ids)
+	return nil
+}
+
+// isGang reports whether this proxy fronts a gang of rank workers.
+func (m *modelProxy) isGang() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.gangWorkers) > 0
+}
+
+// GangWorkers returns the daemon worker ids of the model's rank workers
+// in rank order, or nil for a solo worker (diagnostics: which jobs make
+// up this model).
+func (m *modelProxy) GangWorkers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.gangWorkers...)
 }
 
 func (m *modelProxy) setEndpoint(spec WorkerSpec, ch channel, worker int) {
@@ -288,19 +362,25 @@ func dialRetry(ctx context.Context, s *Simulation, host string, port int, budget
 	}
 }
 
-// shutdown closes the channel and stops the worker, returning the
-// channel's close error. It also marks the proxy stopped, which vetoes
-// any replacement still in flight.
+// shutdown closes the channel and stops the worker (every rank worker
+// for a gang), returning the channel's close error. It also marks the
+// proxy stopped, which vetoes any replacement still in flight.
 func (m *modelProxy) shutdown() error {
 	m.mu.Lock()
 	m.stopped = true
 	ch, worker := m.ch, m.worker
+	gang := append([]int(nil), m.gangWorkers...)
 	m.mu.Unlock()
 	var err error
 	if ch != nil {
 		err = ch.close()
 	}
-	if worker != 0 {
+	switch {
+	case len(gang) > 0:
+		for _, id := range gang {
+			m.sim.daemon.StopWorker(id)
+		}
+	case worker != 0:
 		m.sim.daemon.StopWorker(worker)
 	}
 	return err
@@ -310,7 +390,10 @@ func (m *modelProxy) shutdown() error {
 // theory it should be possible to transparently find a replacement
 // machine" — the prototype could not; this implementation can). On worker
 // death the next call restarts the worker (resource re-selected) and
-// replays setup plus the last synchronized particle state.
+// replays setup plus the last synchronized particle state. Gangs are not
+// replaceable: a rank death fails the whole gang with ErrWorkerDied and
+// the gang must be recreated (replacing one rank would need the gang's
+// peer links rewired and the collective state resynchronized mid-step).
 func (m *modelProxy) EnableReplacement() {
 	m.mu.Lock()
 	m.replaceable = true
@@ -320,7 +403,7 @@ func (m *modelProxy) EnableReplacement() {
 func (m *modelProxy) isReplaceable() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.replaceable
+	return m.replaceable && len(m.gangWorkers) == 0
 }
 
 // Err returns the sticky error, if any.

@@ -66,13 +66,20 @@ type workerHandle struct {
 
 // WorkerSpec describes a worker to start — the per-worker properties the
 // paper's users put in their simulation scripts (§5: channel, resource
-// name, node count).
+// name, node count), plus the gang size for domain-decomposed kernels.
 type WorkerSpec struct {
 	Kind     Kind
 	Kernel   string // "phigrape-cpu" | "phigrape-gpu" | "octgrav" | "fi" | "" (hydro/stellar)
 	Resource string // deployment resource name; "" = automatic selection
 	Nodes    int    // nodes for the worker's job (MPI workers use >1)
 	Channel  string // "mpi" | "sockets" | "ibis" (default "ibis")
+	// Workers is the gang size: a value K > 1 deploys the kernel as K
+	// rank workers running one domain-decomposed instance behind a single
+	// model handle. Gangs require the ibis channel (ranks exchange halos
+	// over their peer planes) and a kind whose service implements
+	// kernel.Shardable; ranks are co-located on one resource so the halo
+	// traffic rides the fast intra-site links. 0 and 1 mean a solo worker.
+	Workers int
 }
 
 // NewDaemon starts the daemon for a deployment: an IPL registry and the
@@ -296,8 +303,66 @@ func (d *Daemon) failWorker(wh *workerHandle) bool {
 // channel this is Fig. 5 end to end: submit job via IbisDeploy, wait for
 // the proxy to join the pool and announce, then connect the request port.
 // ctx bounds the wait for the worker's ready announcement (on top of
-// ReadyTimeout); nil means no context deadline.
+// ReadyTimeout); nil means no context deadline. Specs with Workers > 1
+// must go through StartGang.
 func (d *Daemon) StartWorker(ctx context.Context, spec WorkerSpec) (int, error) {
+	if spec.Workers > 1 {
+		return 0, fmt.Errorf("core: spec asks for a gang of %d workers; use StartGang", spec.Workers)
+	}
+	return d.startWorker(ctx, spec, 0, 1)
+}
+
+// StartGang launches the spec.Workers rank workers of one gang and
+// returns their ids in rank order. All ranks are co-located on one
+// resource (selected once if the spec leaves it open) so the gang's halo
+// traffic rides the site's internal links; the jobs are submitted
+// concurrently. On any failure the already-started ranks are stopped. The
+// ranks come back wired to the pool but not yet to each other — the
+// coupler's gang_init (sent per rank over the ordinary channel) completes
+// the link wiring.
+func (d *Daemon) StartGang(ctx context.Context, spec WorkerSpec) ([]int, error) {
+	k := spec.Workers
+	if k < 2 {
+		return nil, fmt.Errorf("core: gang needs at least 2 workers, got %d", k)
+	}
+	if spec.Channel == "" {
+		spec.Channel = ChannelIbis
+	}
+	if spec.Channel != ChannelIbis {
+		return nil, fmt.Errorf("core: gangs require the ibis channel (got %q): ranks exchange halos over their peer planes", spec.Channel)
+	}
+	if spec.Resource == "" {
+		resource, err := SelectResource(d.deployment, spec)
+		if err != nil {
+			return nil, err
+		}
+		spec.Resource = resource
+	}
+	ids := make([]int, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ids[r], errs[r] = d.startWorker(ctx, spec, r, k)
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, id := range ids {
+			if id != 0 {
+				d.StopWorker(id)
+			}
+		}
+		return nil, fmt.Errorf("core: gang start: %w", err)
+	}
+	return ids, nil
+}
+
+// startWorker is the shared launch path; rank/size place the worker in
+// its gang (0/1 for solo workers).
+func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size int) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -341,7 +406,7 @@ func (d *Daemon) StartWorker(ctx context.Context, spec WorkerSpec) (int, error) 
 	}
 	desc := gat.JobDescription{
 		Executable: exe,
-		Args:       workerJobArgs(spec.Kind, spec.Kernel, id, resource),
+		Args:       workerJobArgs(spec.Kind, spec.Kernel, id, resource, rank, size),
 		Nodes:      spec.Nodes,
 	}
 

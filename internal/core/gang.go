@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jungle/internal/core/kernel"
+)
+
+// Coupler-side gang support. A kernel started with WorkerSpec.Workers = K
+// runs as K rank workers — each its own job, proxy and pool member —
+// behind ONE model handle: the coupler API, the bridge and the virtual-
+// time accounting are unchanged. The gangChannel below is what hides the
+// fan-out: writes and evolves broadcast to every rank (the ranks hold
+// replicated state and decompose the compute among themselves, exchanging
+// halos over their own peer links), reads are answered by rank 0, and the
+// merged completion carries the latest rank's clock so the coupler pays
+// for the slowest rank, exactly as it would for one big worker.
+
+// gangIDs allocates gang identifiers (shared with transfer ids: both are
+// just process-unique tokens on the peer plane).
+func newGangID() uint64 { return transferIDs.Add(1) }
+
+// gangFanout reports whether a method must reach every rank. State reads
+// and proxy-level transfer ops are served by rank 0 alone: ranks hold
+// bitwise-identical replicated state, so one answer is the answer.
+func gangFanout(method string) bool {
+	switch method {
+	case "get_state", "get_positions", "get_velocities", "get_masses", "stats",
+		kernel.MethodOfferState, kernel.MethodAcceptState:
+		return false
+	}
+	return true
+}
+
+// gangChannel multiplexes one logical worker channel over the K rank
+// workers of a gang. Each rank has its own conn channel to the daemon, so
+// per-rank FIFO order is preserved; a broadcast issues on every member
+// before returning, keeping the pipelining property of the async API.
+type gangChannel struct {
+	members []channel // one per rank, rank order
+	workers []int     // daemon worker ids, rank order
+}
+
+func newGangChannel(members []channel, workers []int) *gangChannel {
+	return &gangChannel{members: members, workers: workers}
+}
+
+func (g *gangChannel) name() string { return ChannelIbis }
+
+// start implements channel. Reads route to rank 0; everything else
+// broadcasts and completes once every rank has answered, with the merged
+// outcome: rank 0's result, the latest DoneAt/arrival, and the most
+// actionable failure (a dead rank beats a surviving rank's aborted-
+// collective fault, so the coupler sees ErrWorkerDied when a rank died).
+func (g *gangChannel) start(req request, done completion) {
+	if !gangFanout(req.Method) {
+		req.Worker = g.workers[0]
+		g.members[0].start(req, done)
+		return
+	}
+	n := len(g.members)
+	var mu sync.Mutex
+	outcomes := make([]gangOutcome, n)
+	remaining := n
+	for i := range g.members {
+		r := req
+		r.Worker = g.workers[i]
+		if i > 0 {
+			r.ID = reqIDs.Add(1)
+		}
+		rank := i
+		g.members[i].start(r, func(resp response, arrival time.Duration, err error) {
+			mu.Lock()
+			outcomes[rank] = gangOutcome{resp: resp, arrival: arrival, err: err}
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if !last {
+				return
+			}
+			done(mergeGangOutcomes(req.ID, outcomes))
+		})
+	}
+}
+
+// gangOutcome is one rank's completion of a broadcast call.
+type gangOutcome struct {
+	resp    response
+	arrival time.Duration
+	err     error
+}
+
+// mergeGangOutcomes folds the per-rank outcomes into the single completion
+// the proxy sees.
+func mergeGangOutcomes(reqID uint64, outcomes []gangOutcome) (response, time.Duration, error) {
+	var maxArrival, maxDone time.Duration
+	for _, o := range outcomes {
+		if o.arrival > maxArrival {
+			maxArrival = o.arrival
+		}
+		if o.resp.DoneAt > maxDone {
+			maxDone = o.resp.DoneAt
+		}
+	}
+	// A dead rank is the root cause: surviving ranks fail their collective
+	// with a worker fault when a peer disappears, so report the death.
+	for _, o := range outcomes {
+		if o.err != nil && errors.Is(o.err, ErrWorkerDied) {
+			return response{}, maxArrival, o.err
+		}
+	}
+	for _, o := range outcomes {
+		if o.err == nil && o.resp.Code == kernel.CodeWorkerDied {
+			resp := o.resp
+			resp.ID = reqID
+			return resp, maxArrival, nil
+		}
+	}
+	for _, o := range outcomes {
+		if o.err != nil {
+			return response{}, maxArrival, o.err
+		}
+	}
+	for _, o := range outcomes {
+		if o.resp.Code != kernel.CodeOK {
+			resp := o.resp
+			resp.ID = reqID
+			return resp, maxArrival, nil
+		}
+	}
+	resp := outcomes[0].resp
+	resp.ID = reqID
+	resp.DoneAt = maxDone
+	return resp, maxArrival, nil
+}
+
+// close implements channel: all rank channels close.
+func (g *gangChannel) close() error {
+	var errs []error
+	for _, ch := range g.members {
+		if err := ch.close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// wireGang sends gang_init to every rank so the ranks dial each other's
+// peer listeners and assemble their communicators, and waits for all of
+// them to finish. Called once, right after the rank workers announced and
+// before the model's setup call.
+func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
+	k := len(g.members)
+	peers := make([]string, k)
+	for rank, id := range g.workers {
+		addr, ok := s.daemon.WorkerPeerAddr(id)
+		if !ok {
+			return fmt.Errorf("core: gang rank %d (worker %d) has no peer address", rank, id)
+		}
+		peers[rank] = addr.String()
+	}
+	gangID := newGangID()
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for rank := range g.members {
+		args := encode(kernel.GangInitArgs{ID: gangID, Rank: rank, Size: k, Peers: peers})
+		req := request{
+			ID: reqIDs.Add(1), Worker: g.workers[rank],
+			Method: kernel.MethodGangInit, Args: args, SentAt: s.clock.Now(),
+		}
+		wg.Add(1)
+		rank := rank
+		g.members[rank].start(req, func(resp response, arrival time.Duration, err error) {
+			defer wg.Done()
+			if err == nil {
+				s.clock.AdvanceTo(arrival)
+				err = kernel.ResponseError(&resp)
+			}
+			if err != nil {
+				errs[rank] = fmt.Errorf("core: gang_init rank %d: %w", rank, err)
+			}
+		})
+	}
+	wired := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(wired)
+	}()
+	select {
+	case <-wired:
+		return errors.Join(errs...)
+	case <-ctx.Done():
+		return fmt.Errorf("core: gang wiring: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"jungle/internal/mpisim"
+)
+
+// Gang support: a kernel may be deployed as a gang of K workers running a
+// domain-decomposed instance of the same service. Each rank's service is
+// constructed with its GangInfo (rank, size, neighbor table) in Config,
+// and — once every rank has joined the pool and the peer links are wired
+// by the proxy's gang_init op — receives the live communicator through
+// the Shardable interface. Services that do not implement Shardable
+// cannot be started with Workers > 1; the worker host fails the job with
+// a clear error instead of running K divergent solo instances.
+
+// GangInfo describes one rank's place in a gang. It is available at
+// service construction time (the communicator arrives later, via
+// Shardable.SetGang, because the peer links cannot exist before all
+// ranks have announced).
+type GangInfo struct {
+	// Rank is this worker's rank in [0, Size).
+	Rank int
+	// Size is the gang size (K).
+	Size int
+	// Neighbors are the adjacent ranks of the slab decomposition — the
+	// neighbor table kernels with local ghost-region exchange key their
+	// halo traffic on. For the contiguous slab decomposition these are
+	// Rank-1 and Rank+1 where they exist.
+	Neighbors []int
+}
+
+// NeighborsOf returns the slab-decomposition neighbor table for a rank.
+func NeighborsOf(rank, size int) []int {
+	var n []int
+	if rank > 0 {
+		n = append(n, rank-1)
+	}
+	if rank < size-1 {
+		n = append(n, rank+1)
+	}
+	return n
+}
+
+// Shardable is implemented by services that can run as one rank of a
+// gang. SetGang is called exactly once by the worker host, after the
+// gang's peer links are wired and before any model call is dispatched;
+// the service binds its virtual clock to the communicator and uses the
+// mpisim collectives for halo exchange and reductions during evolve.
+type Shardable interface {
+	SetGang(g *mpisim.Gang) error
+}
+
+// GangInitArgs is the proxy-level "gang_init" op: the coupler sends it to
+// every rank of a freshly started gang so the ranks can wire their peer
+// links (rank i dials every rank j > i; lower ranks are awaited on the
+// peer listener, identified by the gang hello frame).
+type GangInitArgs struct {
+	// ID names the gang; hello frames carry it so one worker could in
+	// principle serve several gangs' link handshakes without confusion.
+	ID uint64
+	// Rank and Size locate the receiving worker in the gang. They repeat
+	// the values baked into the worker's job arguments as a consistency
+	// check.
+	Rank, Size int
+	// Peers are the peer-listener addresses of all ranks, indexed by
+	// rank ("host:port" in the SmartSockets address space).
+	Peers []string
+}
+
+// MethodGangInit is the proxy-level gang wiring op.
+const MethodGangInit = "gang_init"

@@ -1,17 +1,19 @@
 // Package kernel is the pluggable worker-kernel layer of the Distributed
 // AMUSE reproduction. It defines the worker-side Service contract, a
-// process-wide registry mapping kernel kinds to service factories, and the
-// wire protocol (request/response framing, typed payloads, and the batched
-// columnar state codec) shared by the coupler, the daemon proxy and every
-// worker.
+// process-wide registry mapping kernel kinds to service factories, the
+// wire protocol (request/response framing, typed payloads, the batched
+// columnar state codec, and the worker-to-worker transfer and gang-link
+// frames) shared by the coupler, the daemon proxy and every worker, and
+// the gang contract (GangInfo, Shardable) under which one kernel runs
+// domain-decomposed across K worker processes.
 //
-// The package is a leaf: it depends only on the data/deploy/vnet/vtime
-// substrates, never on internal/core or the physics packages. Physics
-// packages register their service adapters here from an init function, so
-// adding a new scenario kernel is one new package with zero core edits —
-// the same linking pattern as database/sql drivers. Programs must import
-// the adapter packages they intend to use (internal/kernels bundles the
-// four standard ones).
+// The package is a leaf: it depends only on the data/deploy/vnet/vtime/
+// mpisim substrates, never on internal/core or the physics packages.
+// Physics packages register their service adapters here from an init
+// function, so adding a new scenario kernel is one new package with zero
+// core edits — the same linking pattern as database/sql drivers. Programs
+// must import the adapter packages they intend to use (internal/kernels
+// bundles the four standard ones).
 package kernel
 
 import (
@@ -65,12 +67,17 @@ type Service interface {
 }
 
 // Config describes the environment a service is instantiated in: the
-// resource it runs on (device models), the job's allocated hosts, and the
-// virtual network (multi-node workers open MPI worlds over it).
+// resource it runs on (device models), the job's allocated hosts, the
+// virtual network (multi-node workers open MPI worlds over it), and — for
+// kernels deployed as a gang of workers — this rank's place in the gang.
 type Config struct {
 	Res   *deploy.Resource
 	Hosts []string
 	Net   *vnet.Network
+	// Gang is non-nil when the service is one rank of a domain-decomposed
+	// multi-worker kernel; the live communicator arrives later via
+	// Shardable.SetGang (see gang.go).
+	Gang *GangInfo
 }
 
 // Factory builds the service for one worker kind.

@@ -106,6 +106,31 @@ func UnmarshalTransferAck(b []byte) (uint64, error) {
 	return id, r.err
 }
 
+// Gang link handshake (worker-to-worker peer connections). Lower ranks
+// dial: rank i opens one peer connection to every rank j > i and sends a
+// hello frame naming the gang and its own rank; the accepting side parks
+// the connection in its gang mailbox until gang_init claims it. After the handshake the
+// connection is a persistent bidirectional rank link carrying halo
+// frames (columnar StatePayload blobs) for the whole gang lifetime.
+
+// AppendGangHello frames a gang link handshake.
+func AppendGangHello(dst []byte, gangID uint64, fromRank int) []byte {
+	dst = append(dst, tagGangHello)
+	dst = appendU64(dst, gangID)
+	return appendU32(dst, uint32(fromRank))
+}
+
+// UnmarshalGangHello parses a frame produced by AppendGangHello.
+func UnmarshalGangHello(b []byte) (gangID uint64, fromRank int, err error) {
+	r := reader{b: b}
+	if tag := r.u8("tag"); r.err == nil && tag != tagGangHello {
+		return 0, 0, fmt.Errorf("kernel: not a gang hello frame (tag 0x%02x)", tag)
+	}
+	gangID = r.u64("gang id")
+	fromRank = int(r.u32("from rank"))
+	return gangID, fromRank, r.err
+}
+
 // AppendStaged wraps a StatePayload frame with its staging slot for the
 // stage_* apply methods (field workers hold several staged inputs at once).
 func AppendStaged(dst []byte, slot uint64, state []byte) []byte {

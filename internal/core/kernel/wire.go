@@ -133,7 +133,22 @@ const (
 	tagTransfer    = 0x54 // 'T' — worker-to-worker state stream (transfer.go)
 	tagTransferAck = 0x41 // 'A' — stream receipt acknowledgement
 	tagStaged      = 0x47 // 'G' — slot-tagged staged state application
+	tagGangHello   = 0x48 // 'H' — gang link handshake (gang.go)
 )
+
+// FrameTag returns the leading tag byte of a wire frame (0 for an empty
+// frame). Peer listeners use it to route an inbound connection's first
+// frame: transfer streams, aborts and gang hellos all arrive on the same
+// listener.
+func FrameTag(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+// IsGangHello reports whether a frame is a gang link handshake.
+func IsGangHello(b []byte) bool { return FrameTag(b) == tagGangHello }
 
 var bufPool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 4096)

@@ -8,6 +8,7 @@ import (
 
 	"jungle/internal/core/kernel"
 	"jungle/internal/ipl"
+	"jungle/internal/mpisim"
 	"jungle/internal/smartsockets"
 	"jungle/internal/vnet"
 )
@@ -123,12 +124,18 @@ func (mb *peerMailbox) close() {
 }
 
 // peerPlane is the proxy-side endpoint of the direct data plane: the
-// stream listener plus the transfer-op handlers.
+// stream listener, the transfer-op handlers, and — for gang ranks — the
+// gang link wiring (inbound hello connections park in the gang mailbox
+// until gang_init claims them).
 type peerPlane struct {
 	ib      *ipl.Ibis
 	mailbox *peerMailbox
+	gangBox *gangMailbox
 	lis     *smartsockets.Listener
 	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	gang *mpisim.Gang // wired by handleGangInit; closed by stop
 }
 
 // newPeerPlane opens the worker's peer listener and starts serving
@@ -138,17 +145,20 @@ func newPeerPlane(ib *ipl.Ibis) (*peerPlane, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: peer listener: %w", err)
 	}
-	p := &peerPlane{ib: ib, mailbox: newPeerMailbox(), lis: lis}
+	p := &peerPlane{ib: ib, mailbox: newPeerMailbox(), gangBox: newGangMailbox(), lis: lis}
 	p.wg.Add(1)
 	go p.serve()
 	return p, nil
 }
 
-// serve accepts peer stream connections: each carries one transfer frame,
-// acknowledged at its virtual arrival time.
+// serve accepts peer connections and routes them by their first frame's
+// tag: a transfer stream carries one state (or abort) frame and is
+// acknowledged at its virtual arrival time; a gang hello hands the whole
+// connection over as a persistent rank link.
 func (p *peerPlane) serve() {
 	defer p.wg.Done()
 	defer p.mailbox.close()
+	defer p.gangBox.close()
 	for {
 		conn, err := p.lis.Accept()
 		if err != nil {
@@ -157,12 +167,24 @@ func (p *peerPlane) serve() {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			defer conn.Close()
 			conn.SetClass("peer")
 			msg, err := conn.Recv()
 			if err != nil {
+				conn.Close()
 				return
 			}
+			if kernel.IsGangHello(msg.Data) {
+				gangID, fromRank, err := kernel.UnmarshalGangHello(msg.Data)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				// Ownership transfers to the mailbox (and then the gang):
+				// the connection stays open as a rank link.
+				p.gangBox.deposit(gangKey{id: gangID, rank: fromRank}, conn)
+				return
+			}
+			defer conn.Close()
 			id, state, abort, err := kernel.UnmarshalTransfer(msg.Data)
 			if err != nil {
 				return
@@ -180,12 +202,223 @@ func (p *peerPlane) serve() {
 	}
 }
 
-// stop closes the listener and waits for stream handlers. The factory
-// close in ib.End()/Kill() also closes the listener; stop makes teardown
-// explicit on the clean path.
+// stop closes the listener, tears down the gang links (the factory does
+// not track direct peer connections, so a dead rank's links must be
+// closed here for the surviving ranks' collectives — and this rank's own
+// stuck dispatch — to unblock), and waits for stream handlers. The
+// factory close in ib.End()/Kill() also closes the listener; stop makes
+// teardown explicit on the clean path.
 func (p *peerPlane) stop() {
 	p.lis.Close()
+	p.mu.Lock()
+	g := p.gang
+	p.mu.Unlock()
+	if g != nil {
+		g.Close()
+	}
 	p.wg.Wait()
+}
+
+// gangKey identifies one inbound gang link: which gang, which peer rank.
+type gangKey struct {
+	id   uint64
+	rank int
+}
+
+// gangMailbox parks inbound gang link connections until the local
+// gang_init claims them; hellos and gang_init race freely.
+type gangMailbox struct {
+	mu      sync.Mutex
+	box     map[gangKey]*smartsockets.VirtualConn
+	waiters map[gangKey]chan *smartsockets.VirtualConn
+	closed  bool
+}
+
+func newGangMailbox() *gangMailbox {
+	return &gangMailbox{
+		box:     make(map[gangKey]*smartsockets.VirtualConn),
+		waiters: make(map[gangKey]chan *smartsockets.VirtualConn),
+	}
+}
+
+// deposit hands a hello connection to a waiting gang_init, or parks it.
+func (mb *gangMailbox) deposit(key gangKey, conn *smartsockets.VirtualConn) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if ch, ok := mb.waiters[key]; ok {
+		delete(mb.waiters, key)
+		mb.mu.Unlock()
+		ch <- conn
+		return
+	}
+	if old, dup := mb.box[key]; dup {
+		old.Close() // a duplicate hello replaces the stale link
+	}
+	mb.box[key] = conn
+	mb.mu.Unlock()
+}
+
+// wait blocks (in real time, up to timeout) for the hello connection with
+// the given key.
+func (mb *gangMailbox) wait(key gangKey, timeout time.Duration) (*smartsockets.VirtualConn, error) {
+	mb.mu.Lock()
+	if conn, ok := mb.box[key]; ok {
+		delete(mb.box, key)
+		mb.mu.Unlock()
+		return conn, nil
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		return nil, fmt.Errorf("%w: peer plane closed", kernel.ErrTransport)
+	}
+	ch := make(chan *smartsockets.VirtualConn, 1)
+	mb.waiters[key] = ch
+	mb.mu.Unlock()
+	select {
+	case conn := <-ch:
+		if conn == nil { // mailbox closed while waiting
+			return nil, fmt.Errorf("%w: peer plane closed", kernel.ErrTransport)
+		}
+		return conn, nil
+	case <-time.After(timeout):
+		mb.mu.Lock()
+		delete(mb.waiters, key)
+		mb.mu.Unlock()
+		// A deposit may have raced the timeout: it already removed the
+		// waiter entry and put the connection into the buffered channel,
+		// which nothing will ever read again. Drain it so the connection
+		// is not stranded open for the worker's lifetime.
+		select {
+		case conn := <-ch:
+			if conn != nil {
+				conn.Close()
+			}
+		default:
+		}
+		return nil, fmt.Errorf("%w: gang %d: no link from rank %d within %v",
+			kernel.ErrTransport, key.id, key.rank, timeout)
+	}
+}
+
+// close parks no more connections and closes everything parked.
+func (mb *gangMailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	box := mb.box
+	mb.box = make(map[gangKey]*smartsockets.VirtualConn)
+	waiters := mb.waiters
+	mb.waiters = make(map[gangKey]chan *smartsockets.VirtualConn)
+	mb.mu.Unlock()
+	for _, conn := range box {
+		conn.Close()
+	}
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// peerLink adapts a SmartSockets peer connection to mpisim.Link, so the
+// gang collectives run over the same overlay plane as direct state
+// transfers.
+type peerLink struct {
+	conn *smartsockets.VirtualConn
+}
+
+func (l *peerLink) Send(data []byte, sentAt time.Duration) error {
+	return l.conn.Send(data, sentAt)
+}
+
+func (l *peerLink) Recv() ([]byte, time.Duration, error) {
+	msg, err := l.conn.Recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.Data, msg.Arrival, nil
+}
+
+func (l *peerLink) Close() error { return l.conn.Close() }
+
+// isGangMethod reports whether a request is the proxy-level gang wiring
+// op.
+func isGangMethod(method string) bool { return method == kernel.MethodGangInit }
+
+// handleGangInit wires this rank's gang links: dial every higher rank's
+// peer listener (sending the hello frame that names this gang and rank),
+// await hello connections from every lower rank, assemble the
+// communicator and install it in the service via kernel.Shardable. Runs
+// in the proxy relay loop, so the setup call queued behind gang_init
+// cannot reach the service before the gang exists.
+func (p *peerPlane) handleGangInit(req *request, arrival time.Duration, svc service) *response {
+	fail := func(code kernel.Code, err error) *response {
+		return &response{ID: req.ID, Code: code, Err: err.Error(), DoneAt: arrival}
+	}
+	var a kernel.GangInitArgs
+	if err := decode(req.Args, &a); err != nil {
+		return fail(kernel.CodeWorkerFault, err)
+	}
+	sh, ok := svc.(kernel.Shardable)
+	if !ok {
+		return fail(kernel.CodeWorkerFault, fmt.Errorf("core: service is not shardable"))
+	}
+	if a.Rank < 0 || a.Rank >= a.Size || len(a.Peers) != a.Size {
+		return fail(kernel.CodeWorkerFault, fmt.Errorf("core: bad gang_init: rank %d size %d peers %d",
+			a.Rank, a.Size, len(a.Peers)))
+	}
+	links := make([]mpisim.Link, a.Size)
+	cleanup := func() {
+		for _, l := range links {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	// Lower ranks dial: this rank dials every rank above it…
+	for j := a.Rank + 1; j < a.Size; j++ {
+		addr, err := smartsockets.ParseAddress(a.Peers[j])
+		if err != nil {
+			cleanup()
+			return fail(kernel.CodeWorkerFault, err)
+		}
+		conn, err := p.ib.DialPeer(addr, arrival)
+		if err != nil {
+			cleanup()
+			return fail(kernel.CodeTransport, fmt.Errorf("core: gang %d: rank %d unreachable: %w", a.ID, j, err))
+		}
+		conn.SetClass("peer")
+		if err := conn.Send(kernel.AppendGangHello(nil, a.ID, a.Rank),
+			maxDuration(arrival, conn.EstablishedAt())); err != nil {
+			conn.Close()
+			cleanup()
+			return fail(kernel.CodeTransport, fmt.Errorf("core: gang %d: hello to rank %d: %w", a.ID, j, err))
+		}
+		links[j] = &peerLink{conn: conn}
+	}
+	// …and awaits hellos from every rank below it.
+	for j := 0; j < a.Rank; j++ {
+		conn, err := p.gangBox.wait(gangKey{id: a.ID, rank: j}, PeerAcceptTimeout)
+		if err != nil {
+			cleanup()
+			return fail(kernel.CodeTransport, err)
+		}
+		links[j] = &peerLink{conn: conn}
+	}
+	g, err := mpisim.NewGang(a.Rank, a.Size, links)
+	if err != nil {
+		cleanup()
+		return fail(kernel.CodeWorkerFault, err)
+	}
+	if err := sh.SetGang(g); err != nil {
+		cleanup()
+		return fail(kernel.CodeWorkerFault, err)
+	}
+	p.mu.Lock()
+	p.gang = g
+	p.mu.Unlock()
+	return &response{ID: req.ID, DoneAt: arrival}
 }
 
 // isTransferMethod reports whether a request is a proxy-level transfer op.

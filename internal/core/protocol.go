@@ -6,12 +6,23 @@
 // exact architecture of Fig. 5. Virtual clocks account compute and
 // communication time end to end.
 //
+// The coupler surface is asynchronous and context-aware: every RPC is a
+// *Call future (Model.Go and the Go* methods; Gather fans pipelined
+// calls back in), and the session context bounds every wait. Two data
+// paths exist beside the RPC plane: bulk columns move worker-to-worker
+// over each ibis worker's peer listener (Simulation.TransferState and
+// the staged field path, with transparent hairpin fallback), and a
+// kernel may be deployed as a gang of K rank workers
+// (WorkerSpec.Workers) that domain-decompose one model instance behind a
+// single handle, exchanging halos over those same peer links.
+//
 // The wire protocol — request/response framing, typed payloads, the
-// batched columnar state codec, and the registry that maps worker kinds
-// to their model services — lives in internal/core/kernel. Physics
-// packages register their services there; this package never constructs
-// a model directly (import internal/kernels, or the adapter packages you
-// need, to link the kinds into the binary).
+// batched columnar state codec, transfer and gang-link frames, and the
+// registry that maps worker kinds to their model services — lives in
+// internal/core/kernel. Physics packages register their services there;
+// this package never constructs a model directly (import
+// internal/kernels, or the adapter packages you need, to link the kinds
+// into the binary).
 package core
 
 import (

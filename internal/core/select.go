@@ -21,6 +21,12 @@ func wantsGPU(kernel string) bool {
 // policy is device-aware scoring: GPU kernels demand a GPU resource (best
 // GPU wins); multi-node workers demand enough nodes (most aggregate compute
 // wins); everything else goes to the fastest available CPU.
+//
+// Gang specs (Workers > 1) select ONE resource for all ranks — halo
+// exchange runs every step, so a gang is co-located on a single site and
+// its traffic rides the site's fast internal links rather than the WAN.
+// Batch clusters must have room for every rank's job; ssh/local resources
+// host the ranks as co-resident processes.
 func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 	var bestName string
 	var bestScore float64
@@ -28,6 +34,10 @@ func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 	nodes := spec.Nodes
 	if nodes < 1 {
 		nodes = 1
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
 	}
 	for _, name := range d.Resources() {
 		r, err := d.Resource(name)
@@ -39,6 +49,9 @@ func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 		}
 		if r.NodeCount() < nodes {
 			continue
+		}
+		if workers > 1 && len(r.Nodes) > 0 && r.NodeCount() < workers*nodes {
+			continue // a batch cluster must fit the whole gang
 		}
 		score := 0.0
 		switch {

@@ -14,9 +14,10 @@ type service = kernel.Service
 
 // newService instantiates the registered service for a worker kind. The
 // resource describes available devices; hosts are the job's allocated
-// nodes.
-func newService(kind Kind, res *deploy.Resource, hosts []string, env *Env) (service, error) {
-	cfg := kernel.Config{Res: res, Hosts: hosts}
+// nodes; gang places the service as one rank of a domain-decomposed
+// multi-worker kernel (nil for solo workers).
+func newService(kind Kind, res *deploy.Resource, hosts []string, env *Env, gang *kernel.GangInfo) (service, error) {
+	cfg := kernel.Config{Res: res, Hosts: hosts, Gang: gang}
 	if env != nil {
 		cfg.Net = env.Net
 	}

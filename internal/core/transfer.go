@@ -106,6 +106,13 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 	c := newCall("transfer", "transfer_state", nil)
 	dstPeer, dstOK := dst.peerAddr()
 	_, srcOK := src.peerAddr()
+	// A gang destination takes the hairpin: its ranks hold replicated
+	// state, and the ordinary set_state broadcast is what keeps all K
+	// replicas consistent (a peer stream would land on rank 0 alone). A
+	// gang source is fine — rank 0 offers the authoritative copy.
+	if dst.isGang() {
+		dstOK = false
+	}
 	// A self-transfer cannot use the peer plane either: the worker's
 	// relay loop is single-threaded, so its accept_state would block the
 	// very offer_state that feeds it until the accept timed out. The

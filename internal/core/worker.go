@@ -40,19 +40,31 @@ func workerLoopback(id int) int   { return workerBasePort(id) + 8 }
 func socketWorkerPort(id int) int { return workerBasePort(id) + 9 }
 func reqPortName(id int) string   { return fmt.Sprintf("req-%d", id) }
 func respPortName(id int) string  { return fmt.Sprintf("resp-%d", id) }
-func workerJobArgs(kind Kind, kernel string, id int, resource string) []string {
-	return []string{string(kind), kernel, strconv.Itoa(id), resource}
+func workerJobArgs(kind Kind, kernelName string, id int, resource string, rank, size int) []string {
+	return []string{string(kind), kernelName, strconv.Itoa(id), resource,
+		strconv.Itoa(rank), strconv.Itoa(size)}
 }
 
-func parseWorkerArgs(args []string) (kind Kind, kernel string, id int, resource string, err error) {
-	if len(args) != 4 {
-		return "", "", 0, "", fmt.Errorf("core: worker args %v: want 4", args)
+func parseWorkerArgs(args []string) (kind Kind, kernelName string, id int, resource string, gang *kernel.GangInfo, err error) {
+	if len(args) != 6 {
+		return "", "", 0, "", nil, fmt.Errorf("core: worker args %v: want 6", args)
 	}
 	id, err = strconv.Atoi(args[2])
 	if err != nil {
-		return "", "", 0, "", fmt.Errorf("core: worker id: %w", err)
+		return "", "", 0, "", nil, fmt.Errorf("core: worker id: %w", err)
 	}
-	return Kind(args[0]), args[1], id, args[3], nil
+	rank, err := strconv.Atoi(args[4])
+	if err != nil {
+		return "", "", 0, "", nil, fmt.Errorf("core: worker gang rank: %w", err)
+	}
+	size, err := strconv.Atoi(args[5])
+	if err != nil {
+		return "", "", 0, "", nil, fmt.Errorf("core: worker gang size: %w", err)
+	}
+	if size > 1 {
+		gang = &kernel.GangInfo{Rank: rank, Size: size, Neighbors: kernel.NeighborsOf(rank, size)}
+	}
+	return Kind(args[0]), args[1], id, args[3], gang, nil
 }
 
 // electionDaemon is the IPL election naming the daemon instance.
@@ -62,7 +74,7 @@ const electionDaemon = "amuse-daemon"
 // service behind a loopback socket (the worker proper) and a proxy that
 // joins the IPL pool and relays RPC between the daemon and the worker.
 func workerMain(env *Env, ctx *gat.Context) error {
-	kind, _, id, resourceName, err := parseWorkerArgs(ctx.Args)
+	kind, _, id, resourceName, gang, err := parseWorkerArgs(ctx.Args)
 	if err != nil {
 		return err
 	}
@@ -70,11 +82,18 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	if err != nil {
 		return err
 	}
-	svc, err := newService(kind, res, ctx.Hosts, env)
+	svc, err := newService(kind, res, ctx.Hosts, env, gang)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	if gang != nil {
+		// Fail at startup, not at gang_init time: a kind without gang
+		// support must not come up as K divergent solo instances.
+		if _, ok := svc.(kernel.Shardable); !ok {
+			return fmt.Errorf("core: kind %q cannot run as a gang rank (service does not implement kernel.Shardable)", kind)
+		}
+	}
 	host := ctx.Hosts[0]
 
 	// Worker side: model service behind a loopback listener.
@@ -157,8 +176,9 @@ func workerMain(env *Env, ctx *gat.Context) error {
 	}()
 
 	// Relay loop: daemon -> proxy -> worker -> proxy -> daemon. Transfer
-	// ops (offer_state/accept_state) are the proxy's own: they move state
-	// between the peer plane and the worker without involving the daemon.
+	// ops (offer_state/accept_state) and gang wiring (gang_init) are the
+	// proxy's own: they move state between the peer plane and the worker
+	// without involving the daemon.
 	var relayErr error
 	for {
 		rm, err := reqPort.Receive()
@@ -166,8 +186,14 @@ func workerMain(env *Env, ctx *gat.Context) error {
 			break // port closed: daemon shut us down or we were killed
 		}
 		var req request
-		if err := kernel.UnmarshalRequest(rm.Data, &req); err == nil && isTransferMethod(req.Method) {
-			resp := plane.handleTransfer(&req, rm.Arrival, loop)
+		if err := kernel.UnmarshalRequest(rm.Data, &req); err == nil &&
+			(isTransferMethod(req.Method) || isGangMethod(req.Method)) {
+			var resp *response
+			if isGangMethod(req.Method) {
+				resp = plane.handleGangInit(&req, rm.Arrival, svc)
+			} else {
+				resp = plane.handleTransfer(&req, rm.Arrival, loop)
+			}
 			if err := respPort.Write(kernel.AppendResponse(nil, resp), resp.DoneAt); err != nil {
 				relayErr = err
 				break
@@ -206,7 +232,7 @@ func workerMain(env *Env, ctx *gat.Context) error {
 // process serving RPC straight over a loopback connection, no daemon or IPL
 // involved (AMUSE's pre-existing sockets channel).
 func socketWorkerMain(env *Env, ctx *gat.Context) error {
-	kind, _, id, resourceName, err := parseWorkerArgs(ctx.Args)
+	kind, _, id, resourceName, _, err := parseWorkerArgs(ctx.Args)
 	if err != nil {
 		return err
 	}
@@ -214,7 +240,8 @@ func socketWorkerMain(env *Env, ctx *gat.Context) error {
 	if err != nil {
 		return err
 	}
-	svc, err := newService(kind, res, ctx.Hosts, env)
+	// Sockets workers are always solo: gangs need the peer plane.
+	svc, err := newService(kind, res, ctx.Hosts, env, nil)
 	if err != nil {
 		return err
 	}

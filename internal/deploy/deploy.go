@@ -4,6 +4,14 @@
 // and submits jobs through JavaGAT — §3 and §5 of the paper. The rendered
 // resource/job/overlay views regenerate the data behind the IbisDeploy GUI
 // of Fig. 10.
+//
+// A Resource couples three things the rest of the stack keys on: the
+// middleware adapter jobs are submitted through (local, ssh, pbs, sge,
+// zorilla), the hub host that anchors the resource in the SmartSockets
+// overlay, and per-node device models (CPU, optional GPU) that drive
+// virtual-time accounting and the core layer's device-aware worker
+// placement — including co-locating the rank workers of a gang on one
+// resource so their halo exchange stays on the site's internal links.
 package deploy
 
 import (

@@ -6,7 +6,11 @@
 // leave a running pool).
 //
 // Connections are established through the SmartSockets layer, so IPL ports
-// work across firewalls and NATs transparently.
+// work across firewalls and NATs transparently. Beside the port-based
+// control plane, every instance owns a peer-stream address
+// (PeerAddr/ListenPeer/DialPeer, identity port + PeerPortOffset): the
+// direct data plane where bulk worker-to-worker state transfers and gang
+// halo links ride the same overlay without touching the daemon.
 package ipl
 
 import (

@@ -1,14 +1,23 @@
-// Package mpisim provides the intra-worker parallelism substrate of the
-// reproduction: an MPI-like communicator whose ranks are goroutines pinned to
-// virtual hosts. The paper's models use MPI inside a worker (Gadget runs on
-// 8 nodes, C/MPI); the coupler never sees this traffic, but Fig. 11
-// distinguishes it from IPL traffic — so every mpisim message crosses the
-// virtual network with traffic class "mpi" and advances per-rank virtual
-// clocks.
+// Package mpisim provides the intra-model parallelism substrate of the
+// reproduction: MPI-style communicators whose collectives (Barrier, Bcast,
+// AllreduceSum/Max, AllgatherFloats/Bytes, SendRecv) are generic over the
+// Comm interface and run on two kinds of rank:
 //
-// The communicator moves real data (kernels are genuinely data-parallel
-// across rank goroutines) and accounts virtual time from vnet link models,
-// which is the substitution this repository makes for physical clusters.
+//   - World/Rank — goroutine ranks pinned to the virtual hosts of one
+//     multi-node worker job (the paper's "Gadget runs on 8 nodes with
+//     C/MPI"). Every message crosses the virtual network with traffic
+//     class "mpi" and advances per-rank virtual clocks, which is how
+//     Fig. 11 distinguishes intra-model from IPL traffic.
+//   - Gang — process ranks of a domain-decomposed multi-worker kernel
+//     (one kernel sharded across K worker processes, possibly on many
+//     nodes of a site). Rank links are pluggable Link transports; in
+//     production they are SmartSockets peer connections on the overlay,
+//     wired by internal/core's gang_init, and each Gang advances the
+//     virtual clock of the worker service hosting it.
+//
+// Both communicators move real data (kernels are genuinely data-parallel
+// across ranks) and account virtual time from vnet link models, which is
+// the substitution this repository makes for physical clusters.
 package mpisim
 
 import (

@@ -5,6 +5,13 @@
 // performance models. That is the paper's Multi-Kernel property: "which
 // kernel is used has no influence in the result of the simulation, but may
 // have a dramatic effect on performance".
+//
+// The same property extends across processes: the integrator also runs
+// domain-decomposed as a gang of rank workers (EvolveToComm /
+// kernel.Shardable in shard.go), each computing a spatial slab of the
+// interaction matrix and exchanging halo force columns over the gang's
+// peer links — still bit-identical to the solo integrator, with the
+// virtual compute cost divided by the gang size.
 package nbody
 
 import (
@@ -40,8 +47,8 @@ func (f *Forces) resize(n int) {
 
 // Kernel evaluates forces for a particle state. Implementations must be
 // deterministic and agree bit-for-bit: the accumulation order over j is
-// fixed (ascending), so CPU row-parallelism and GPU tiling cannot change
-// results.
+// fixed (ascending), so CPU row-parallelism, GPU tiling and gang slab
+// decomposition cannot change results.
 type Kernel interface {
 	// Name identifies the kernel variant ("phigrape-cpu", "phigrape-gpu").
 	Name() string
@@ -50,6 +57,11 @@ type Kernel interface {
 	// Forces computes acc, jerk and potential for every particle.
 	// It returns the accounted flop count.
 	Forces(mass []float64, pos, vel []data.Vec3, eps2 float64, out *Forces) float64
+	// ForcesSlab computes rows [lo, hi) of the interaction matrix only —
+	// the per-rank share of a domain-decomposed gang. The out slices are
+	// sized for the full system; rows outside the slab are left as they
+	// were. It returns the accounted flop count for the slab.
+	ForcesSlab(mass []float64, pos, vel []data.Vec3, eps2 float64, lo, hi int, out *Forces) float64
 }
 
 // pairInteraction accumulates the contribution of particle j on particle i.
@@ -97,26 +109,37 @@ func (k *CPUKernel) Device() *vtime.Device { return k.dev }
 
 // Forces implements Kernel.
 func (k *CPUKernel) Forces(mass []float64, pos, vel []data.Vec3, eps2 float64, out *Forces) float64 {
+	return k.ForcesSlab(mass, pos, vel, eps2, 0, len(mass), out)
+}
+
+// ForcesSlab implements Kernel: rows [lo, hi) are split across cores;
+// each row accumulates over all j in ascending order, so slab results
+// equal the full evaluation's bit for bit.
+func (k *CPUKernel) ForcesSlab(mass []float64, pos, vel []data.Vec3, eps2 float64, lo, hi int, out *Forces) float64 {
 	n := len(mass)
 	out.resize(n)
+	rows := hi - lo
+	if rows <= 0 {
+		return 0
+	}
 	workers := k.Goroutines
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > rows {
+		workers = rows
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+		wlo, whi := lo+w*chunk, lo+(w+1)*chunk
+		if whi > hi {
+			whi = hi
 		}
-		if lo >= hi {
+		if wlo >= whi {
 			break
 		}
 		wg.Add(1)
@@ -138,10 +161,10 @@ func (k *CPUKernel) Forces(mass []float64, pos, vel []data.Vec3, eps2 float64, o
 				out.Jerk[i] = jerk
 				out.Pot[i] = pot
 			}
-		}(lo, hi)
+		}(wlo, whi)
 	}
 	wg.Wait()
-	return FlopsPerPair * float64(n) * float64(n-1)
+	return FlopsPerPair * float64(rows) * float64(n-1)
 }
 
 // gpuTile mirrors the j-tiling of CUDA N-body kernels (shared-memory tiles).
@@ -166,23 +189,34 @@ func (k *GPUKernel) Device() *vtime.Device { return k.dev }
 
 // Forces implements Kernel.
 func (k *GPUKernel) Forces(mass []float64, pos, vel []data.Vec3, eps2 float64, out *Forces) float64 {
+	return k.ForcesSlab(mass, pos, vel, eps2, 0, len(mass), out)
+}
+
+// ForcesSlab implements Kernel: rows [lo, hi) iterate the j-tiles in
+// ascending order, so slab results equal the full evaluation's bit for
+// bit.
+func (k *GPUKernel) ForcesSlab(mass []float64, pos, vel []data.Vec3, eps2 float64, lo, hi int, out *Forces) float64 {
 	n := len(mass)
 	out.resize(n)
+	rows := hi - lo
+	if rows <= 0 {
+		return 0
+	}
 	workers := runtime.GOMAXPROCS(0) // host-side threads standing in for SMs
-	if workers > n {
-		workers = n
+	if workers > rows {
+		workers = rows
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+		wlo, whi := lo+w*chunk, lo+(w+1)*chunk
+		if whi > hi {
+			whi = hi
 		}
-		if lo >= hi {
+		if wlo >= whi {
 			break
 		}
 		wg.Add(1)
@@ -210,8 +244,8 @@ func (k *GPUKernel) Forces(mass []float64, pos, vel []data.Vec3, eps2 float64, o
 				out.Jerk[i] = jerk
 				out.Pot[i] = pot
 			}
-		}(lo, hi)
+		}(wlo, whi)
 	}
 	wg.Wait()
-	return FlopsPerPair * float64(n) * float64(n-1)
+	return FlopsPerPair * float64(rows) * float64(n-1)
 }

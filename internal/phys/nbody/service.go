@@ -8,6 +8,7 @@ import (
 	"jungle/internal/amuse/data"
 	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
+	"jungle/internal/mpisim"
 	"jungle/internal/vtime"
 )
 
@@ -24,19 +25,45 @@ func init() {
 	kernel.Register(KindGravity, newGravityService)
 }
 
-// gravityService hosts the PhiGRAPE worker.
+// gravityService hosts the PhiGRAPE worker — solo, or as one rank of a
+// domain-decomposed gang (kernel.Shardable): every rank holds the full
+// replicated particle arrays, evolve computes this rank's slab of the
+// interaction matrix and exchanges the slab forces over the gang's peer
+// links, and energies reduce across ranks.
 type gravityService struct {
 	res   *deploy.Resource
 	clock *vtime.Clock
 	sys   *System
 	dev   *vtime.Device
+	gi    *kernel.GangInfo
+	gang  *mpisim.Gang
 }
 
 func newGravityService(cfg kernel.Config) (kernel.Service, error) {
-	return &gravityService{res: cfg.Res, clock: vtime.NewClock()}, nil
+	return &gravityService{res: cfg.Res, clock: vtime.NewClock(), gi: cfg.Gang}, nil
 }
 
-func (s *gravityService) Close() {}
+// SetGang implements kernel.Shardable: the worker host installs the wired
+// communicator, which binds this service's clock so halo exchanges and
+// reductions advance it like any other worker activity.
+func (s *gravityService) SetGang(g *mpisim.Gang) error {
+	if s.gi == nil {
+		return fmt.Errorf("nbody: SetGang on a solo worker")
+	}
+	if g.ID() != s.gi.Rank || g.Size() != s.gi.Size {
+		return fmt.Errorf("nbody: gang %d/%d does not match configured rank %d/%d",
+			g.ID(), g.Size(), s.gi.Rank, s.gi.Size)
+	}
+	g.Bind(s.clock)
+	s.gang = g
+	return nil
+}
+
+func (s *gravityService) Close() {
+	if s.gang != nil {
+		s.gang.Close()
+	}
+}
 
 func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) ([]byte, time.Duration, error) {
 	s.clock.AdvanceTo(at)
@@ -74,6 +101,14 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		var a kernel.EvolveArgs
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
+		}
+		if s.gang != nil {
+			// Sharded: EvolveToComm accounts compute and halo exchange
+			// on this clock (bound by SetGang) as they happen.
+			if err := s.sys.EvolveToComm(context.Background(), a.T, s.gang); err != nil {
+				return nil, s.clock.Now(), err
+			}
+			return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
 		}
 		if err := s.sys.EvolveTo(context.Background(), a.T); err != nil {
 			return nil, s.clock.Now(), err
@@ -136,6 +171,13 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		s.sys.SetMass(a.Index, a.Mass)
 		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
 	case "energies":
+		if s.gang != nil {
+			k, p, err := s.sys.EnergyComm(s.gang)
+			if err != nil {
+				return nil, s.clock.Now(), err
+			}
+			return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil
+		}
 		k, p := s.sys.Energy()
 		s.clock.Advance(s.dev.Time(s.sys.ResetFlops(), 0))
 		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil

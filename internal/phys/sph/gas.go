@@ -224,28 +224,40 @@ func (g *Gas) maxH() float64 {
 // between SPH steps, so cancellation aborts a long integration at the
 // next step boundary.
 func (g *Gas) EvolveTo(ctx context.Context, t float64) error {
-	return g.evolve(ctx, t, nil, nil)
+	return g.evolve(ctx, t, nil, nil, true)
 }
 
 // EvolveToParallel advances the gas to time t data-parallel over the world:
 // each rank computes a slab of the density and force loops, exchanges
 // results via allgathers (recorded as "mpi" traffic) and accounts its share
-// of the compute on its own clock against dev.
+// of the compute on its own clock against dev. The goroutine ranks share
+// this one Gas; rank 0 publishes the (bitwise identical) result.
 func (g *Gas) EvolveToParallel(ctx context.Context, t float64, w *mpisim.World, dev *vtime.Device) error {
 	if w == nil {
-		return g.evolve(ctx, t, nil, dev)
+		return g.evolve(ctx, t, nil, dev, true)
 	}
 	return w.Run(func(r *mpisim.Rank) error {
-		return g.evolve(ctx, t, r, dev)
+		return g.evolve(ctx, t, r, dev, r.ID() == 0)
 	})
 }
 
-// evolve is the shared driver. With r == nil it runs the whole domain
-// serially; with a rank it computes only the rank's slab and allgathers.
-// All ranks execute identical step sequences, so the full arrays remain
-// bitwise identical across ranks after each exchange; rank 0's copy is the
-// canonical result written back into g.
-func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.Device) error {
+// EvolveToComm advances the gas to time t as one rank of a gang of worker
+// processes (the same slab/exchange schedule as EvolveToParallel, but the
+// exchanges cross the gang's peer links and the compute is accounted on
+// the communicator's bound clock). Every rank owns its own replicated Gas
+// and publishes the result.
+func (g *Gas) EvolveToComm(ctx context.Context, t float64, c mpisim.Comm, dev *vtime.Device) error {
+	return g.evolve(ctx, t, c, dev, true)
+}
+
+// evolve is the shared driver. With c == nil it runs the whole domain
+// serially; with a communicator it computes only the rank's slab and
+// allgathers. All ranks execute identical step sequences, so the full
+// arrays remain bitwise identical across ranks after each exchange;
+// publish selects which callers write the canonical result back into g
+// (the serial caller, World rank 0 — whose goroutine ranks share one Gas
+// — and every gang rank, which each own their replica).
+func (g *Gas) evolve(ctx context.Context, t float64, r mpisim.Comm, dev *vtime.Device, publish bool) error {
 	n := len(g.mass)
 	if n == 0 {
 		return ErrNoGas
@@ -263,7 +275,7 @@ func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.
 
 	lo, hi := 0, n
 	if r != nil {
-		lo, hi = r.Slab(n)
+		lo, hi = mpisim.Slab(n, r.ID(), r.Size())
 	}
 	time := g.time
 	steps := 0
@@ -284,9 +296,9 @@ func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.
 	flops += f
 
 	for time < t-1e-15 {
-		// Serial runs poll for cancellation between steps. MPI ranks do
-		// not: one rank bailing out of a collective would wedge the rest,
-		// and worker-side services always evolve under Background anyway.
+		// Serial runs poll for cancellation between steps. Ranks do not:
+		// one rank bailing out of a collective would wedge the rest, and
+		// worker-side services always evolve under Background anyway.
 		if r == nil {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -294,7 +306,7 @@ func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.
 		}
 		dt := st.timestep(lo, hi)
 		if r != nil {
-			m, err := r.AllreduceMax([]float64{-dt})
+			m, err := mpisim.AllreduceMax(r, []float64{-dt})
 			if err != nil {
 				return err
 			}
@@ -338,8 +350,8 @@ func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.
 		steps++
 	}
 
-	// Rank 0 (or the serial caller) publishes the result.
-	if r == nil || r.ID() == 0 {
+	// Publish per the caller's ownership rules (see the doc comment).
+	if publish {
 		copy(g.pos, pos)
 		copy(g.vel, vel)
 		copy(g.u, u)
@@ -354,18 +366,18 @@ func (g *Gas) evolve(ctx context.Context, t float64, r *mpisim.Rank, dev *vtime.
 	return nil
 }
 
-// flopScale converts one rank's counted flops into the world total (every
-// rank does ~1/size of the work; rank 0 reports).
-func flopScale(r *mpisim.Rank) float64 {
+// flopScale converts one rank's counted flops into the communicator total
+// (every rank does ~1/size of the work; the publishing rank reports).
+func flopScale(r mpisim.Comm) float64 {
 	if r == nil {
 		return 1
 	}
 	return float64(r.Size())
 }
 
-func account(r *mpisim.Rank, dev *vtime.Device, flops float64) {
+func account(r mpisim.Comm, dev *vtime.Device, flops float64) {
 	if r != nil && dev != nil {
-		r.ComputeFlops(dev, flops, dev.Cores)
+		mpisim.ComputeFlops(r, dev, flops, dev.Cores)
 	}
 }
 
@@ -509,12 +521,12 @@ func clamp(x, lo, hi float64) float64 {
 // Exchange helpers: allgather the rank's slab so every rank holds the full
 // updated arrays. nil rank = serial no-op.
 
-func exchangeScalars(r *mpisim.Rank, lo, hi int, arrays ...[]float64) error {
+func exchangeScalars(r mpisim.Comm, lo, hi int, arrays ...[]float64) error {
 	if r == nil {
 		return nil
 	}
 	for _, a := range arrays {
-		full, err := r.AllgatherFloats(a[lo:hi])
+		full, err := mpisim.AllgatherFloats(r, a[lo:hi])
 		if err != nil {
 			return err
 		}
@@ -523,7 +535,7 @@ func exchangeScalars(r *mpisim.Rank, lo, hi int, arrays ...[]float64) error {
 	return nil
 }
 
-func exchangeVectors(r *mpisim.Rank, lo, hi int, pos, vel []data.Vec3, u []float64) error {
+func exchangeVectors(r mpisim.Comm, lo, hi int, pos, vel []data.Vec3, u []float64) error {
 	if r == nil {
 		return nil
 	}
@@ -531,7 +543,7 @@ func exchangeVectors(r *mpisim.Rank, lo, hi int, pos, vel []data.Vec3, u []float
 	for i := lo; i < hi; i++ {
 		buf = append(buf, pos[i][0], pos[i][1], pos[i][2], vel[i][0], vel[i][1], vel[i][2], u[i])
 	}
-	full, err := r.AllgatherFloats(buf)
+	full, err := mpisim.AllgatherFloats(r, buf)
 	if err != nil {
 		return err
 	}
@@ -543,7 +555,7 @@ func exchangeVectors(r *mpisim.Rank, lo, hi int, pos, vel []data.Vec3, u []float
 	return nil
 }
 
-func exchangeForces(r *mpisim.Rank, lo, hi int, acc []data.Vec3, dudt []float64) error {
+func exchangeForces(r mpisim.Comm, lo, hi int, acc []data.Vec3, dudt []float64) error {
 	if r == nil {
 		return nil
 	}
@@ -551,7 +563,7 @@ func exchangeForces(r *mpisim.Rank, lo, hi int, acc []data.Vec3, dudt []float64)
 	for i := lo; i < hi; i++ {
 		buf = append(buf, acc[i][0], acc[i][1], acc[i][2], dudt[i])
 	}
-	full, err := r.AllgatherFloats(buf)
+	full, err := mpisim.AllgatherFloats(r, buf)
 	if err != nil {
 		return err
 	}

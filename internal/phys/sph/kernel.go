@@ -1,10 +1,14 @@
 // Package sph reimplements the paper's gas-dynamics model: a Gadget-style
 // smoothed-particle-hydrodynamics code (Springel 2005) with cubic-spline
 // kernels, Monaghan artificial viscosity, adaptive smoothing lengths and
-// optional tree self-gravity. It runs serially or data-parallel over an
-// mpisim world (the paper runs Gadget on 8 nodes with C/MPI), in which case
-// slab decomposition, allgathers and per-rank virtual-time accounting model
-// the real code's behaviour.
+// optional tree self-gravity. It runs serially, data-parallel over an
+// mpisim world (the paper runs Gadget on 8 nodes with C/MPI — goroutine
+// ranks inside one multi-node worker), or as one rank of a worker gang
+// (EvolveToComm / kernel.Shardable: the same slab decomposition, but the
+// ranks are separate worker processes exchanging over their peer links).
+// In all parallel modes slab decomposition, allgather exchanges and
+// per-rank virtual-time accounting model the real code's behaviour, and
+// every mode produces the serial results bit for bit.
 package sph
 
 import "math"

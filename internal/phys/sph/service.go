@@ -26,13 +26,19 @@ func init() {
 	kernel.Register(KindHydro, newHydroService)
 }
 
-// hydroService hosts the Gadget worker.
+// hydroService hosts the Gadget worker. It parallelizes two ways, which
+// are mutually exclusive: a multi-node job opens an mpisim World over its
+// hosts (goroutine ranks inside one worker), and a gang deployment
+// (kernel.Shardable) makes this whole service one process rank of a
+// domain-decomposed kernel exchanging slabs over the gang's peer links.
 type hydroService struct {
 	res   *deploy.Resource
 	gas   *Gas
 	world *mpisim.World
 	dev   *vtime.Device
 	clock *vtime.Clock
+	gi    *kernel.GangInfo
+	gang  *mpisim.Gang
 }
 
 func newHydroService(cfg kernel.Config) (kernel.Service, error) {
@@ -40,7 +46,11 @@ func newHydroService(cfg kernel.Config) (kernel.Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &hydroService{res: cfg.Res, gas: New(), dev: kernel.Derate(dev, hydroEfficiency), clock: vtime.NewClock()}
+	s := &hydroService{res: cfg.Res, gas: New(), dev: kernel.Derate(dev, hydroEfficiency),
+		clock: vtime.NewClock(), gi: cfg.Gang}
+	if cfg.Gang != nil && len(cfg.Hosts) > 1 {
+		return nil, fmt.Errorf("sph: gang ranks are single-node workers (rank %d got %d hosts); shard across workers or span nodes, not both", cfg.Gang.Rank, len(cfg.Hosts))
+	}
 	if len(cfg.Hosts) > 1 && cfg.Net != nil {
 		w, err := mpisim.NewWorld(cfg.Net, cfg.Hosts)
 		if err != nil {
@@ -51,9 +61,27 @@ func newHydroService(cfg kernel.Config) (kernel.Service, error) {
 	return s, nil
 }
 
+// SetGang implements kernel.Shardable: the worker host installs the wired
+// communicator, which binds this service's clock.
+func (s *hydroService) SetGang(g *mpisim.Gang) error {
+	if s.gi == nil {
+		return fmt.Errorf("sph: SetGang on a solo worker")
+	}
+	if g.ID() != s.gi.Rank || g.Size() != s.gi.Size {
+		return fmt.Errorf("sph: gang %d/%d does not match configured rank %d/%d",
+			g.ID(), g.Size(), s.gi.Rank, s.gi.Size)
+	}
+	g.Bind(s.clock)
+	s.gang = g
+	return nil
+}
+
 func (s *hydroService) Close() {
 	if s.world != nil {
 		s.world.Close()
+	}
+	if s.gang != nil {
+		s.gang.Close()
 	}
 }
 
@@ -87,13 +115,23 @@ func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([
 		if err := kernel.Decode(args, &a); err != nil {
 			return nil, s.clock.Now(), err
 		}
-		if s.world != nil {
+		switch {
+		case s.gang != nil:
+			// Sharded: compute and slab exchange are accounted on this
+			// clock (bound by SetGang) as they happen; the published flop
+			// total is informational only, so discard it rather than
+			// double-charging the clock.
+			if err := s.gas.EvolveToComm(context.Background(), a.T, s.gang, s.dev); err != nil {
+				return nil, s.clock.Now(), err
+			}
+			s.gas.ResetFlops()
+		case s.world != nil:
 			s.world.SyncTo(s.clock.Now())
 			if err := s.gas.EvolveToParallel(context.Background(), a.T, s.world, s.dev); err != nil {
 				return nil, s.clock.Now(), err
 			}
 			s.clock.AdvanceTo(s.world.MaxTime())
-		} else {
+		default:
 			if err := s.gas.EvolveTo(context.Background(), a.T); err != nil {
 				return nil, s.clock.Now(), err
 			}

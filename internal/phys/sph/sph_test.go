@@ -2,8 +2,11 @@ package sph
 
 import (
 	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
@@ -287,5 +290,58 @@ func TestParallelStepsAccounted(t *testing.T) {
 	}
 	if g.Steps() == 0 || g.Flops() == 0 {
 		t.Fatal("steps/flops not accounted")
+	}
+}
+
+// TestGangMatchesSerial extends the parallel-equals-serial property to
+// gangs: K worker-process ranks, each owning a replicated Gas and
+// exchanging slabs over gang links, produce exactly the serial result.
+func TestGangMatchesSerial(t *testing.T) {
+	gas := gasSphere(t, 240)
+
+	serial := New()
+	if err := serial.SetParticles(gas); err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EvolveTo(context.Background(), 0.02); err != nil {
+		t.Fatal(err)
+	}
+
+	const size = 3
+	gangs := mpisim.LocalGangs(size, 20*time.Microsecond)
+	dev := &vtime.Device{Name: "node", Kind: vtime.CPU, Gflops: 5, Cores: 8}
+	systems := make([]*Gas, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := range systems {
+		systems[i] = New()
+		if err := systems[i].SetParticles(gas); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = systems[i].EvolveToComm(context.Background(), 0.02, gangs[i], dev)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	for rank, par := range systems {
+		for i := 0; i < serial.N(); i++ {
+			for d := 0; d < 3; d++ {
+				if math.Float64bits(serial.pos[i][d]) != math.Float64bits(par.pos[i][d]) {
+					t.Fatalf("rank %d particle %d dim %d: serial %v vs gang %v",
+						rank, i, d, serial.pos[i][d], par.pos[i][d])
+				}
+			}
+			if math.Float64bits(serial.u[i]) != math.Float64bits(par.u[i]) {
+				t.Fatalf("rank %d particle %d internal energy differs", rank, i)
+			}
+		}
+		if gangs[rank].Clock().Now() == 0 {
+			t.Fatalf("rank %d: no virtual time accounted", rank)
+		}
 	}
 }

@@ -19,11 +19,13 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 # Documentation gate: formatting (covers the runnable Example_* files),
-# vet, and a package comment on every internal/ package — godoc is part
-# of the contract, so an undocumented package fails CI.
+# vet, a package comment on every internal/ package — godoc is part of
+# the contract, so an undocumented package fails CI — and no broken
+# relative links in the top-level documents (cmd/doc-link-check).
 doc-check: fmt-check vet
 	@bad=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...); \
 	if [ -n "$$bad" ]; then echo "missing package comment:" >&2; echo "$$bad" >&2; exit 1; fi
+	$(GO) run ./cmd/doc-link-check README.md ARCHITECTURE.md DESIGN.md
 
 # Fast suite: unit + protocol + reduced-scale integration (seconds).
 test-short:

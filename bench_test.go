@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
@@ -522,4 +523,105 @@ func BenchmarkIbisChannelRoundTrip(b *testing.B) {
 			b.Fatal(g.Err())
 		}
 	}
+}
+
+// BenchmarkCheckpointRecovery measures what the checkpoint subsystem
+// buys on the SC11 topology (transatlantic coupler, worker in Leiden)
+// when the worker is killed partway through a run: recovering via the
+// last checkpoint (substitute worker + setup replay + snapshot restore)
+// versus the only pre-checkpoint option — a full restart that re-uploads
+// the initial conditions and re-integrates the lost model time from
+// zero. Reported metric: virtual milliseconds from observed death to the
+// model answering again at the same model time.
+func BenchmarkCheckpointRecovery(b *testing.B) {
+	const tCkpt = 1.0 / 8 // model time already integrated when the worker dies
+	stars := ic.Plummer(256, 77)
+
+	prep := func(b *testing.B) (*core.Testbed, *core.Simulation, *core.Gravity, chan int) {
+		tb, err := core.NewSC11Testbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		g, err := sim.NewGravity(context.Background(),
+			core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+			core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.SetParticles(stars); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.EvolveTo(context.Background(), tCkpt); err != nil {
+			b.Fatal(err)
+		}
+		died := make(chan int, 1)
+		tb.Daemon.OnWorkerDied = func(id int) {
+			select {
+			case died <- id:
+			default:
+			}
+		}
+		return tb, sim, g, died
+	}
+	kill := func(b *testing.B, tb *core.Testbed, g *core.Gravity, died chan int) {
+		tb.Daemon.KillWorker(g.WorkerIDs()[0])
+		select {
+		case <-died:
+		case <-time.After(10 * time.Second):
+			b.Fatal("death not observed")
+		}
+	}
+
+	b.Run("restore-from-checkpoint", func(b *testing.B) {
+		var virtual time.Duration
+		for i := 0; i < b.N; i++ {
+			tb, sim, g, died := prep(b)
+			g.EnableReplacement()
+			if _, err := sim.Checkpoint(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			kill(b, tb, g, died)
+			t0 := sim.Elapsed()
+			// The next call triggers replacement: substitute worker, setup
+			// replay, snapshot restore — no model time is recomputed.
+			if _, _, err := g.Energy(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			virtual += sim.Elapsed() - t0
+			sim.Stop()
+			tb.Close()
+		}
+		b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtual-ms/recovery")
+	})
+
+	b.Run("full-restart", func(b *testing.B) {
+		var virtual time.Duration
+		for i := 0; i < b.N; i++ {
+			tb, sim, g, died := prep(b)
+			kill(b, tb, g, died)
+			t0 := sim.Elapsed()
+			// No checkpoint: start over — new worker, re-upload the initial
+			// conditions over the transatlantic link, re-integrate to tCkpt.
+			g2, err := sim.NewGravity(context.Background(),
+				core.WorkerSpec{Resource: "lgm", Channel: core.ChannelIbis},
+				core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g2.SetParticles(stars); err != nil {
+				b.Fatal(err)
+			}
+			if err := g2.EvolveTo(context.Background(), tCkpt); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := g2.Energy(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			virtual += sim.Elapsed() - t0
+			sim.Stop()
+			tb.Close()
+		}
+		b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtual-ms/recovery")
+	})
 }

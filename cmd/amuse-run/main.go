@@ -1,10 +1,18 @@
 // Command amuse-run is the config-driven simulation runner: the user
 // experience of §5's four steps. Resources come from an IbisDeploy-style
-// configuration file (or the built-in lab testbed), the placement is a
-// scenario name, and the simulation is the paper's embedded star cluster.
+// configuration file (or a built-in testbed), the placement is a scenario
+// name, and the simulation is the paper's embedded star cluster.
 //
 //	amuse-run -placement jungle -stars 200 -gas 2000 -iters 2
 //	amuse-run -config resources.conf -list
+//
+// With -checkpoint the run snapshots every worker after each completed
+// iteration and writes a self-contained run file; a run killed at any
+// point (Ctrl-C, -timeout, a dead machine) is continued bit-compatibly
+// with -resume:
+//
+//	amuse-run -testbed sc11 -placement sc11-worst-case -iters 8 -checkpoint run.ckpt
+//	amuse-run -testbed sc11 -resume run.ckpt
 package main
 
 import (
@@ -21,12 +29,15 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "IbisDeploy resource config to add to the testbed")
-	placement := flag.String("placement", "jungle", "cpu-only | local-gpu | remote-gpu | jungle")
+	testbed := flag.String("testbed", "lab", "lab | sc11 (the SC11 demo topology: coupler in Seattle, models in NL)")
+	placement := flag.String("placement", "jungle", "cpu-only | local-gpu | remote-gpu | jungle | sc11-worst-case")
 	stars := flag.Int("stars", 100, "number of stars")
 	gas := flag.Int("gas", 1000, "number of gas particles")
 	iters := flag.Int("iters", 1, "bridge iterations")
 	list := flag.Bool("list", false, "list resources and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run; cancellation aborts in-flight worker calls (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "write a resumable run checkpoint to this file after every iteration")
+	resume := flag.String("resume", "", "continue a killed run from its checkpoint file (ignores -placement/-stars/-gas/-iters)")
 	flag.Parse()
 
 	// The run context bounds everything downstream: worker start-up waits,
@@ -38,7 +49,16 @@ func main() {
 		defer cancel()
 	}
 
-	tb, err := core.NewLabTestbed()
+	var tb *core.Testbed
+	var err error
+	switch *testbed {
+	case "lab":
+		tb, err = core.NewLabTestbed()
+	case "sc11":
+		tb, err = core.NewSC11Testbed()
+	default:
+		log.Fatalf("unknown testbed %q (want lab or sc11)", *testbed)
+	}
 	if err != nil {
 		log.Fatalf("testbed: %v", err)
 	}
@@ -66,22 +86,66 @@ func main() {
 		return
 	}
 
+	if *resume != "" {
+		// Continue a killed run: the run file carries the placement, the
+		// workload, the bridge clock and every worker's snapshot.
+		res, err := exp.ResumeScenario(ctx, tb, *resume)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		report(tb, res)
+		return
+	}
+
+	scenarios := append(exp.LabScenarios(tb), exp.SC11Placement(tb))
 	var chosen *exp.Placement
-	for _, p := range exp.LabScenarios(tb) {
-		if p.Name == *placement {
-			chosen = &p
+	for i := range scenarios {
+		if scenarios[i].Name == *placement {
+			chosen = &scenarios[i]
 			break
 		}
 	}
 	if chosen == nil {
-		log.Fatalf("unknown placement %q (want cpu-only, local-gpu, remote-gpu or jungle)", *placement)
+		log.Fatalf("unknown placement %q (want cpu-only, local-gpu, remote-gpu, jungle or sc11-worst-case)", *placement)
 	}
 
 	w := exp.Workload{Stars: *stars, Gas: *gas, GasFrac: 0.9, Seed: 42, DT: 1.0 / 64, Eps: 0.05}
-	res, err := exp.RunScenario(ctx, tb, w, *chosen, *iters)
+	var res exp.RunResult
+	before, beforeErr := os.Stat(*checkpoint)
+	if *checkpoint != "" {
+		res, err = exp.RunScenarioCheckpointed(ctx, tb, w, *chosen, *iters, *checkpoint)
+	} else {
+		res, err = exp.RunScenario(ctx, tb, w, *chosen, *iters)
+	}
 	if err != nil {
+		// Only point at the checkpoint file if THIS run wrote it — a file
+		// left by a previous run at the same path must not be offered for
+		// resume, and a failure before the first completed iteration
+		// leaves nothing of this run on disk.
+		if *checkpoint != "" && checkpointWritten(*checkpoint, before, beforeErr) {
+			log.Fatalf("run: %v (last completed iteration is checkpointed in %s; continue with -resume)", err, *checkpoint)
+		}
 		log.Fatalf("run: %v", err)
 	}
+	report(tb, res)
+}
+
+// checkpointWritten reports whether the checkpoint file at path was
+// (re)written since the pre-run stat: it exists now and either did not
+// exist before or its identity changed (SaveRunCheckpoint replaces the
+// file wholesale via rename, so size/mtime move on every save).
+func checkpointWritten(path string, before os.FileInfo, beforeErr error) bool {
+	after, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	if beforeErr != nil {
+		return true // did not exist before this run
+	}
+	return after.Size() != before.Size() || !after.ModTime().Equal(before.ModTime())
+}
+
+func report(tb *core.Testbed, res exp.RunResult) {
 	fmt.Printf("placement %s: %v per iteration (setup %v, %d supernovae)\n",
 		res.Scenario, res.PerIteration, res.Setup, res.Supernovae)
 	fmt.Println()

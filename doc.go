@@ -41,10 +41,20 @@
 // and the bridge are unchanged, and a K-rank gang reproduces the solo
 // worker's results bit for bit.
 //
-// See ARCHITECTURE.md for the top-down system map (the onboarding
-// document) and DESIGN.md for the system inventory, the kernel-registry,
-// batched state-transfer, async-coupler, direct-data-plane and
-// sharded-kernel architecture, plus measured-vs-paper notes; the
+// Failures are a recovery path, not an endpoint: every standard service
+// can snapshot and restore its complete model state
+// (kernel.Checkpointable), Simulation.Checkpoint drains each worker's
+// pipeline and streams the snapshots to a daemon-side store over the
+// peer plane, and the resulting manifest is self-contained — a killed
+// worker (solo or gang rank) is transparently replaced with its state
+// restored, and a killed run resumes bit-compatibly from its last
+// checkpoint (ResumeSimulation, amuse-run -resume).
+//
+// See README.md for the front door and quickstart, ARCHITECTURE.md for
+// the top-down system map (the onboarding document) and DESIGN.md for
+// the system inventory, the kernel-registry, batched state-transfer,
+// async-coupler, direct-data-plane, sharded-kernel and
+// checkpoint-recovery architecture, plus measured-vs-paper notes; the
 // examples directory holds runnable entry points.
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation (run: go test -bench=. -benchmem).

@@ -134,7 +134,22 @@ type modelProxy struct {
 	// replacement support (§5 future work, implemented here).
 	replaceable bool
 	setupArgs   any
-	lastState   *kernel.ParticlesPayload
+	// setupRaw holds the encoded setup payload for models resumed from a
+	// manifest (setupArgs is nil then); encodedSetupLocked prefers it.
+	setupRaw  []byte
+	lastState *kernel.ParticlesPayload
+	// stateSeq/snapSeq stamp lastState and lastSnap with the proxy's call
+	// sequence at capture time, so replacement replays whichever is newer.
+	stateSeq uint64
+	// lastSnap is the raw frame of the model's most recent checkpoint
+	// snapshot (kernel.Snapshot codec). Replacement prefers it over
+	// lastState — it carries the full model state including the kernel's
+	// clock — and it is what makes gangs recoverable. lastBlobRef is the
+	// daemon-store ref the frame is filed under, so the next checkpoint
+	// can trim the superseded blob from the store.
+	lastSnap    []byte
+	snapSeq     uint64
+	lastBlobRef uint64
 	// retries + retrying implement the replacement path: failed calls
 	// queue here, and at most one drainer goroutine per proxy replaces
 	// the worker and re-issues them — that single drainer (plus the gen
@@ -319,6 +334,22 @@ func (m *modelProxy) GangWorkers() []int {
 	return append([]int(nil), m.gangWorkers...)
 }
 
+// WorkerIDs returns the daemon worker ids behind this model: the rank
+// workers for a gang, the single worker otherwise (empty for in-process
+// mpi-channel models, which have no daemon job). Diagnostics and fault
+// injection.
+func (m *modelProxy) WorkerIDs() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.gangWorkers) > 0 {
+		return append([]int(nil), m.gangWorkers...)
+	}
+	if m.worker == 0 {
+		return nil
+	}
+	return []int{m.worker}
+}
+
 func (m *modelProxy) setEndpoint(spec WorkerSpec, ch channel, worker int) {
 	m.mu.Lock()
 	m.spec = spec
@@ -390,10 +421,18 @@ func (m *modelProxy) shutdown() error {
 // theory it should be possible to transparently find a replacement
 // machine" — the prototype could not; this implementation can). On worker
 // death the next call restarts the worker (resource re-selected) and
-// replays setup plus the last synchronized particle state. Gangs are not
-// replaceable: a rank death fails the whole gang with ErrWorkerDied and
-// the gang must be recreated (replacing one rank would need the gang's
-// peer links rewired and the collective state resynchronized mid-step).
+// replays setup plus the newest known state: the last checkpoint snapshot
+// when one exists (full model state including the kernel's clock,
+// restored via the checkpoint/restore capability), the synchronized
+// particle cache otherwise.
+//
+// Gangs are replaceable once a checkpoint exists: the dead rank's job is
+// restarted on the same resource, gang_init re-wires every rank's peer
+// links, and all ranks restore the snapshot — surviving ranks' state is
+// suspect after an aborted collective, and the ranks must be bitwise
+// identical, so the whole gang resumes from the checkpoint and the
+// queued calls replay. Without a checkpoint a gang death remains fatal
+// (there is no consistent state to rebuild a rank from).
 func (m *modelProxy) EnableReplacement() {
 	m.mu.Lock()
 	m.replaceable = true
@@ -403,7 +442,13 @@ func (m *modelProxy) EnableReplacement() {
 func (m *modelProxy) isReplaceable() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.replaceable && len(m.gangWorkers) == 0
+	if !m.replaceable {
+		return false
+	}
+	if len(m.gangWorkers) > 0 {
+		return m.lastSnap != nil // gang recovery needs a checkpoint
+	}
+	return true
 }
 
 // Err returns the sticky error, if any.
@@ -572,14 +617,21 @@ func (m *modelProxy) ensureReplaced(gen int) error {
 	return m.replace()
 }
 
-// replace starts a substitute worker and replays state.
+// replace starts a substitute worker (or restarts a gang's dead ranks)
+// and replays state.
 func (m *modelProxy) replace() error {
+	if m.isGang() {
+		return m.replaceGangRanks()
+	}
 	m.mu.Lock()
 	oldWorker := m.worker
 	oldCh := m.ch
 	spec := m.spec
-	setup := m.setupArgs
+	setup := m.encodedSetupLocked()
 	state := m.lastState
+	stateSeq := m.stateSeq
+	snap := m.lastSnap
+	snapSeq := m.snapSeq
 	m.mu.Unlock()
 
 	m.sim.trace("worker %d died; starting replacement (kind=%s)", oldWorker, m.kind)
@@ -598,19 +650,42 @@ func (m *modelProxy) replace() error {
 	if err := m.start(m.sim.ctx); err != nil {
 		return err
 	}
-	replay := func(method string, args []byte) error {
-		c := newCall(m.kind, method, nil)
-		m.startCall(c, method, args, false)
-		return c.Wait(m.sim.ctx)
-	}
-	if err := replay("setup", encode(setup)); err != nil {
+	if err := m.replay("setup", setup); err != nil {
 		return err
 	}
-	if state != nil {
-		if err := replay("set_particles", encode(*state)); err != nil {
+	// The checkpoint snapshot carries the full model state including the
+	// kernel's clock; the particle cache only mass/pos/vel. Restore the
+	// snapshot first, then overlay the cache if it is newer (a push or
+	// sync landed after the checkpoint).
+	if snap != nil {
+		if err := m.replay(kernel.MethodRestore, snap); err != nil {
 			return err
 		}
 	}
+	if state != nil && (snap == nil || stateSeq > snapSeq) {
+		if err := m.replay("set_particles", encode(*state)); err != nil {
+			return err
+		}
+	}
+	if err := m.finishReplacement(); err != nil {
+		return err
+	}
+	m.sim.trace("worker replaced on resource %s", resource)
+	return nil
+}
+
+// replay runs one non-replaceable call to completion (replacement and
+// resume plumbing).
+func (m *modelProxy) replay(method string, args []byte) error {
+	c := newCall(m.kind, method, nil)
+	c.seq = m.seq.Add(1)
+	m.startCall(c, method, args, false)
+	return c.Wait(m.sim.ctx)
+}
+
+// finishReplacement bumps the replacement generation and retires the new
+// endpoint if the model was stopped while the replacement was starting.
+func (m *modelProxy) finishReplacement() error {
 	m.mu.Lock()
 	m.gen++
 	stopped := m.stopped
@@ -621,26 +696,59 @@ func (m *modelProxy) replace() error {
 		m.shutdown()
 		return ErrChannelClosed
 	}
-	m.sim.trace("worker replaced on resource %s", resource)
 	return nil
 }
 
 // cacheState remembers the last known particle state for replacement.
-func (m *modelProxy) cacheState(pl kernel.ParticlesPayload) {
+// seq is the issue-order sequence of the call that carried the state:
+// replacement compares it against the snapshot's to decide which is
+// newer, so it must be the originating call's own seq, not the counter
+// at observation time (a checkpoint pipelined just before a sync must
+// not be stamped equal to it).
+func (m *modelProxy) cacheState(pl kernel.ParticlesPayload, seq uint64) {
 	m.mu.Lock()
 	m.lastState = &pl
+	if seq > m.stateSeq {
+		m.stateSeq = seq
+	}
 	m.n = len(pl.Mass)
 	m.mu.Unlock()
+}
+
+// cacheSnapshot remembers the model's latest checkpoint frame for
+// replacement (Simulation.Checkpoint and ResumeSimulation call it). seq
+// is the snapshot call's issue-order sequence (see cacheState). blobRef
+// names the frame's daemon-store entry (0 for resumed models, whose
+// frames were never filed); the previous entry is superseded and
+// returned so the caller can trim it from the store.
+func (m *modelProxy) cacheSnapshot(blob []byte, blobRef, seq uint64) (prevRef uint64) {
+	m.mu.Lock()
+	m.lastSnap = blob
+	m.snapSeq = seq
+	prevRef = m.lastBlobRef
+	m.lastBlobRef = blobRef
+	m.mu.Unlock()
+	return prevRef
+}
+
+// encodedSetupLocked returns the setup args as wire bytes. Callers hold
+// m.mu.
+func (m *modelProxy) encodedSetupLocked() []byte {
+	if m.setupRaw != nil {
+		return m.setupRaw
+	}
+	return encode(m.setupArgs)
 }
 
 // Common Dynamics plumbing shared by Gravity and Hydro.
 
 func (m *modelProxy) setParticles(ctx context.Context, p *data.Particles) error {
 	pl := kernel.ParticlesToPayload(p)
-	if err := m.Call(ctx, "set_particles", pl, &kernel.Empty{}); err != nil {
+	c := m.Go("set_particles", pl)
+	if err := c.Wait(m.sessionCtx(ctx)); err != nil {
 		return err
 	}
-	m.cacheState(pl)
+	m.cacheState(pl, c.seq)
 	return nil
 }
 
@@ -748,7 +856,7 @@ func (m *modelProxy) GoSetState(st *kernel.StatePayload) *Call {
 		*buf = args[:0]
 		kernel.PutBuf(buf)
 	}
-	c.success = func([]byte) { m.mergeCachedState(st) }
+	c.success = func([]byte) { m.mergeCachedState(st, c.seq) }
 	m.startCall(c, "set_state", args, true)
 	return c
 }
@@ -761,13 +869,18 @@ func (m *modelProxy) SetState(ctx context.Context, st *kernel.StatePayload) erro
 
 // mergeCachedState folds successfully pushed columns into the
 // worker-replacement cache so a transparent replacement replays them —
-// bulk writes must not silently revert on worker death.
-func (m *modelProxy) mergeCachedState(st *kernel.StatePayload) {
+// bulk writes must not silently revert on worker death. seq is the
+// push call's issue-order sequence; it advances the cache's stamp so a
+// post-checkpoint push is recognized as newer than the snapshot.
+func (m *modelProxy) mergeCachedState(st *kernel.StatePayload, seq uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := m.lastState
 	if ls == nil || len(ls.Mass) != st.N {
 		return
+	}
+	if seq > m.stateSeq {
+		m.stateSeq = seq
 	}
 	for i, a := range st.FloatAttrs {
 		switch a {
@@ -894,7 +1007,10 @@ func (g *Gravity) Energy(ctx context.Context) (float64, float64, error) {
 // the columns land in p (and refresh the replacement cache) when the
 // result is first observed.
 func (g *Gravity) GoSync(p *data.Particles) *Call {
-	return g.goGetState([]string{data.AttrMass, data.AttrPos, data.AttrVel},
+	// c is assigned before any caller can Wait, and the hook only runs at
+	// outcome observation, so capturing it for the seq stamp is safe.
+	var c *Call
+	c = g.goGetState([]string{data.AttrMass, data.AttrPos, data.AttrVel},
 		func(st *kernel.StatePayload) error {
 			if st.N != p.Len() {
 				return fmt.Errorf("core: sync: worker has %d particles, set has %d", st.N, p.Len())
@@ -902,9 +1018,10 @@ func (g *Gravity) GoSync(p *data.Particles) *Call {
 			if err := kernel.ScatterState(p, st); err != nil {
 				return err
 			}
-			g.cacheState(kernel.ParticlesToPayload(p))
+			g.cacheState(kernel.ParticlesToPayload(p), c.seq)
 			return nil
 		})
+	return c
 }
 
 // Sync pulls masses, positions and velocities into the given master set

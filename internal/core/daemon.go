@@ -35,6 +35,21 @@ type Daemon struct {
 	nextID   int
 	closed   bool
 
+	// Checkpoint store: snapshot blobs streamed by worker proxies over the
+	// daemon's own peer listener (or deposited directly by the coupler's
+	// hairpin path) land here, keyed by blob ref. The store is in-memory;
+	// persistence is the manifest's job (Manifest.Save inlines the blobs).
+	// The listener opens lazily on the first checkpoint: its overlay port
+	// registration is real virtual traffic, and sessions that never
+	// checkpoint must stay timing-identical to pre-checkpoint builds.
+	// ckptClosed is set (under ckptMu) by Close before it waits on wg, so
+	// a racing first checkpoint cannot open the listener after teardown
+	// already passed it by.
+	ckptMu     sync.Mutex
+	ckptLis    *smartsockets.Listener
+	ckptClosed bool
+	ckptBlobs  map[uint64][]byte
+
 	// ReadyTimeout bounds (in real time) how long StartWorker waits for a
 	// worker to announce itself.
 	ReadyTimeout time.Duration
@@ -128,6 +143,7 @@ func NewDaemon(dep *deploy.Deployment, pool string) (*Daemon, error) {
 		return nil, fmt.Errorf("core: daemon listener: %w", err)
 	}
 	d.listener = l
+	d.ckptBlobs = make(map[uint64][]byte)
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.eventLoop()
@@ -166,9 +182,110 @@ func (d *Daemon) Close() {
 		}
 	}
 	d.listener.Close()
+	d.ckptMu.Lock()
+	d.ckptClosed = true
+	ckptLis := d.ckptLis
+	d.ckptMu.Unlock()
+	if ckptLis != nil {
+		ckptLis.Close()
+	}
 	d.ibis.End()
 	d.registry.Close()
 	d.wg.Wait()
+}
+
+// checkpointLoop accepts snapshot streams on the daemon's peer listener:
+// each connection carries one transfer-framed blob, which is filed in the
+// store and acknowledged at its virtual arrival time.
+func (d *Daemon) checkpointLoop(lis *smartsockets.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer conn.Close()
+			conn.SetClass("peer")
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			id, blob, abort, err := kernel.UnmarshalTransfer(msg.Data)
+			if err != nil || abort {
+				return
+			}
+			// The blob outlives this stream: copy out of the message buffer.
+			d.StoreCheckpoint(id, append([]byte(nil), blob...))
+			conn.Send(kernel.AppendTransferAck(nil, id), msg.Arrival)
+		}()
+	}
+}
+
+// CheckpointPeerAddr returns the address worker proxies stream checkpoint
+// blobs to — the daemon's own peer listener on the overlay — opening the
+// listener on first use. ok is false if the daemon is closed or the
+// listener cannot open (callers fall back to the RPC-plane pull).
+func (d *Daemon) CheckpointPeerAddr() (smartsockets.Address, bool) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	// The closed flag and the lazy open are serialized by ckptMu: either
+	// Close set the flag first (no listener opens), or the listener and
+	// its wg.Add exist before Close reaches them (clean teardown).
+	if d.ckptClosed {
+		return smartsockets.Address{}, false
+	}
+	if d.ckptLis == nil {
+		lis, err := d.ibis.ListenPeer()
+		if err != nil {
+			return smartsockets.Address{}, false
+		}
+		d.ckptLis = lis
+		d.wg.Add(1)
+		go d.checkpointLoop(lis)
+	}
+	return ipl.PeerAddr(d.ibis.Identifier()), true
+}
+
+// StoreCheckpoint files a snapshot blob under a ref (the coupler's
+// hairpin path deposits directly; the peer path arrives via
+// checkpointLoop). The blob must not be mutated afterwards.
+func (d *Daemon) StoreCheckpoint(id uint64, blob []byte) {
+	d.ckptMu.Lock()
+	d.ckptBlobs[id] = blob
+	d.ckptMu.Unlock()
+}
+
+// CheckpointBlob returns a stored snapshot blob.
+func (d *Daemon) CheckpointBlob(id uint64) ([]byte, bool) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	b, ok := d.ckptBlobs[id]
+	return b, ok
+}
+
+// DropCheckpoint releases a stored blob (manifests inline the bytes, so
+// long sessions can trim the store after each checkpoint).
+func (d *Daemon) DropCheckpoint(id uint64) {
+	d.ckptMu.Lock()
+	delete(d.ckptBlobs, id)
+	d.ckptMu.Unlock()
+}
+
+// WorkerAlive reports whether a worker id is known and not dead — the
+// gang recovery path uses it to find which rank to restart.
+func (d *Daemon) WorkerAlive(id int) bool {
+	d.mu.Lock()
+	wh := d.workers[id]
+	d.mu.Unlock()
+	if wh == nil {
+		return false
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	return !wh.dead
 }
 
 var reqIDs atomic.Uint64

@@ -9,6 +9,8 @@ package core_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/amuse/ic"
@@ -160,4 +162,83 @@ func Example_shardedGang() {
 	}
 	fmt.Printf("ranks=%d bound=%v\n", len(g.GangWorkers()), kin+pot < 0)
 	// Output: ranks=3 bound=true
+}
+
+// Example_checkpointResume checkpoints a running simulation to a manifest
+// file, stops the session, and resumes it — the pattern behind
+// amuse-run's -checkpoint/-resume flags and behind stateful worker
+// replacement. The snapshot call rides the worker's FIFO (so in-flight
+// pipelines drain first) and the blob streams worker-to-daemon over the
+// peer plane; the resumed model continues bit-identically from the
+// checkpointed state.
+func Example_checkpointResume() {
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer tb.Close()
+	sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+	defer sim.Stop()
+
+	g, err := sim.NewGravity(context.Background(),
+		core.WorkerSpec{Resource: tb.LGM, Channel: core.ChannelIbis},
+		core.GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := g.SetParticles(ic.Plummer(64, 5)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := g.EvolveTo(context.Background(), 1.0/64); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Snapshot every model and persist the manifest: kinds, worker specs
+	// (gang shapes included), setup payloads and the snapshot blobs.
+	man, err := sim.Checkpoint(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dir, err := os.MkdirTemp("", "ckpt")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "example.ckpt")
+	if err := man.Save(path); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sim.Stop() // the original session is gone; only the manifest survives
+
+	loaded, err := core.LoadManifest(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sim2, models, err := core.ResumeSimulation(context.Background(), tb.Daemon, nil, loaded)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sim2.Stop()
+	g2 := models[0].AsGravity()
+	if err := g2.EvolveTo(context.Background(), 1.0/32); err != nil {
+		fmt.Println(err)
+		return
+	}
+	kin, pot, err := g2.Energy(nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("resumed models=%d kind=%s n=%d bound=%v\n",
+		len(models), models[0].Kind(), g2.N(), kin+pot < 0)
+	// Output: resumed models=1 kind=gravity n=64 bound=true
 }

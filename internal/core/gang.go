@@ -26,11 +26,14 @@ func newGangID() uint64 { return transferIDs.Add(1) }
 
 // gangFanout reports whether a method must reach every rank. State reads
 // and proxy-level transfer ops are served by rank 0 alone: ranks hold
-// bitwise-identical replicated state, so one answer is the answer.
+// bitwise-identical replicated state, so one answer is the answer — and
+// one rank's checkpoint snapshot is the whole gang's. Restore broadcasts
+// (every rank must load the snapshot), checkpoint reads from rank 0.
 func gangFanout(method string) bool {
 	switch method {
 	case "get_state", "get_positions", "get_velocities", "get_masses", "stats",
-		kernel.MethodOfferState, kernel.MethodAcceptState:
+		kernel.MethodOfferState, kernel.MethodAcceptState,
+		kernel.MethodCheckpoint, kernel.MethodOfferCheckpoint:
 		return false
 	}
 	return true
@@ -42,7 +45,11 @@ func gangFanout(method string) bool {
 // before returning, keeping the pipelining property of the async API.
 type gangChannel struct {
 	members []channel // one per rank, rank order
-	workers []int     // daemon worker ids, rank order
+
+	// mu guards workers: rank recovery swaps a dead rank's worker id for
+	// its replacement's while pipelined callers keep issuing.
+	mu      sync.Mutex
+	workers []int // daemon worker ids, rank order
 }
 
 func newGangChannel(members []channel, workers []int) *gangChannel {
@@ -51,14 +58,31 @@ func newGangChannel(members []channel, workers []int) *gangChannel {
 
 func (g *gangChannel) name() string { return ChannelIbis }
 
+// rankWorkers snapshots the current rank -> worker id mapping.
+func (g *gangChannel) rankWorkers() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.workers...)
+}
+
+// setWorkers installs a recovered gang's worker ids (rank order). The
+// member channels are daemon connections, not worker connections, so they
+// survive rank replacement unchanged — requests route by worker id.
+func (g *gangChannel) setWorkers(ids []int) {
+	g.mu.Lock()
+	g.workers = append(g.workers[:0], ids...)
+	g.mu.Unlock()
+}
+
 // start implements channel. Reads route to rank 0; everything else
 // broadcasts and completes once every rank has answered, with the merged
 // outcome: rank 0's result, the latest DoneAt/arrival, and the most
 // actionable failure (a dead rank beats a surviving rank's aborted-
 // collective fault, so the coupler sees ErrWorkerDied when a rank died).
 func (g *gangChannel) start(req request, done completion) {
+	workers := g.rankWorkers()
 	if !gangFanout(req.Method) {
-		req.Worker = g.workers[0]
+		req.Worker = workers[0]
 		g.members[0].start(req, done)
 		return
 	}
@@ -68,7 +92,7 @@ func (g *gangChannel) start(req request, done completion) {
 	remaining := n
 	for i := range g.members {
 		r := req
-		r.Worker = g.workers[i]
+		r.Worker = workers[i]
 		if i > 0 {
 			r.ID = reqIDs.Add(1)
 		}
@@ -155,8 +179,9 @@ func (g *gangChannel) close() error {
 // before the model's setup call.
 func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
 	k := len(g.members)
+	workers := g.rankWorkers()
 	peers := make([]string, k)
-	for rank, id := range g.workers {
+	for rank, id := range workers {
 		addr, ok := s.daemon.WorkerPeerAddr(id)
 		if !ok {
 			return fmt.Errorf("core: gang rank %d (worker %d) has no peer address", rank, id)
@@ -169,7 +194,7 @@ func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
 	for rank := range g.members {
 		args := encode(kernel.GangInitArgs{ID: gangID, Rank: rank, Size: k, Peers: peers})
 		req := request{
-			ID: reqIDs.Add(1), Worker: g.workers[rank],
+			ID: reqIDs.Add(1), Worker: workers[rank],
 			Method: kernel.MethodGangInit, Args: args, SentAt: s.clock.Now(),
 		}
 		wg.Add(1)
@@ -196,4 +221,85 @@ func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
 	case <-ctx.Done():
 		return fmt.Errorf("core: gang wiring: %w", ctx.Err())
 	}
+}
+
+// replaceGangRanks is gang rank recovery (dispatched from replace(), on
+// the proxy's single drainer goroutine): restart every dead rank's job on
+// the gang's resource, re-wire all ranks' peer links under a fresh gang
+// id, then rebuild bitwise-identical state everywhere by replaying setup
+// and restoring the last checkpoint on every rank — surviving ranks'
+// state is suspect after the aborted collective, and a restored rank must
+// match its neighbors exactly, so the whole gang resumes from the
+// snapshot. The queued calls that observed the death replay afterwards
+// (drainRetries), so the coupler sees a hiccup, not a failure.
+func (m *modelProxy) replaceGangRanks() error {
+	m.mu.Lock()
+	spec := m.spec
+	ids := append([]int(nil), m.gangWorkers...)
+	snap := m.lastSnap
+	snapSeq := m.snapSeq
+	state := m.lastState
+	stateSeq := m.stateSeq
+	setup := m.encodedSetupLocked()
+	ch := m.ch
+	m.mu.Unlock()
+	if snap == nil {
+		// isReplaceable vetoes this path without a snapshot, but a stale
+		// queue entry could still get here; fail with the old semantics.
+		return fmt.Errorf("core: gang rank died with no checkpoint to restore from: %w", ErrWorkerDied)
+	}
+	gch, ok := ch.(*gangChannel)
+	if !ok {
+		return fmt.Errorf("core: gang proxy without a gang channel: %w", ErrChannelClosed)
+	}
+	s := m.sim
+
+	// Restart dead ranks. The gang stays on its resource — co-location is
+	// a gang invariant (halo traffic rides intra-site links); if the whole
+	// site is gone the rank restart fails and the error is sticky.
+	replaced := 0
+	for r, id := range ids {
+		if s.daemon.WorkerAlive(id) {
+			continue
+		}
+		newID, err := s.daemon.startWorker(s.ctx, spec, r, len(ids))
+		if err != nil {
+			return fmt.Errorf("core: gang rank %d replacement: %w", r, err)
+		}
+		s.trace("gang rank %d (worker %d) died; replacement worker %d started", r, id, newID)
+		ids[r] = newID
+		replaced++
+	}
+	gch.setWorkers(ids)
+	m.mu.Lock()
+	m.gangWorkers = append(m.gangWorkers[:0], ids...)
+	m.worker = ids[0]
+	m.mu.Unlock()
+
+	// Re-wire the rank links: a fresh gang id keys the new hello
+	// handshakes, every rank (survivors included) rebuilds its
+	// communicator, and SetGang installs it over the closed one.
+	if err := gch.wireGang(s.ctx, s); err != nil {
+		return fmt.Errorf("core: gang re-wiring: %w", err)
+	}
+	// Rebuild state: setup then restore broadcast to all ranks, then —
+	// exactly like the solo replace() path — overlay the particle cache
+	// if a push landed after the checkpoint (the broadcast keeps all K
+	// replicas consistent).
+	if err := m.replay("setup", setup); err != nil {
+		return fmt.Errorf("core: gang setup replay: %w", err)
+	}
+	if err := m.replay(kernel.MethodRestore, snap); err != nil {
+		return fmt.Errorf("core: gang restore: %w", err)
+	}
+	if state != nil && stateSeq > snapSeq {
+		if err := m.replay("set_particles", encode(*state)); err != nil {
+			return fmt.Errorf("core: gang state overlay: %w", err)
+		}
+	}
+	if err := m.finishReplacement(); err != nil {
+		return err
+	}
+	s.trace("gang recovered: %d rank(s) replaced, %d ranks restored from checkpoint", replaced, len(ids))
+	return nil
 }

@@ -2,10 +2,12 @@
 // AMUSE reproduction. It defines the worker-side Service contract, a
 // process-wide registry mapping kernel kinds to service factories, the
 // wire protocol (request/response framing, typed payloads, the batched
-// columnar state codec, and the worker-to-worker transfer and gang-link
-// frames) shared by the coupler, the daemon proxy and every worker, and
-// the gang contract (GangInfo, Shardable) under which one kernel runs
-// domain-decomposed across K worker processes.
+// columnar state codec, and the worker-to-worker transfer, gang-link and
+// checkpoint-snapshot frames) shared by the coupler, the daemon proxy
+// and every worker, the gang contract (GangInfo, Shardable) under which
+// one kernel runs domain-decomposed across K worker processes, and the
+// checkpoint capability (Checkpointable, Snapshot) under which a worker
+// externalizes and restores its complete model state.
 //
 // The package is a leaf: it depends only on the data/deploy/vnet/vtime/
 // mpisim substrates, never on internal/core or the physics packages.

@@ -123,6 +123,13 @@ func MarshalState(s *StatePayload) ([]byte, error) {
 // UnmarshalState parses a frame produced by AppendState.
 func UnmarshalState(b []byte) (*StatePayload, error) {
 	r := reader{b: b}
+	return readState(&r)
+}
+
+// readState parses a state frame at the reader's offset, leaving the
+// offset just past it — embedding frames (snapshots) parse the state
+// and continue without re-deriving its encoded length.
+func readState(r *reader) (*StatePayload, error) {
 	if tag := r.u8("tag"); r.err == nil && tag != tagState {
 		return nil, fmt.Errorf("kernel: not a state frame (tag 0x%02x)", tag)
 	}

@@ -134,7 +134,11 @@ const (
 	tagTransferAck = 0x41 // 'A' — stream receipt acknowledgement
 	tagStaged      = 0x47 // 'G' — slot-tagged staged state application
 	tagGangHello   = 0x48 // 'H' — gang link handshake (gang.go)
+	tagSnapshot    = 0x4B // 'K' — worker checkpoint snapshot (checkpoint.go)
 )
+
+func floatBits(x float64) uint64     { return math.Float64bits(x) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
 
 // FrameTag returns the leading tag byte of a wire frame (0 for an empty
 // frame). Peer listeners use it to route an inbound connection's first

@@ -423,7 +423,8 @@ func (p *peerPlane) handleGangInit(req *request, arrival time.Duration, svc serv
 
 // isTransferMethod reports whether a request is a proxy-level transfer op.
 func isTransferMethod(method string) bool {
-	return method == kernel.MethodOfferState || method == kernel.MethodAcceptState
+	return method == kernel.MethodOfferState || method == kernel.MethodAcceptState ||
+		method == kernel.MethodOfferCheckpoint
 }
 
 // handleTransfer executes one offer_state/accept_state against the model
@@ -446,6 +447,12 @@ func (p *peerPlane) handleTransfer(req *request, arrival time.Duration, loop *vn
 			return fail(kernel.CodeWorkerFault, err)
 		}
 		return p.accept(req.ID, &a, arrival, loop)
+	case kernel.MethodOfferCheckpoint:
+		var a kernel.OfferCheckpointArgs
+		if err := decode(req.Args, &a); err != nil {
+			return fail(kernel.CodeWorkerFault, err)
+		}
+		return p.offerCheckpoint(req.ID, &a, arrival, loop)
 	default:
 		return fail(kernel.CodeTransport, fmt.Errorf("core: not a transfer op: %q", req.Method))
 	}
@@ -494,31 +501,65 @@ func (p *peerPlane) offer(reqID uint64, a *kernel.OfferStateArgs, arrival time.D
 	if got.Code != kernel.CodeOK {
 		return &response{ID: reqID, Code: got.Code, Err: got.Err, DoneAt: got.DoneAt}
 	}
-	addr, err := smartsockets.ParseAddress(a.Peer)
+	ackAt, code, err := p.streamToPeer(a.Peer, a.ID, got.Result, got.DoneAt)
 	if err != nil {
-		return fail(kernel.CodeWorkerFault, err)
+		return fail(code, fmt.Errorf("core: offer %d: %w", a.ID, err))
 	}
-	conn, err := p.ib.DialPeer(addr, got.DoneAt)
+	return &response{ID: reqID, DoneAt: ackAt}
+}
+
+// streamToPeer dials a peer listener and delivers one transfer-framed
+// payload, waiting for the receipt ack. It returns the ack's virtual
+// arrival time, or the failure's wire code.
+func (p *peerPlane) streamToPeer(peer string, id uint64, payload []byte, at time.Duration) (time.Duration, kernel.Code, error) {
+	addr, err := smartsockets.ParseAddress(peer)
 	if err != nil {
-		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: peer %s unreachable: %w", a.ID, a.Peer, err))
+		return 0, kernel.CodeWorkerFault, err
+	}
+	conn, err := p.ib.DialPeer(addr, at)
+	if err != nil {
+		return 0, kernel.CodeTransport, fmt.Errorf("peer %s unreachable: %w", peer, err)
 	}
 	defer conn.Close()
 	conn.SetClass("peer")
 	if testPeerStreamFault != nil && testPeerStreamFault() {
 		conn.Close() // injected fault: the stream dies under the transfer
 	}
-	frame := kernel.AppendTransfer(nil, a.ID, got.Result)
-	if err := conn.Send(frame, maxDuration(got.DoneAt, conn.EstablishedAt())); err != nil {
-		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: stream to %s: %w", a.ID, a.Peer, err))
+	frame := kernel.AppendTransfer(nil, id, payload)
+	if err := conn.Send(frame, maxDuration(at, conn.EstablishedAt())); err != nil {
+		return 0, kernel.CodeTransport, fmt.Errorf("stream to %s: %w", peer, err)
 	}
 	ack, err := conn.Recv()
 	if err != nil {
-		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: no ack from %s: %w", a.ID, a.Peer, err))
+		return 0, kernel.CodeTransport, fmt.Errorf("no ack from %s: %w", peer, err)
 	}
-	if id, err := kernel.UnmarshalTransferAck(ack.Data); err != nil || id != a.ID {
-		return fail(kernel.CodeTransport, fmt.Errorf("core: offer %d: bad ack (id %d, err %v)", a.ID, id, err))
+	if ackID, err := kernel.UnmarshalTransferAck(ack.Data); err != nil || ackID != id {
+		return 0, kernel.CodeTransport, fmt.Errorf("bad ack (id %d, err %v)", ackID, err)
 	}
-	return &response{ID: reqID, DoneAt: ack.Arrival}
+	return ack.Arrival, kernel.CodeOK, nil
+}
+
+// offerCheckpoint snapshots the model service (a loopback "checkpoint"
+// call, which by FIFO order runs after everything already queued) and
+// streams the frame to the checkpoint store's peer listener. Any failure
+// on the peer path is a transport fault — the coupler falls back to
+// pulling the snapshot over the RPC plane.
+func (p *peerPlane) offerCheckpoint(reqID uint64, a *kernel.OfferCheckpointArgs, arrival time.Duration, loop *vnet.Conn) *response {
+	fail := func(code kernel.Code, err error) *response {
+		return &response{ID: reqID, Code: code, Err: err.Error(), DoneAt: arrival}
+	}
+	got, err := loopCall(loop, reqID, kernel.MethodCheckpoint, nil, arrival)
+	if err != nil {
+		return fail(kernel.CodeTransport, fmt.Errorf("core: checkpoint %d: snapshot: %w", a.ID, err))
+	}
+	if got.Code != kernel.CodeOK {
+		return &response{ID: reqID, Code: got.Code, Err: got.Err, DoneAt: got.DoneAt}
+	}
+	ackAt, code, err := p.streamToPeer(a.Peer, a.ID, got.Result, got.DoneAt)
+	if err != nil {
+		return fail(code, fmt.Errorf("core: checkpoint %d: %w", a.ID, err))
+	}
+	return &response{ID: reqID, DoneAt: ackAt}
 }
 
 // accept waits for the announced stream and applies it to the service

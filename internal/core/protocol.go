@@ -16,6 +16,13 @@
 // (WorkerSpec.Workers) that domain-decompose one model instance behind a
 // single handle, exchanging halos over those same peer links.
 //
+// The session is checkpointable: Simulation.Checkpoint snapshots every
+// model at a FIFO-drained consistency point into a self-contained
+// Manifest (blobs stream worker-to-daemon over the peer plane), worker
+// replacement restores the newest snapshot — making gang ranks
+// recoverable — and ResumeSimulation rebuilds a whole session from a
+// saved manifest bit-compatibly.
+//
 // The wire protocol — request/response framing, typed payloads, the
 // batched columnar state codec, transfer and gang-link frames, and the
 // registry that maps worker kinds to their model services — lives in

@@ -1,0 +1,39 @@
+package deploy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint-manifest persistence. The coupler serializes a manifest
+// itself (internal/core); this package owns the durability contract: a
+// manifest file on disk is either the previous complete checkpoint or the
+// new complete checkpoint, never a torn write — a run killed mid-save
+// must still be resumable from its last good manifest.
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory followed by a rename, so readers never observe a partial
+// file.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("deploy: manifest temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("deploy: manifest write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("deploy: manifest close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("deploy: manifest rename: %w", err)
+	}
+	return nil
+}

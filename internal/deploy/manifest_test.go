@@ -1,0 +1,46 @@
+package deploy
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomic: the write replaces the previous content in one
+// step and leaves no temp files behind — a killed run's manifest is
+// always either the old or the new complete checkpoint.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := WriteFileAtomic(path, []byte("checkpoint-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("checkpoint-2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "checkpoint-2" {
+		t.Fatalf("content = %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+
+	// A missing parent directory fails cleanly.
+	if err := WriteFileAtomic(filepath.Join(dir, "nope", "x"), nil); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

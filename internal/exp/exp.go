@@ -7,7 +7,10 @@ package exp
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 	"time"
 
@@ -132,38 +135,83 @@ type RunResult struct {
 	// the worker-to-worker data plane, Hairpin the coupler path (local
 	// workers), Fallback a direct attempt that failed over.
 	Transfers core.TransferStats
+	// StateDigest is an FNV-1a hash of the star model's final positions
+	// and velocities (bit patterns, in particle order): two runs ended in
+	// the same state iff their digests match — the observable the
+	// checkpoint/resume bit-compatibility guarantee is checked against.
+	StateDigest uint64
 }
 
-// RunScenario executes the workload under a placement on the testbed and
-// measures virtual per-iteration time, mirroring §6.2's methodology ("we
-// ran a single iteration (time step) of the simulation"). ctx bounds the
-// whole run — worker startup, state uploads and every bridge iteration
-// (nil means no deadline).
-func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
+// scenarioBridge bundles one placement's running models and their bridge.
+type scenarioBridge struct {
+	sim    *core.Simulation
+	bridge *bridge.Bridge
+	grav   *core.Gravity // the star model, for end-of-run state digests
+}
+
+// stateDigest hashes the gravity model's phase-space state (FNV-1a over
+// the position and velocity bit patterns). A read failure is an error,
+// not a zero digest — callers must not mistake "could not read the final
+// state" for a comparable value.
+func (sb *scenarioBridge) stateDigest() (uint64, error) {
+	st, err := sb.grav.GetState(nil, data.AttrPos, data.AttrVel)
+	if err != nil {
+		return 0, fmt.Errorf("exp: end-of-run state digest: %w", err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	mix := func(x float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	for _, col := range [][]data.Vec3{st.Vec(data.AttrPos), st.Vec(data.AttrVel)} {
+		for _, v := range col {
+			mix(v[0])
+			mix(v[1])
+			mix(v[2])
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// bridgeConfig is the evaluation simulation's fixed coupling parameters.
+func bridgeConfig(w Workload, g *core.Gravity, h *core.Hydro, f *core.FieldModel, st *core.StellarModel) bridge.Config {
+	return bridge.Config{
+		Stars: g, Gas: h, Coupler: f, Stellar: st,
+		DT: w.DT, Eps: w.Eps, StellarEvery: 4,
+		SNEnergy: 0.1, SNRadius: 0.3,
+	}
+}
+
+// startScenario builds the four models under a placement and assembles
+// the bridge (fresh initial conditions, no restored state).
+func startScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement) (*scenarioBridge, error) {
 	stars, gas, err := w.Build()
 	if err != nil {
-		return RunResult{}, err
+		return nil, err
 	}
 	sim := core.NewSimulation(ctx, tb.Daemon, nil)
-	defer sim.Stop()
-
+	fail := func(err error) (*scenarioBridge, error) {
+		sim.Stop()
+		return nil, err
+	}
 	g, err := sim.NewGravity(ctx, p.Gravity, core.GravityOptions{Kernel: p.GravityKernel, Eps: 0.01})
 	if err != nil {
-		return RunResult{}, fmt.Errorf("gravity: %w", err)
+		return fail(fmt.Errorf("gravity: %w", err))
 	}
 	if err := g.SetParticles(stars); err != nil {
-		return RunResult{}, err
+		return fail(err)
 	}
 	h, err := sim.NewHydro(ctx, p.Hydro, core.HydroOptions{SelfGravity: true, EpsGrav: 0.01})
 	if err != nil {
-		return RunResult{}, fmt.Errorf("hydro: %w", err)
+		return fail(fmt.Errorf("hydro: %w", err))
 	}
 	if err := h.SetParticles(gas); err != nil {
-		return RunResult{}, err
+		return fail(err)
 	}
 	f, err := sim.NewField(ctx, p.Field, core.FieldOptions{Kernel: p.FieldKernel, Eps: w.Eps})
 	if err != nil {
-		return RunResult{}, fmt.Errorf("field: %w", err)
+		return fail(fmt.Errorf("field: %w", err))
 	}
 	// The workload's IMF masses are in N-body units; recover MSun values by
 	// anchoring the smallest sampled star at the IMF's 0.3 MSun lower bound
@@ -182,32 +230,45 @@ func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement,
 	}
 	st, err := sim.NewStellar(ctx, p.Stellar, masses, 2.0 /* Myr per unit */, 1/msunPerNBody)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("stellar: %w", err)
+		return fail(fmt.Errorf("stellar: %w", err))
 	}
+	br, err := bridge.New(bridgeConfig(w, g, h, f, st))
+	if err != nil {
+		return fail(err)
+	}
+	return &scenarioBridge{sim: sim, bridge: br, grav: g}, nil
+}
 
-	br, err := bridge.New(bridge.Config{
-		Stars: g, Gas: h, Coupler: f, Stellar: st,
-		DT: w.DT, Eps: w.Eps, StellarEvery: 4,
-		SNEnergy: 0.1, SNRadius: 0.3,
-	})
+// RunScenario executes the workload under a placement on the testbed and
+// measures virtual per-iteration time, mirroring §6.2's methodology ("we
+// ran a single iteration (time step) of the simulation"). ctx bounds the
+// whole run — worker startup, state uploads and every bridge iteration
+// (nil means no deadline).
+func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
+	sb, err := startScenario(ctx, tb, w, p)
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	setup := sim.Elapsed()
+	defer sb.sim.Stop()
+	setup := sb.sim.Elapsed()
 	for i := 0; i < iterations; i++ {
-		if err := br.Step(ctx); err != nil {
+		if err := sb.bridge.Step(ctx); err != nil {
 			return RunResult{}, fmt.Errorf("scenario %s iteration %d: %w", p.Name, i, err)
 		}
 	}
-	total := sim.Elapsed() - setup
+	total := sb.sim.Elapsed() - setup
+	digest, err := sb.stateDigest()
+	if err != nil {
+		return RunResult{}, err
+	}
 	return RunResult{
 		Scenario:     p.Name,
 		Iterations:   iterations,
 		PerIteration: total / time.Duration(iterations),
 		Setup:        setup,
-		Supernovae:   br.Supernovae(),
-		Transfers:    sim.TransferStats(),
+		Supernovae:   sb.bridge.Supernovae(),
+		Transfers:    sb.sim.TransferStats(),
+		StateDigest:  digest,
 	}, nil
 }
 

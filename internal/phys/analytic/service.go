@@ -68,9 +68,35 @@ func (s *service) Dispatch(method string, args []byte, at time.Duration) ([]byte
 		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{}), s.clock.Now(), nil
+	case kernel.MethodCheckpoint, kernel.MethodRestore:
+		out, err := kernel.ServeCheckpoint(s, method, args)
+		return out, s.clock.Now(), err
 	default:
 		return nil, s.clock.Now(), fmt.Errorf("%w: analytic.%s", kernel.ErrNoSuchMethod, method)
 	}
+}
+
+// Snapshot implements kernel.Checkpointable. A closed-form potential has
+// no evolving state, but checkpointing the parameters keeps a resumed
+// simulation honest even if the setup replay is ever skipped.
+func (s *service) Snapshot() (*kernel.Snapshot, error) {
+	return &kernel.Snapshot{
+		Kind: Kind, VTime: s.clock.Now(),
+		Extra: kernel.Encode(SetupArgs{M: s.pot.M, A: s.pot.A, Center: s.pot.Center}),
+	}, nil
+}
+
+// Restore implements kernel.Checkpointable.
+func (s *service) Restore(snap *kernel.Snapshot) error {
+	if err := snap.CheckKind(Kind); err != nil {
+		return err
+	}
+	var a SetupArgs
+	if err := kernel.Decode(snap.Extra, &a); err != nil {
+		return err
+	}
+	s.pot = Plummer{M: a.M, A: a.A, Center: a.Center}
+	return nil
 }
 
 // Caller is the coupler-side handle the Remote wrapper drives: one typed

@@ -189,6 +189,18 @@ func (b *Bridge) Steps() int { return b.steps }
 // Supernovae returns the cumulative supernova count seen by the bridge.
 func (b *Bridge) Supernovae() int { return b.supernovae }
 
+// RestoreClock rewinds (or forwards) the bridge's integration bookkeeping
+// to a checkpoint's values: model time, completed step count and the
+// cumulative supernova tally. The models themselves are restored
+// separately (core's checkpoint/restore subsystem); with both in place a
+// resumed coupled run continues bit-compatibly — the next Step picks up
+// the stellar cadence exactly where the killed run left it.
+func (b *Bridge) RestoreClock(t float64, steps, supernovae int) {
+	b.time = t
+	b.steps = steps
+	b.supernovae = supernovae
+}
+
 // CouplerFlops returns the accumulated coupling-field flop count.
 func (b *Bridge) CouplerFlops() float64 { return b.flops }
 

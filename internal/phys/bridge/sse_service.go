@@ -82,9 +82,54 @@ func (s *stellarService) Dispatch(method string, args []byte, at time.Duration) 
 			n = len(s.adapter.Pop.Stars)
 		}
 		return kernel.Encode(kernel.StatsResult{N: n}), s.clock.Now(), nil
+	case kernel.MethodCheckpoint, kernel.MethodRestore:
+		out, err := kernel.ServeCheckpoint(s, method, args)
+		return out, s.clock.Now(), err
 	default:
 		return nil, s.clock.Now(), fmt.Errorf("%w: stellar.%s", kernel.ErrNoSuchMethod, method)
 	}
+}
+
+// stellarExtra is the SSE worker's snapshot payload: per-star evolving
+// state has no natural columnar shape (types, supernova flags), so the
+// whole population rides the kind-private blob.
+type stellarExtra struct {
+	Stars      []stellar.Star
+	TimeMyr    float64
+	Supernovae int
+}
+
+// Snapshot implements kernel.Checkpointable.
+func (s *stellarService) Snapshot() (*kernel.Snapshot, error) {
+	if s.adapter == nil {
+		return nil, fmt.Errorf("bridge: stellar checkpoint before setup")
+	}
+	pop := s.adapter.Pop
+	return &kernel.Snapshot{
+		Kind: KindStellar, Model: pop.Time() / s.adapter.MyrPerTime,
+		VTime: s.clock.Now(),
+		Extra: kernel.Encode(stellarExtra{
+			Stars: pop.Stars, TimeMyr: pop.Time(), Supernovae: pop.Supernovae(),
+		}),
+	}, nil
+}
+
+// Restore implements kernel.Checkpointable. Setup must have run (it
+// builds the SSE parameterization and unit scales); the population's
+// evolving state is replaced wholesale.
+func (s *stellarService) Restore(snap *kernel.Snapshot) error {
+	if err := snap.CheckKind(KindStellar); err != nil {
+		return err
+	}
+	if s.adapter == nil {
+		return fmt.Errorf("bridge: stellar restore before setup")
+	}
+	var ex stellarExtra
+	if err := kernel.Decode(snap.Extra, &ex); err != nil {
+		return err
+	}
+	s.adapter.Pop.Restore(ex.Stars, ex.TimeMyr, ex.Supernovae)
+	return nil
 }
 
 // gatherState assembles observable columns. Masses come out in N-body

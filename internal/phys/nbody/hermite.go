@@ -76,6 +76,17 @@ func (s *System) GetParticles(p *data.Particles) error {
 	return nil
 }
 
+// RestoreClock rewinds (or forwards) the integrator's model clock and step
+// count to a checkpoint's values. The caller must have restored the
+// matching phase-space state first; forces are recomputed from it on the
+// next step, so a restored system continues bit-identically to the run
+// that took the snapshot.
+func (s *System) RestoreClock(t float64, steps int) {
+	s.time = t
+	s.steps = steps
+	s.fresh = false
+}
+
 // N returns the particle count.
 func (s *System) N() int { return len(s.mass) }
 

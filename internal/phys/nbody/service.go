@@ -183,9 +183,57 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{N: s.sys.N(), Time: s.sys.Time(), Steps: s.sys.Steps()}), s.clock.Now(), nil
+	case kernel.MethodCheckpoint, kernel.MethodRestore:
+		out, err := kernel.ServeCheckpoint(s, method, args)
+		return out, s.clock.Now(), err
 	default:
 		return nil, s.clock.Now(), fmt.Errorf("%w: gravity.%s", kernel.ErrNoSuchMethod, method)
 	}
+}
+
+// Snapshot implements kernel.Checkpointable: the full phase-space state
+// (mass, position, velocity, keys) plus the integrator clock. Every gang
+// rank holds bitwise-identical replicated state, so one rank's snapshot
+// restores any rank.
+func (s *gravityService) Snapshot() (*kernel.Snapshot, error) {
+	if s.sys == nil {
+		return nil, fmt.Errorf("nbody: checkpoint before setup")
+	}
+	st := kernel.NewState(s.sys.N())
+	st.Key = s.sys.Keys()
+	st.AddFloat(data.AttrMass, s.sys.Masses())
+	st.AddVec(data.AttrPos, s.sys.Positions())
+	st.AddVec(data.AttrVel, s.sys.Velocities())
+	return &kernel.Snapshot{
+		Kind: KindGravity, Model: s.sys.Time(), Steps: s.sys.Steps(),
+		VTime: s.clock.Now(), State: st,
+	}, nil
+}
+
+// Restore implements kernel.Checkpointable. Setup must have run (the
+// snapshot carries dynamic state, not kernel configuration); the particle
+// membership is replaced wholesale.
+func (s *gravityService) Restore(snap *kernel.Snapshot) error {
+	if err := snap.CheckKind(KindGravity); err != nil {
+		return err
+	}
+	if s.sys == nil {
+		return fmt.Errorf("nbody: restore before setup")
+	}
+	st := snap.State
+	if st == nil || st.Float(data.AttrMass) == nil || st.Vec(data.AttrPos) == nil || st.Vec(data.AttrVel) == nil {
+		return fmt.Errorf("nbody: restore: snapshot missing mass/position/velocity columns")
+	}
+	p := data.NewParticles(st.N)
+	if len(st.Key) == st.N {
+		copy(p.Key, st.Key)
+	}
+	if err := kernel.ScatterState(p, st); err != nil {
+		return err
+	}
+	s.sys.SetParticles(p)
+	s.sys.RestoreClock(snap.Model, snap.Steps)
+	return nil
 }
 
 func (s *gravityService) applyState(st *kernel.StatePayload) error {

@@ -111,6 +111,16 @@ func (g *Gas) Time() float64 { return g.time }
 // Steps returns the number of steps taken.
 func (g *Gas) Steps() int { return g.steps }
 
+// RestoreClock rewinds (or forwards) the model clock and step count to a
+// checkpoint's values. The caller must have restored mass/pos/vel/u/h
+// first; density, pressure and sound speed are recomputed at the start of
+// the next step, so a restored system continues bit-identically to the
+// run that took the snapshot.
+func (g *Gas) RestoreClock(t float64, steps int) {
+	g.time = t
+	g.steps = steps
+}
+
 // Flops returns accumulated accounted flops (per-rank work is accounted on
 // each rank's clock when run under a world; this counter is the total).
 func (g *Gas) Flops() float64 { return g.flops }

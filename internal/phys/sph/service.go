@@ -199,9 +199,52 @@ func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([
 		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Thermal: th, Potential: p}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{N: s.gas.N(), Time: s.gas.Time(), Steps: s.gas.Steps()}), s.clock.Now(), nil
+	case kernel.MethodCheckpoint, kernel.MethodRestore:
+		out, err := kernel.ServeCheckpoint(s, method, args)
+		return out, s.clock.Now(), err
 	default:
 		return nil, s.clock.Now(), fmt.Errorf("%w: hydro.%s", kernel.ErrNoSuchMethod, method)
 	}
+}
+
+// Snapshot implements kernel.Checkpointable: the full SPH phase-space
+// state (mass, position, velocity, internal energy, smoothing length)
+// plus the integrator clock. Density, pressure and sound speed are
+// derived each step and are not checkpointed.
+func (s *hydroService) Snapshot() (*kernel.Snapshot, error) {
+	if s.gas.N() == 0 {
+		return &kernel.Snapshot{Kind: KindHydro, VTime: s.clock.Now()}, nil
+	}
+	st := kernel.NewState(s.gas.N())
+	st.AddFloat(data.AttrMass, s.gas.Masses())
+	st.AddVec(data.AttrPos, s.gas.Positions())
+	st.AddVec(data.AttrVel, s.gas.Velocities())
+	st.AddFloat(data.AttrInternalEnergy, s.gas.InternalEnergies())
+	st.AddFloat(data.AttrSmoothingLen, s.gas.SmoothingLens())
+	return &kernel.Snapshot{
+		Kind: KindHydro, Model: s.gas.Time(), Steps: s.gas.Steps(),
+		VTime: s.clock.Now(), State: st,
+	}, nil
+}
+
+// Restore implements kernel.Checkpointable.
+func (s *hydroService) Restore(snap *kernel.Snapshot) error {
+	if err := snap.CheckKind(KindHydro); err != nil {
+		return err
+	}
+	if snap.State == nil {
+		return nil // empty system checkpointed before particles were set
+	}
+	st := snap.State
+	p := data.NewParticles(st.N)
+	if err := kernel.ScatterState(p, st); err != nil {
+		return err
+	}
+	if err := s.gas.SetParticles(p); err != nil {
+		return err
+	}
+	s.gas.RestoreClock(snap.Model, snap.Steps)
+	return nil
 }
 
 func (s *hydroService) applyState(st *kernel.StatePayload) error {

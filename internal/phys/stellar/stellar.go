@@ -248,6 +248,16 @@ func (p *Population) Time() float64 { return p.time }
 // Supernovae returns the cumulative explosion count.
 func (p *Population) Supernovae() int { return p.supernovae }
 
+// Restore replaces the population's evolving state with a checkpoint's:
+// the per-star states (which are plain exported data), the population age
+// and the cumulative supernova count. The SSE parameterization itself is
+// configuration, not state, and is kept.
+func (p *Population) Restore(stars []Star, timeMyr float64, supernovae int) {
+	p.Stars = append(p.Stars[:0], stars...)
+	p.time = timeMyr
+	p.supernovae = supernovae
+}
+
 // Flops returns the accounted flop count.
 func (p *Population) Flops() float64 { return p.flops }
 

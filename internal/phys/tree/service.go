@@ -153,7 +153,71 @@ func (s *fieldService) Dispatch(method string, args []byte, at time.Duration) ([
 		return kernel.Encode(kernel.FieldAtResult{Acc: acc, Pot: pot}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{}), s.clock.Now(), nil
+	case kernel.MethodCheckpoint, kernel.MethodRestore:
+		out, err := kernel.ServeCheckpoint(s, method, args)
+		return out, s.clock.Now(), err
 	default:
 		return nil, s.clock.Now(), fmt.Errorf("%w: coupling.%s", kernel.ErrNoSuchMethod, method)
 	}
+}
+
+// fieldExtra is the coupling worker's non-columnar snapshot state: the
+// field kernel holds no particles of its own, but staged direct-plane
+// inputs may be parked between a stage_* application and its evaluation.
+type fieldExtra struct {
+	Slots []fieldSlot
+}
+
+// fieldSlot is one staged slot's columns (any of the three may be nil).
+type fieldSlot struct {
+	Slot uint64
+	Mass []float64
+	Pos  []data.Vec3
+	Tgt  []data.Vec3
+}
+
+// Snapshot implements kernel.Checkpointable. The coupling kernel is a
+// pure function of its inputs, so the snapshot is just the clock plus any
+// staged slots.
+func (s *fieldService) Snapshot() (*kernel.Snapshot, error) {
+	var ex fieldExtra
+	for slot, src := range s.srcStage {
+		fs := fieldSlot{Slot: slot, Mass: src.mass, Pos: src.pos, Tgt: s.tgtStage[slot]}
+		ex.Slots = append(ex.Slots, fs)
+	}
+	for slot, tgt := range s.tgtStage {
+		if _, dup := s.srcStage[slot]; !dup {
+			ex.Slots = append(ex.Slots, fieldSlot{Slot: slot, Tgt: tgt})
+		}
+	}
+	snap := &kernel.Snapshot{Kind: KindField, VTime: s.clock.Now()}
+	if len(ex.Slots) > 0 {
+		snap.Extra = kernel.Encode(ex)
+	}
+	return snap, nil
+}
+
+// Restore implements kernel.Checkpointable.
+func (s *fieldService) Restore(snap *kernel.Snapshot) error {
+	if err := snap.CheckKind(KindField); err != nil {
+		return err
+	}
+	s.srcStage = make(map[uint64]stagedSources)
+	s.tgtStage = make(map[uint64][]data.Vec3)
+	if len(snap.Extra) == 0 {
+		return nil
+	}
+	var ex fieldExtra
+	if err := kernel.Decode(snap.Extra, &ex); err != nil {
+		return err
+	}
+	for _, fs := range ex.Slots {
+		if fs.Mass != nil || fs.Pos != nil {
+			s.srcStage[fs.Slot] = stagedSources{mass: fs.Mass, pos: fs.Pos}
+		}
+		if fs.Tgt != nil {
+			s.tgtStage[fs.Slot] = fs.Tgt
+		}
+	}
+	return nil
 }

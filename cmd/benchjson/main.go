@@ -1,0 +1,89 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// perf trajectory. It tees its stdin to stdout unchanged (so `make bench`
+// still reads like a bench run) and writes every parsed benchmark line to a
+// JSON file: benchmark name → {metric unit → value}, covering the custom
+// virtual-time metrics (virtual-us/step, virtual-us/transfer, ...) next to
+// the standard ns/op and -benchmem columns.
+//
+//	go test -bench . | benchjson -o BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line: name, iteration count, then
+// value/unit pairs ("14601428 ns/op	562633 virtual-us/transfer"). Names are
+// kept verbatim, GOMAXPROCS suffix included — sub-benchmark names like
+// "gang-4" are indistinguishable from it, and benchstat keeps it too.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	m := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+func main() {
+	out := flag.String("o", "BENCH_6.json", "output JSON file")
+	flag.Parse()
+
+	results := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		metrics := parseMetrics(m[3])
+		if metrics == nil {
+			continue
+		}
+		name := m[1]
+		if prev, ok := results[name]; ok {
+			for k, v := range metrics {
+				prev[k] = v
+			}
+		} else {
+			results[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"jungle/internal/amuse/ic"
+	"jungle/internal/core/kernel"
+	"jungle/internal/smartsockets"
+)
+
+// probeFactory attaches a fresh SmartSockets factory to a testbed host,
+// registered through the hub the deployment already runs on that host.
+func probeFactory(t *testing.T, tb *Testbed, host string, base int) *smartsockets.Factory {
+	t.Helper()
+	f, err := smartsockets.NewFactory(tb.Net, host, base, host)
+	if err != nil {
+		t.Fatalf("factory on %s: %v", host, err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// probeResponder starts a goodput responder on the factory, dispatching
+// inbound connections on their first frame the way the peer plane does.
+func probeResponder(t *testing.T, f *smartsockets.Factory, port int) smartsockets.Address {
+	t.Helper()
+	l, err := f.Listen(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				msg, err := conn.Recv()
+				if err != nil || !smartsockets.IsProbeFrame(msg.Data) {
+					conn.Close()
+					return
+				}
+				f.ServeProbeConn(conn, msg.Data, msg.Arrival)
+			}()
+		}
+	}()
+	return l.Addr()
+}
+
+// assertGoodputEdges probes every listed directed edge and requires the
+// measurement within 10% of the configured link bandwidth, and the sample
+// recorded in the testbed's link-health view.
+func assertGoodputEdges(t *testing.T, tb *Testbed, edges []struct {
+	from, to string
+	want     float64
+}, base int) {
+	t.Helper()
+	factories := map[string]*smartsockets.Factory{}
+	responders := map[string]smartsockets.Address{}
+	next := base
+	for _, e := range edges {
+		for _, host := range []string{e.from, e.to} {
+			if factories[host] == nil {
+				f := probeFactory(t, tb, host, next)
+				factories[host] = f
+				responders[host] = probeResponder(t, f, next+50)
+				next += 100
+			}
+		}
+	}
+	at := time.Second
+	for _, e := range edges {
+		bw, doneAt, err := factories[e.from].Goodput(responders[e.to], at)
+		if err != nil {
+			t.Fatalf("goodput %s -> %s: %v", e.from, e.to, err)
+		}
+		if bw < e.want*0.9 || bw > e.want*1.1 {
+			t.Errorf("goodput %s -> %s = %.3g B/s, want within 10%% of %.3g", e.from, e.to, bw, e.want)
+		}
+		if sample, ok := tb.Recorder.Goodput(e.from, e.to); !ok || sample.BytesPerSec != bw {
+			t.Errorf("link-health sample for %s -> %s = (%+v, %v), want recorded %.3g", e.from, e.to, sample, ok, bw)
+		}
+		at = doneAt + time.Second
+	}
+	if !strings.Contains(tb.Recorder.RenderGoodput(), "GOODPUT") {
+		t.Error("RenderGoodput output missing header")
+	}
+}
+
+// TestGoodputProbeAccuracyDSL: on the DSL testbed the probe must recover
+// the configured bandwidth of both the slow home uplinks and the fast
+// inter-site lightpath, in both directions (every host is Open, so these
+// ride direct virtual connections).
+func TestGoodputProbeAccuracyDSL(t *testing.T) {
+	tb, _ := dslSim(t)
+	assertGoodputEdges(t, tb, []struct {
+		from, to string
+		want     float64
+	}{
+		{"home", "site-a", 1.25e6},
+		{"site-a", "home", 1.25e6},
+		{"home", "site-b", 1.25e6},
+		{"site-b", "home", 1.25e6},
+		{"site-a", "site-b", tenG},
+		{"site-b", "site-a", tenG},
+	}, 40000)
+	// Probe traffic rides ordinary virtual connections under its own class
+	// (direct connections here, so the class survives end to end).
+	if tb.Recorder.TotalByClass()["probe"] == 0 {
+		t.Error("probe traffic not recorded under class \"probe\"")
+	}
+}
+
+// TestGoodputProbeAccuracySC11 covers the asymmetric edge types of the
+// SC11 topology: the NAT'd laptop (outbound-only, so probing it crosses a
+// reverse/routed setup), SSH-only cluster frontends, and the SSH-only LGM
+// host. Every measurement must still land within 10% of the configured
+// link, in both directions.
+func TestGoodputProbeAccuracySC11(t *testing.T) {
+	tb, err := NewSC11Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	assertGoodputEdges(t, tb, []struct {
+		from, to string
+		want     float64
+	}{
+		{"laptop", "das4-vu.fe", gbE},
+		{"das4-vu.fe", "laptop", gbE}, // one-way: the laptop accepts nothing inbound
+		{"das4-vu.fe", "das4-uva.fe", tenG},
+		{"das4-uva.fe", "das4-vu.fe", tenG},
+		{"das4-vu.fe", "lgm", gbE},
+		{"lgm", "das4-vu.fe", gbE},
+	}, 40000)
+}
+
+// TestStripedTransferFasterThanSingle: with a per-stream cap on the
+// inter-site lightpath (the long-fat-network regime striping exists for),
+// a striped transfer must model at least a 2x virtual-time win over the
+// single stream, and be counted as Striped.
+func TestStripedTransferFasterThanSingle(t *testing.T) {
+	tb, sim := dslSim(t)
+	if err := tb.Net.SetLinkStreamCap("site-a", "site-b", 1.25e7); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	src, dst := transferPair(t, sim, ic.Plummer(n, 41))
+
+	start := sim.Elapsed()
+	if err := sim.TransferState(context.Background(), src, dst); err != nil {
+		t.Fatal(err)
+	}
+	single := sim.Elapsed() - start
+
+	sim.TransferStripes = 8
+	start = sim.Elapsed()
+	if err := sim.TransferState(context.Background(), src, dst); err != nil {
+		t.Fatal(err)
+	}
+	striped := sim.Elapsed() - start
+
+	if float64(single) < 2*float64(striped) {
+		t.Fatalf("striped transfer %v vs single %v: want >= 2x win", striped, single)
+	}
+	t.Logf("modelled per-transfer time: striped %v, single %v (%.1fx)",
+		striped, single, float64(single)/float64(striped))
+	st := sim.TransferStats()
+	if st.Direct != 1 || st.Striped != 1 || st.StripeFallback != 0 || st.Fallback != 0 {
+		t.Fatalf("transfer stats %+v, want one single-stream direct and one striped", st)
+	}
+	assertStateMatches(t, src, dst, n)
+}
+
+// TestStripedTransferStripeKillFallsBack kills one stripe connection
+// mid-transfer: the striped attempt must abort cleanly, the single-stream
+// retry must complete the transfer, and the coupler must observe a
+// structured transport-class error through OnTransferFallback while
+// counting the transfer as a stripe fallback (not a hairpin fallback).
+func TestStripedTransferStripeKillFallsBack(t *testing.T) {
+	testStripeFault = func(i int) bool { return i == 1 }
+	t.Cleanup(func() { testStripeFault = nil })
+
+	_, sim := dslSim(t)
+	sim.TransferStripes = 4
+	var classified []error
+	sim.OnTransferFallback = func(err error) { classified = append(classified, err) }
+
+	const n = 6000
+	src, dst := transferPair(t, sim, ic.Plummer(n, 43))
+	done := make(chan error, 1)
+	go func() { done <- sim.TransferState(context.Background(), src, dst) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("transfer did not complete over the single-stream fallback: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer hung after stripe kill")
+	}
+
+	st := sim.TransferStats()
+	if st.Direct != 1 || st.Striped != 0 || st.StripeFallback != 1 || st.Fallback != 0 {
+		t.Fatalf("transfer stats %+v, want one direct with stripe fallback", st)
+	}
+	if len(classified) != 1 {
+		t.Fatalf("fallback hook fired %d times, want 1", len(classified))
+	}
+	if !errors.Is(classified[0], ErrTransport) {
+		t.Fatalf("stripe-failure error %v not classified as ErrTransport", classified[0])
+	}
+	if !strings.Contains(classified[0].Error(), "striped") {
+		t.Fatalf("stripe-failure error %q does not name the striped path", classified[0])
+	}
+	assertStateMatches(t, src, dst, n)
+}
+
+// TestStripedTransferCorruptionFallsBack corrupts one stripe's bytes after
+// the manifest digests were computed: the receiver must reject the
+// reassembled payload on the per-stripe digest (never acking it), and the
+// sender must complete over the single stream.
+func TestStripedTransferCorruptionFallsBack(t *testing.T) {
+	testStripeCorrupt = func(i int, b []byte) []byte {
+		if i != 2 {
+			return b
+		}
+		c := append([]byte(nil), b...)
+		c[len(c)/2] ^= 0xFF
+		return c
+	}
+	t.Cleanup(func() { testStripeCorrupt = nil })
+
+	_, sim := dslSim(t)
+	sim.TransferStripes = 4
+	var classified []error
+	sim.OnTransferFallback = func(err error) { classified = append(classified, err) }
+
+	const n = 6000
+	src, dst := transferPair(t, sim, ic.Plummer(n, 47))
+	done := make(chan error, 1)
+	go func() { done <- sim.TransferState(context.Background(), src, dst) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("transfer did not complete after stripe corruption: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer hung after stripe corruption")
+	}
+
+	st := sim.TransferStats()
+	if st.Direct != 1 || st.Striped != 0 || st.StripeFallback != 1 || st.Fallback != 0 {
+		t.Fatalf("transfer stats %+v, want one direct with stripe fallback", st)
+	}
+	if len(classified) != 1 || !errors.Is(classified[0], ErrTransport) {
+		t.Fatalf("fallback hook = %v, want one ErrTransport-classified error", classified)
+	}
+	assertStateMatches(t, src, dst, n)
+}
+
+// TestTransferCompressionShrinksWire: with the delta-flate codec on, the
+// peer plane must carry measurably fewer bulk bytes for the same transfer,
+// and the applied state must stay bitwise identical.
+func TestTransferCompressionShrinksWire(t *testing.T) {
+	tb, sim := dslSim(t)
+	const n = 4000
+	src, dst := transferPair(t, sim, ic.Plummer(n, 51))
+
+	before := tb.Recorder.TotalByClass()["peer"]
+	if err := sim.TransferState(context.Background(), src, dst); err != nil {
+		t.Fatal(err)
+	}
+	rawWire := tb.Recorder.TotalByClass()["peer"] - before
+
+	sim.TransferCodec = kernel.CodecDeltaFlate
+	before = tb.Recorder.TotalByClass()["peer"]
+	if err := sim.TransferState(context.Background(), src, dst); err != nil {
+		t.Fatal(err)
+	}
+	zWire := tb.Recorder.TotalByClass()["peer"] - before
+
+	// Fresh Plummer doubles are mantissa-noise; the structural codec still
+	// has to win measurably (the big ratios belong to the ref-delta
+	// checkpoint path, where a base frame exists).
+	if zWire*10 > rawWire*9 {
+		t.Fatalf("compressed transfer moved %d peer bytes vs %d raw: want >= 10%% shrink", zWire, rawWire)
+	}
+	t.Logf("peer-class wire bytes: raw %d, delta-flate %d (%.1fx)", rawWire, zWire, float64(rawWire)/float64(zWire))
+	assertStateMatches(t, src, dst, n)
+}
+
+// TestCheckpointRefDeltaShrinksWire is the acceptance bar for the
+// checkpoint codec: on the SC11 testbed, a slowly-evolving model's second
+// checkpoint must cross the wire at least 3x smaller than its raw snapshot
+// by ref-delta-encoding against the blob the store already holds.
+func TestCheckpointRefDeltaShrinksWire(t *testing.T) {
+	tb, err := NewSC11Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	sim := NewSimulation(context.Background(), tb.Daemon, nil)
+	t.Cleanup(func() { sim.Stop() })
+	sim.CheckpointCodec = kernel.CodecRefDelta
+
+	g, err := sim.NewGravity(context.Background(),
+		WorkerSpec{Resource: "lgm", Channel: ChannelIbis},
+		GravityOptions{Kernel: "phigrape-gpu", Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetParticles(ic.Plummer(256, 29)); err != nil {
+		t.Fatal(err)
+	}
+	evolveLegs(t, g, 1.0/64)
+
+	man1, err := sim.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire1, ok := tb.Daemon.CheckpointWireBytes(man1.Models[0].Blob)
+	if !ok {
+		t.Fatal("first checkpoint has no recorded wire size")
+	}
+
+	// A slow evolution between periodic checkpoints: a tiny extra leg, so
+	// every phase-space word keeps its high mantissa bits.
+	evolveLegs(t, g, 1.0/64+1e-11)
+	man2, err := sim.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, ok := tb.Daemon.CheckpointWireBytes(man2.Models[0].Blob)
+	if !ok {
+		t.Fatal("second checkpoint has no recorded wire size")
+	}
+	raw := len(man2.Models[0].Snapshot)
+
+	if st := sim.TransferStats(); st.Fallback != 0 || st.Hairpin != 0 {
+		t.Fatalf("transfer stats %+v: ref-delta checkpoints must stay on the direct path", st)
+	}
+	if wire2*3 > raw {
+		t.Fatalf("second checkpoint crossed the wire in %d bytes (raw %d, first %d): want >= 3x shrink",
+			wire2, raw, wire1)
+	}
+	t.Logf("checkpoint wire bytes: raw snapshot %d, first (delta-flate) %d, second (ref-delta) %d (%.1fx)",
+		raw, wire1, wire2, float64(raw)/float64(wire2))
+
+	// The store must hold the decoded raw blob, not the wire form: a
+	// resume from the manifest must restore bitwise-correct state.
+	if blob, ok := tb.Daemon.CheckpointBlob(man2.Models[0].Blob); !ok || len(blob) != raw {
+		t.Fatalf("store blob %d bytes, want raw %d", len(blob), raw)
+	}
+}

@@ -83,15 +83,26 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 		blob   []byte
 		err    error
 	}
+	stripes, codec := s.checkpointTuning()
 	pends := make([]*pending, 0, len(models))
 	for _, m := range models {
 		p := &pending{m: m, id: transferIDs.Add(1)}
 		if _, ok := m.peerAddr(); ok && storeOK {
 			// Peer path: the proxy snapshots and streams straight to the
-			// daemon's store; the blob never rides the RPC plane.
+			// daemon's store; the blob never rides the RPC plane. Base names
+			// the previous checkpoint's blob for the ref-delta codec.
+			m.mu.Lock()
+			base := m.lastBlobRef
+			m.mu.Unlock()
 			p.direct = true
-			p.c = m.goNoReplace(kernel.MethodOfferCheckpoint,
-				kernel.OfferCheckpointArgs{ID: p.id, Peer: daddr.String()})
+			// Legacy args shape when the knobs are off, so default-path
+			// checkpoints stay wire-identical (gob transmits field names).
+			var args any = kernel.OfferCheckpointArgs{ID: p.id, Peer: daddr.String()}
+			if stripes > 1 || codec != kernel.CodecRaw {
+				args = kernel.OfferCheckpointTuned{ID: p.id, Peer: daddr.String(),
+					Stripes: stripes, Codec: codec, Base: base}
+			}
+			p.c = m.goNoReplace(kernel.MethodOfferCheckpoint, args)
 		} else {
 			s.countTransfer(func(t *TransferStats) { t.Hairpin++ })
 			p.c = m.goCheckpointPull(&p.blob)
@@ -112,7 +123,7 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 				if !ok {
 					err = fmt.Errorf("%w: checkpoint %d acked but blob missing from store", ErrTransport, p.id)
 				} else {
-					s.countTransfer(func(t *TransferStats) { t.Direct++ })
+					s.recordTransferReport(p.c, p.id)
 					p.blob = blob
 				}
 			}

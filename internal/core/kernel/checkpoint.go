@@ -107,12 +107,37 @@ func (s *Snapshot) CheckKind(kind string) error {
 
 // OfferCheckpointArgs asks a worker's proxy to snapshot its service and
 // stream the frame to a peer listener (the daemon's checkpoint store).
+// Like OfferStateArgs it must keep its legacy shape — gob transmits field
+// names — so default-path checkpoints stay wire-identical; tuned offers
+// send OfferCheckpointTuned instead.
 type OfferCheckpointArgs struct {
 	// ID names the stream; the store files the blob under it.
 	ID uint64
 	// Peer is the destination listener's address ("host:port" in the
 	// SmartSockets address space).
 	Peer string
+}
+
+// OfferCheckpointTuned is OfferCheckpointArgs plus the bandwidth-aware
+// data-plane knobs; sent in place of OfferCheckpointArgs when any knob is
+// non-zero. The proxy decodes both shapes into this superset.
+type OfferCheckpointTuned struct {
+	// ID names the stream; the store files the blob under it.
+	ID uint64
+	// Peer is the destination listener's address ("host:port" in the
+	// SmartSockets address space).
+	Peer string
+	// Stripes is the maximum number of parallel peer streams the sender may
+	// split the encoded blob across (0 or 1 disables striping).
+	Stripes int
+	// Codec selects wire compression for the snapshot blob (CodecRaw,
+	// CodecDeltaFlate, or CodecRefDelta when Base names a blob the store
+	// still holds).
+	Codec byte
+	// Base is the blob reference of the previous checkpoint of this model
+	// (0 = none); with CodecRefDelta the worker sends only the XOR residue
+	// against the snapshot bytes it previously streamed under Base.
+	Base uint64
 }
 
 // Snapshot wire framing. The frame embeds an unmodified StatePayload

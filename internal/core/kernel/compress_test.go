@@ -1,0 +1,251 @@
+package kernel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"jungle/internal/amuse/data"
+)
+
+func testState(n int) *StatePayload {
+	key := make([]uint64, n)
+	mass := make([]float64, n)
+	pos := make([]data.Vec3, n)
+	vel := make([]data.Vec3, n)
+	for i := 0; i < n; i++ {
+		key[i] = uint64(i + 1)
+		mass[i] = 1.0 / float64(n)
+		pos[i] = data.Vec3{float64(i) * 0.25, -float64(i) * 0.5, 1}
+		vel[i] = data.Vec3{0.125, float64(i%7) * 0.0625, -2}
+	}
+	s := NewState(n)
+	s.Key = key
+	return s.AddFloat("mass", mass).AddVec("position", pos).AddVec("velocity", vel)
+}
+
+func TestCompressStateRoundTrip(t *testing.T) {
+	raw, err := MarshalState(testState(513))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := CompressState(raw)
+	if !IsCompressedState(z) {
+		t.Fatalf("structured state should compress (raw %d bytes)", len(raw))
+	}
+	if len(z) >= len(raw) {
+		t.Fatalf("compressed %d >= raw %d", len(z), len(raw))
+	}
+	back, err := MaybeDecompressState(z, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, raw) {
+		t.Fatal("delta+flate round trip is not bitwise identical")
+	}
+}
+
+func TestCompressSnapshotRoundTrip(t *testing.T) {
+	raw, err := MarshalSnapshot(&Snapshot{
+		Kind: "gravity", Model: 0.25, Steps: 17, VTime: 12345,
+		State: testState(129), Extra: []byte("integrator=leapfrog"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := CompressState(raw)
+	if !IsCompressedState(z) {
+		t.Fatal("snapshot frame should compress")
+	}
+	back, err := MaybeDecompressState(z, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, raw) {
+		t.Fatal("snapshot round trip is not bitwise identical")
+	}
+}
+
+func TestCompressStateRefDelta(t *testing.T) {
+	s := testState(513)
+	base, err := MarshalState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow evolution: nudge one column slightly.
+	pos := s.Vec("position")
+	for i := range pos {
+		pos[i][0] = math.Nextafter(pos[i][0], 1e30)
+	}
+	cur, err := MarshalState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := CompressStateRef(cur, base, 42)
+	if !IsCompressedState(z) {
+		t.Fatal("near-identical frame should ref-delta compress")
+	}
+	if ref, ok := CompressedBaseRef(z); !ok || ref != 42 {
+		t.Fatalf("CompressedBaseRef = (%d, %v), want (42, true)", ref, ok)
+	}
+	if len(z)*3 > len(cur) {
+		t.Fatalf("ref-delta blob %d bytes, want <= 1/3 of raw %d", len(z), len(cur))
+	}
+	lookup := func(ref uint64) ([]byte, bool) { return base, ref == 42 }
+	back, err := MaybeDecompressState(z, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, cur) {
+		t.Fatal("ref-delta round trip is not bitwise identical")
+	}
+
+	// Wrong base content must be detected via the digest guard.
+	bad := append([]byte(nil), base...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := MaybeDecompressState(z, func(uint64) ([]byte, bool) { return bad, true }); err == nil {
+		t.Fatal("corrupted base must fail the digest guard")
+	}
+	// Missing base must error, not mis-decode.
+	if _, err := MaybeDecompressState(z, func(uint64) ([]byte, bool) { return nil, false }); err == nil {
+		t.Fatal("unknown base ref must fail")
+	}
+}
+
+// TestCompressNegotiationFallback: a peer that never compresses sends raw
+// frames; a receiver that always calls MaybeDecompressState must pass them
+// through untouched (and aliasing, not copying). Conversely incompressible
+// payloads come back raw from CompressState, so a codec-less receiver can
+// still parse them.
+func TestCompressNegotiationFallback(t *testing.T) {
+	raw, err := MarshalState(testState(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MaybeDecompressState(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &raw[0] || len(got) != len(raw) {
+		t.Fatal("raw frames must pass through MaybeDecompressState unchanged")
+	}
+
+	// Incompressible bytes: CompressState must return the raw frame so a
+	// receiver without the codec can still decode it.
+	s := NewState(257)
+	noise := make([]float64, 257)
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := range noise {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		noise[i] = math.Float64frombits(x)
+	}
+	s.AddFloat("noise", noise)
+	rawNoise, err := MarshalState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := CompressState(rawNoise); IsCompressedState(z) && len(z) >= len(rawNoise) {
+		t.Fatal("compression that does not pay must fall back to the raw frame")
+	}
+	if _, err := UnmarshalState(CompressState(rawNoise)); IsCompressedState(CompressState(rawNoise)) {
+		_ = err // compressed — fine, it paid after all
+	} else if err != nil {
+		t.Fatalf("raw fallback frame must stay parseable: %v", err)
+	}
+}
+
+// FuzzDecompressTruncation feeds truncated and mutated compressed frames to
+// the decoder: it must error or return bytes, never panic, and a truncated
+// frame must never decode "successfully" to the original.
+func FuzzDecompressTruncation(f *testing.F) {
+	raw, err := MarshalState(testState(65))
+	if err != nil {
+		f.Fatal(err)
+	}
+	z := CompressState(raw)
+	f.Add(z, 10)
+	f.Add(z, len(z)-1)
+	f.Add(raw, 5)
+	f.Fuzz(func(t *testing.T, frame []byte, cut int) {
+		if cut < 0 || cut > len(frame) {
+			cut = len(frame)
+		}
+		got, err := MaybeDecompressState(frame[:cut], func(uint64) ([]byte, bool) { return raw, true })
+		if err == nil && IsCompressedState(frame) && cut < len(frame) && bytes.Equal(got, raw) {
+			t.Fatal("truncated compressed frame decoded to the full payload")
+		}
+	})
+}
+
+func TestSplitStripes(t *testing.T) {
+	for _, tc := range []struct{ total, n int }{
+		{0, 4}, {7, 4}, {64, 1}, {64, 4}, {1000, 3}, {8 << 20, 8}, {24, 16},
+	} {
+		off := SplitStripes(tc.total, tc.n)
+		if len(off) != tc.n+1 || off[0] != 0 || off[tc.n] != tc.total {
+			t.Fatalf("SplitStripes(%d,%d) = %v", tc.total, tc.n, off)
+		}
+		for i := 1; i <= tc.n; i++ {
+			if off[i] < off[i-1] {
+				t.Fatalf("non-monotonic offsets %v", off)
+			}
+			if i < tc.n && off[i]%8 != 0 {
+				t.Fatalf("unaligned interior offset %v", off)
+			}
+		}
+	}
+}
+
+func TestStripeFramesRoundTrip(t *testing.T) {
+	payload, err := MarshalState(testState(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := SplitStripes(len(payload), 3)
+	m := &StripeManifest{ID: 7, Codec: CodecRaw, Total: uint32(len(payload))}
+	for i := 0; i < 3; i++ {
+		part := payload[off[i]:off[i+1]]
+		m.Stripes = append(m.Stripes, StripeInfo{
+			Offset: uint32(off[i]), Length: uint32(len(part)), Digest: Digest64(part),
+		})
+	}
+	mb := AppendManifest(nil, m)
+	if !IsManifest(mb) {
+		t.Fatal("manifest tag")
+	}
+	back, err := UnmarshalManifest(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != m.ID || back.Total != m.Total || len(back.Stripes) != 3 {
+		t.Fatalf("manifest round trip: %+v", back)
+	}
+	// Reassemble from out-of-order stripes.
+	got := make([]byte, back.Total)
+	for _, i := range []int{2, 0, 1} {
+		sb := AppendStripe(nil, m.ID, i, payload[off[i]:off[i+1]])
+		if !IsStripe(sb) {
+			t.Fatal("stripe tag")
+		}
+		id, idx, data, err := UnmarshalStripe(sb)
+		if err != nil || id != m.ID || idx != i {
+			t.Fatalf("stripe round trip: id=%d idx=%d err=%v", id, idx, err)
+		}
+		info := back.Stripes[idx]
+		if Digest64(data) != info.Digest || len(data) != int(info.Length) {
+			t.Fatal("stripe digest/length mismatch")
+		}
+		copy(got[info.Offset:], data)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembly mismatch")
+	}
+	// Truncated manifest and stripe frames must error cleanly.
+	for cut := 0; cut < len(mb); cut++ {
+		if _, err := UnmarshalManifest(mb[:cut]); err == nil {
+			t.Fatalf("truncated manifest at %d decoded", cut)
+		}
+	}
+}

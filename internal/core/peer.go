@@ -32,6 +32,22 @@ var PeerAcceptTimeout = 10 * time.Second
 // mid-transfer". Set only from tests, before workers start.
 var testPeerStreamFault func() bool
 
+// testStripeFault, when set, kills the numbered stripe connection right
+// after dialing — the fault-injection hook for "one stripe of a striped
+// transfer died". Set only from tests, before workers start.
+var testStripeFault func(index int) bool
+
+// testStripeCorrupt, when set, may replace the bytes of the numbered
+// stripe just before sending (after the manifest digests were computed) —
+// the fault-injection hook for the receiver's digest verification.
+var testStripeCorrupt func(index int, data []byte) []byte
+
+// stripeMin is the smallest stripe worth a dedicated connection: the
+// effective stream count is payload/stripeMin, clamped to the offer's
+// Stripes limit, so small payloads always take the classic single stream
+// (and a build with striping disabled is wire-identical to one without it).
+const stripeMin = 64 << 10
+
 // peerDelivery is one parked transfer stream (or its abort).
 type peerDelivery struct {
 	state   []byte
@@ -131,11 +147,20 @@ type peerPlane struct {
 	ib      *ipl.Ibis
 	mailbox *peerMailbox
 	gangBox *gangMailbox
+	stripes *stripeBox
 	lis     *smartsockets.Listener
 	wg      sync.WaitGroup
 
 	mu   sync.Mutex
 	gang *mpisim.Gang // wired by handleGangInit; closed by stop
+
+	// ckptMu guards the ref-delta base: the raw bytes of the last snapshot
+	// this worker streamed to the checkpoint store, and the blob ref it was
+	// filed under. The next offer_checkpoint whose Base matches sends only
+	// the XOR residue against these bytes (kernel.CompressStateRef).
+	ckptMu   sync.Mutex
+	ckptBase []byte
+	ckptRef  uint64
 }
 
 // newPeerPlane opens the worker's peer listener and starts serving
@@ -146,19 +171,38 @@ func newPeerPlane(ib *ipl.Ibis) (*peerPlane, error) {
 		return nil, fmt.Errorf("core: peer listener: %w", err)
 	}
 	p := &peerPlane{ib: ib, mailbox: newPeerMailbox(), gangBox: newGangMailbox(), lis: lis}
+	p.stripes = newStripeBox(p.finishStriped)
 	p.wg.Add(1)
 	go p.serve()
 	return p, nil
 }
 
+// finishStriped deposits a verified, reassembled striped payload into the
+// transfer mailbox and acknowledges on the manifest connection. A payload
+// that fails to decode gets no ack, so the sender retries over a single
+// stream (whose deposit then reports the decode error to the accept).
+func (p *peerPlane) finishStriped(id uint64, payload []byte, arrival time.Duration, mconn *smartsockets.VirtualConn) {
+	raw, err := kernel.MaybeDecompressState(payload, nil)
+	if err != nil {
+		mconn.Close()
+		return
+	}
+	p.mailbox.deposit(id, peerDelivery{state: raw, arrival: arrival})
+	mconn.Send(kernel.AppendTransferAck(nil, id), arrival)
+	mconn.Close()
+}
+
 // serve accepts peer connections and routes them by their first frame's
 // tag: a transfer stream carries one state (or abort) frame and is
 // acknowledged at its virtual arrival time; a gang hello hands the whole
-// connection over as a persistent rank link.
+// connection over as a persistent rank link; manifest and stripe frames
+// feed the striped-transfer reassembler; a goodput probe hands the
+// connection to the factory's probe responder.
 func (p *peerPlane) serve() {
 	defer p.wg.Done()
 	defer p.mailbox.close()
 	defer p.gangBox.close()
+	defer p.stripes.close()
 	for {
 		conn, err := p.lis.Accept()
 		if err != nil {
@@ -173,7 +217,13 @@ func (p *peerPlane) serve() {
 				conn.Close()
 				return
 			}
-			if kernel.IsGangHello(msg.Data) {
+			switch {
+			case smartsockets.IsProbeFrame(msg.Data):
+				// The peer listener doubles as the goodput-probe responder,
+				// so probing a worker needs no extra registration.
+				p.ib.Factory().ServeProbeConn(conn, msg.Data, msg.Arrival)
+				return
+			case kernel.IsGangHello(msg.Data):
 				gangID, fromRank, err := kernel.UnmarshalGangHello(msg.Data)
 				if err != nil {
 					conn.Close()
@@ -182,6 +232,14 @@ func (p *peerPlane) serve() {
 				// Ownership transfers to the mailbox (and then the gang):
 				// the connection stays open as a rank link.
 				p.gangBox.deposit(gangKey{id: gangID, rank: fromRank}, conn)
+				return
+			case kernel.IsManifest(msg.Data):
+				// Blocking: the box owns the connection until ack/teardown.
+				p.stripes.manifest(conn, msg.Data, msg.Arrival)
+				return
+			case kernel.IsStripe(msg.Data):
+				p.stripes.stripe(msg.Data, msg.Arrival)
+				conn.Close()
 				return
 			}
 			defer conn.Close()
@@ -194,9 +252,17 @@ func (p *peerPlane) serve() {
 					"%w: transfer %d aborted by coupler", kernel.ErrTransport, id)})
 				return
 			}
-			// state aliases msg.Data, which is private to this stream:
-			// no copy needed before the loopback apply.
-			p.mailbox.deposit(id, peerDelivery{state: state, arrival: msg.Arrival})
+			// state aliases msg.Data, which is private to this stream: no
+			// copy needed before the loopback apply. Compressed payloads
+			// (tagStateZ) are restored here, at the plane boundary — raw
+			// frames pass through MaybeDecompressState untouched.
+			raw, derr := kernel.MaybeDecompressState(state, nil)
+			if derr != nil {
+				p.mailbox.deposit(id, peerDelivery{err: fmt.Errorf(
+					"%w: transfer %d: %v", kernel.ErrTransport, id, derr)})
+				return
+			}
+			p.mailbox.deposit(id, peerDelivery{state: raw, arrival: msg.Arrival})
 			conn.Send(kernel.AppendTransferAck(nil, id), msg.Arrival)
 		}()
 	}
@@ -436,7 +502,10 @@ func (p *peerPlane) handleTransfer(req *request, arrival time.Duration, loop *vn
 	}
 	switch req.Method {
 	case kernel.MethodOfferState:
-		var a kernel.OfferStateArgs
+		// Decode into the tuned superset: gob matches fields by name, so a
+		// legacy OfferStateArgs payload fills the first three fields and
+		// leaves the knobs zero.
+		var a kernel.OfferStateTuned
 		if err := decode(req.Args, &a); err != nil {
 			return fail(kernel.CodeWorkerFault, err)
 		}
@@ -448,7 +517,7 @@ func (p *peerPlane) handleTransfer(req *request, arrival time.Duration, loop *vn
 		}
 		return p.accept(req.ID, &a, arrival, loop)
 	case kernel.MethodOfferCheckpoint:
-		var a kernel.OfferCheckpointArgs
+		var a kernel.OfferCheckpointTuned
 		if err := decode(req.Args, &a); err != nil {
 			return fail(kernel.CodeWorkerFault, err)
 		}
@@ -486,7 +555,7 @@ func loopCall(loop *vnet.Conn, id uint64, method string, args []byte, at time.Du
 // the peer, waiting for the receipt ack. Any failure on the peer path is
 // a transport fault — the coupler uses the classification to fall back to
 // its hairpin.
-func (p *peerPlane) offer(reqID uint64, a *kernel.OfferStateArgs, arrival time.Duration, loop *vnet.Conn) *response {
+func (p *peerPlane) offer(reqID uint64, a *kernel.OfferStateTuned, arrival time.Duration, loop *vnet.Conn) *response {
 	fail := func(code kernel.Code, err error) *response {
 		return &response{ID: reqID, Code: code, Err: err.Error(), DoneAt: arrival}
 	}
@@ -501,11 +570,136 @@ func (p *peerPlane) offer(reqID uint64, a *kernel.OfferStateArgs, arrival time.D
 	if got.Code != kernel.CodeOK {
 		return &response{ID: reqID, Code: got.Code, Err: got.Err, DoneAt: got.DoneAt}
 	}
-	ackAt, code, err := p.streamToPeer(a.Peer, a.ID, got.Result, got.DoneAt)
+	payload := got.Result
+	if a.Codec != kernel.CodecRaw {
+		payload = kernel.CompressState(payload)
+	}
+	report := kernel.TransferReport{Streams: 1, WireBytes: len(payload)}
+	ackAt, code, err := p.sendPayload(a.Peer, a.ID, payload, got.DoneAt, a.Stripes, &report)
 	if err != nil {
 		return fail(code, fmt.Errorf("core: offer %d: %w", a.ID, err))
 	}
-	return &response{ID: reqID, DoneAt: ackAt}
+	// The report rides the response only when the offer asked for the
+	// bandwidth-aware plane: a default offer's response stays byte-equal to
+	// a build without it (the coupler treats no report as single-stream).
+	var result []byte
+	if a.Stripes > 1 || a.Codec != kernel.CodecRaw {
+		result = encode(report)
+	}
+	return &response{ID: reqID, Result: result, DoneAt: ackAt}
+}
+
+// sendPayload delivers one encoded payload to a peer listener: striped
+// across parallel bulk-class circuits when the payload is large enough and
+// the offer allows it, with a fallback to the classic single stream (same
+// transfer id) when the striped attempt fails for any reason — a killed
+// stripe, a digest mismatch on the receiver, an unreachable circuit. The
+// report records which shape actually delivered the bytes.
+func (p *peerPlane) sendPayload(peer string, id uint64, payload []byte, at time.Duration, stripes int, report *kernel.TransferReport) (time.Duration, kernel.Code, error) {
+	if n := stripeCount(len(payload), stripes); n > 1 {
+		ackAt, err := p.streamStriped(peer, id, payload, at, n)
+		if err == nil {
+			report.Streams = n
+			return ackAt, kernel.CodeOK, nil
+		}
+		report.StripeFallback, report.StripeErr = true, err.Error()
+	}
+	return p.streamToPeer(peer, id, payload, at)
+}
+
+// stripeCount returns the number of parallel streams for a payload: one
+// stream per stripeMin bytes, clamped to the offer's limit. 0 or 1 means
+// the classic single stream.
+func stripeCount(size, max int) int {
+	if max < 2 {
+		return 1
+	}
+	n := size / stripeMin
+	if n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// streamStriped delivers one payload over n parallel bulk-class circuits
+// plus a manifest connection, and waits for the receiver's ack on the
+// manifest connection (sent only after every stripe verified). All stripes
+// are sent at the same virtual time, so the modeled transfer overlaps n
+// streams — the win when per-stream bandwidth, not path bandwidth, is the
+// bottleneck. Any failure closes every connection (the receiver's watcher
+// drops the partial set) and the caller retries single-stream.
+func (p *peerPlane) streamStriped(peer string, id uint64, payload []byte, at time.Duration, n int) (time.Duration, error) {
+	addr, err := smartsockets.ParseAddress(peer)
+	if err != nil {
+		return 0, err
+	}
+	f := p.ib.Factory()
+	// Consult the per-peer goodput cache before committing bulk traffic:
+	// the first striped transfer to a peer pays one probe exchange (and
+	// feeds the per-link health view); later ones hit the cache until the
+	// sample goes stale.
+	if _, doneAt, perr := f.Goodput(addr, at); perr == nil && doneAt > at {
+		at = doneAt
+	}
+	off := kernel.SplitStripes(len(payload), n)
+	m := &kernel.StripeManifest{ID: id, Total: uint32(len(payload))}
+	for i := 0; i < n; i++ {
+		part := payload[off[i]:off[i+1]]
+		m.Stripes = append(m.Stripes, kernel.StripeInfo{
+			Offset: uint32(off[i]), Length: uint32(len(part)), Digest: kernel.Digest64(part),
+		})
+	}
+	var conns []*smartsockets.VirtualConn
+	abort := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	// The manifest goes first: the receiver's cleanup watcher lives on this
+	// connection, so a partial stripe set never outlives an aborted sender.
+	mconn, err := f.ConnectClass(addr, at, "bulk")
+	if err != nil {
+		return 0, fmt.Errorf("peer %s unreachable: %w", peer, err)
+	}
+	conns = append(conns, mconn)
+	mconn.SetClass("peer")
+	if err := mconn.Send(kernel.AppendManifest(nil, m), maxDuration(at, mconn.EstablishedAt())); err != nil {
+		abort()
+		return 0, fmt.Errorf("manifest to %s: %w", peer, err)
+	}
+	for i := 0; i < n; i++ {
+		conn, err := f.ConnectClass(addr, at, "bulk")
+		if err != nil {
+			abort()
+			return 0, fmt.Errorf("stripe %d to %s: %w", i, peer, err)
+		}
+		conns = append(conns, conn)
+		conn.SetClass("peer")
+		if testStripeFault != nil && testStripeFault(i) {
+			conn.Close() // injected fault: this stripe dies under the transfer
+		}
+		part := payload[off[i]:off[i+1]]
+		if testStripeCorrupt != nil {
+			part = testStripeCorrupt(i, part)
+		}
+		if err := conn.Send(kernel.AppendStripe(nil, id, i, part), maxDuration(at, conn.EstablishedAt())); err != nil {
+			abort()
+			return 0, fmt.Errorf("stripe %d to %s: %w", i, peer, err)
+		}
+	}
+	ack, err := mconn.Recv()
+	if err != nil {
+		abort()
+		return 0, fmt.Errorf("no striped ack from %s: %w", peer, err)
+	}
+	abort()
+	if ackID, err := kernel.UnmarshalTransferAck(ack.Data); err != nil || ackID != id {
+		return 0, fmt.Errorf("bad striped ack (id %d, err %v)", ackID, err)
+	}
+	return ack.Arrival, nil
 }
 
 // streamToPeer dials a peer listener and delivers one transfer-framed
@@ -544,7 +738,7 @@ func (p *peerPlane) streamToPeer(peer string, id uint64, payload []byte, at time
 // streams the frame to the checkpoint store's peer listener. Any failure
 // on the peer path is a transport fault — the coupler falls back to
 // pulling the snapshot over the RPC plane.
-func (p *peerPlane) offerCheckpoint(reqID uint64, a *kernel.OfferCheckpointArgs, arrival time.Duration, loop *vnet.Conn) *response {
+func (p *peerPlane) offerCheckpoint(reqID uint64, a *kernel.OfferCheckpointTuned, arrival time.Duration, loop *vnet.Conn) *response {
 	fail := func(code kernel.Code, err error) *response {
 		return &response{ID: reqID, Code: code, Err: err.Error(), DoneAt: arrival}
 	}
@@ -555,11 +749,44 @@ func (p *peerPlane) offerCheckpoint(reqID uint64, a *kernel.OfferCheckpointArgs,
 	if got.Code != kernel.CodeOK {
 		return &response{ID: reqID, Code: got.Code, Err: got.Err, DoneAt: got.DoneAt}
 	}
-	ackAt, code, err := p.streamToPeer(a.Peer, a.ID, got.Result, got.DoneAt)
+	raw := got.Result
+	payload := raw
+	switch a.Codec {
+	case kernel.CodecRefDelta:
+		// Ref-delta pays off only against the exact bytes the store still
+		// holds under a.Base; anything else (first checkpoint, a hairpinned
+		// predecessor, a replaced worker) degrades to the in-frame delta.
+		p.ckptMu.Lock()
+		base, ref := p.ckptBase, p.ckptRef
+		p.ckptMu.Unlock()
+		if a.Base != 0 && ref == a.Base {
+			payload = kernel.CompressStateRef(raw, base, a.Base)
+		} else {
+			payload = kernel.CompressState(raw)
+		}
+	case kernel.CodecDeltaFlate:
+		payload = kernel.CompressState(raw)
+	}
+	report := kernel.TransferReport{Streams: 1, WireBytes: len(payload)}
+	ackAt, code, err := p.sendPayload(a.Peer, a.ID, payload, got.DoneAt, a.Stripes, &report)
 	if err != nil {
 		return fail(code, fmt.Errorf("core: checkpoint %d: %w", a.ID, err))
 	}
-	return &response{ID: reqID, DoneAt: ackAt}
+	if a.Codec == kernel.CodecRefDelta {
+		// The store now holds this snapshot raw under a.ID: it is the next
+		// checkpoint's ref-delta base.
+		p.ckptMu.Lock()
+		p.ckptBase = append([]byte(nil), raw...)
+		p.ckptRef = a.ID
+		p.ckptMu.Unlock()
+	}
+	// As for offer_state: the report is attached only when the offer asked
+	// for striping or compression, keeping default streams byte-equal.
+	var result []byte
+	if a.Stripes > 1 || a.Codec != kernel.CodecRaw {
+		result = encode(report)
+	}
+	return &response{ID: reqID, Result: result, DoneAt: ackAt}
 }
 
 // accept waits for the announced stream and applies it to the service

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"jungle/internal/core/kernel"
+	"jungle/internal/smartsockets"
+)
+
+// Receiver side of striped bulk transfers. A striped sender opens one
+// manifest connection (a kernel.StripeManifest frame) plus one connection
+// per stripe; stripes race freely with each other and with the manifest.
+// The stripeBox collects both until a transfer's set is complete, verifies
+// every per-stripe digest, reassembles the original encoded payload and
+// hands it to the owner's complete callback — which acknowledges on the
+// manifest connection at the virtual time the last piece landed. A digest
+// or length mismatch closes the manifest connection WITHOUT an ack: the
+// sender's ack wait fails with a transport error and it retries the same
+// transfer id over a classic single stream, so corruption never becomes
+// wrong state, only a slower delivery.
+
+// stripePart is one received stripe: its bytes and virtual arrival.
+type stripePart struct {
+	data    []byte
+	arrival time.Duration
+}
+
+// stripeEntry is one in-flight striped transfer.
+type stripeEntry struct {
+	manifest *kernel.StripeManifest
+	mconn    *smartsockets.VirtualConn
+	mArrival time.Duration
+	parts    map[int]stripePart
+}
+
+// stripeBox reassembles striped transfers for one listener (a worker's
+// peer plane, or the daemon's checkpoint store).
+type stripeBox struct {
+	mu      sync.Mutex
+	entries map[uint64]*stripeEntry
+	closed  bool
+	// complete receives each fully verified payload, outside the box lock.
+	// It must send the ack on mconn (at arrival) and close it.
+	complete func(id uint64, payload []byte, arrival time.Duration, mconn *smartsockets.VirtualConn)
+}
+
+func newStripeBox(complete func(uint64, []byte, time.Duration, *smartsockets.VirtualConn)) *stripeBox {
+	return &stripeBox{entries: make(map[uint64]*stripeEntry), complete: complete}
+}
+
+// manifest registers a striped transfer's manifest connection and then
+// blocks watching it: the sender never sends a second frame on this
+// connection, so a Recv return means the sender tore the attempt down
+// (abort, or post-ack cleanup) and any incomplete entry can be dropped.
+// Runs in the accepting listener's per-connection goroutine; ownership of
+// conn passes to the box.
+func (b *stripeBox) manifest(conn *smartsockets.VirtualConn, data []byte, arrival time.Duration) {
+	m, err := kernel.UnmarshalManifest(data)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	e := b.entry(m.ID)
+	if e.manifest != nil { // duplicate manifest: keep the first
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	e.manifest, e.mconn, e.mArrival = m, conn, arrival
+	payload, at, mconn, ready := b.finishLocked(m.ID, e)
+	b.mu.Unlock()
+	if ready {
+		b.complete(m.ID, payload, at, mconn)
+	}
+	conn.Recv() // blocks until the sender closes (or the ack path did)
+	b.mu.Lock()
+	if cur, ok := b.entries[m.ID]; ok && cur == e {
+		delete(b.entries, m.ID)
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.mu.Unlock()
+}
+
+// stripe records one received stripe frame and completes the transfer if
+// it was the last piece.
+func (b *stripeBox) stripe(data []byte, arrival time.Duration) {
+	id, idx, part, err := kernel.UnmarshalStripe(data)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	e := b.entry(id)
+	// part aliases data, which is private to the stripe's connection: no
+	// copy needed before reassembly.
+	e.parts[idx] = stripePart{data: part, arrival: arrival}
+	payload, at, mconn, ready := b.finishLocked(id, e)
+	b.mu.Unlock()
+	if ready {
+		b.complete(id, payload, at, mconn)
+	}
+}
+
+func (b *stripeBox) entry(id uint64) *stripeEntry {
+	e, ok := b.entries[id]
+	if !ok {
+		e = &stripeEntry{parts: make(map[int]stripePart)}
+		b.entries[id] = e
+	}
+	return e
+}
+
+// finishLocked checks whether the entry's set is complete and, if so,
+// verifies and reassembles it. On a verification failure the manifest
+// connection is closed without an ack (the sender falls back to a single
+// stream) and the entry is dropped. Called with b.mu held; the returned
+// payload is handed to complete outside the lock.
+func (b *stripeBox) finishLocked(id uint64, e *stripeEntry) (payload []byte, arrival time.Duration, mconn *smartsockets.VirtualConn, ready bool) {
+	m := e.manifest
+	if m == nil || len(e.parts) < len(m.Stripes) {
+		return nil, 0, nil, false
+	}
+	delete(b.entries, id)
+	arrival = e.mArrival
+	payload = make([]byte, m.Total)
+	for i, info := range m.Stripes {
+		p, ok := e.parts[i]
+		if !ok || len(p.data) != int(info.Length) || kernel.Digest64(p.data) != info.Digest {
+			e.mconn.Close()
+			return nil, 0, nil, false
+		}
+		copy(payload[info.Offset:], p.data)
+		if p.arrival > arrival {
+			arrival = p.arrival
+		}
+	}
+	return payload, arrival, e.mconn, true
+}
+
+// close drops every in-flight entry and closes its manifest connection
+// (listener teardown).
+func (b *stripeBox) close() {
+	b.mu.Lock()
+	b.closed = true
+	entries := b.entries
+	b.entries = make(map[uint64]*stripeEntry)
+	b.mu.Unlock()
+	for _, e := range entries {
+		if e.mconn != nil {
+			e.mconn.Close()
+		}
+	}
+}

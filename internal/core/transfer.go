@@ -54,9 +54,14 @@ func (m *modelProxy) peerAddr() (smartsockets.Address, bool) {
 
 // TransferStats counts how transfers were carried.
 type TransferStats struct {
-	Direct   int // worker-to-worker streams
+	Direct   int // worker-to-worker single-stream transfers
+	Striped  int // worker-to-worker striped (parallel-stream) transfers
 	Fallback int // direct path failed, hairpin completed the transfer
 	Hairpin  int // no peer path existed, hairpin from the start
+	// StripeFallback counts striped attempts that completed over a single
+	// stream instead (those transfers are counted under Direct). Unlike
+	// Fallback, the bytes still flowed worker-to-worker.
+	StripeFallback int
 }
 
 // TransferStats returns the session's transfer counters.
@@ -124,13 +129,22 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 	}
 
 	id := transferIDs.Add(1)
+	stripes, codec := s.transferTuning()
 	// Both control RPCs are pipelined; their big cousin — the column
 	// payload — never touches this machine. Transfer ops bypass worker
 	// replacement: a replacement worker has a different peer identity, so
 	// a failed op falls back to the hairpin instead (which replays on the
 	// replacement as usual).
 	accept := dst.goNoReplace(kernel.MethodAcceptState, kernel.AcceptStateArgs{ID: id, Apply: apply, Slot: slot})
-	offer := src.goNoReplace(kernel.MethodOfferState, kernel.OfferStateArgs{ID: id, Attrs: attrs, Peer: dstPeer.String()})
+	// With the knobs off the offer carries the legacy args shape, keeping a
+	// default session's RPC bytes identical to a build without the
+	// bandwidth-aware plane (gob transmits field names).
+	var offerArgs any = kernel.OfferStateArgs{ID: id, Attrs: attrs, Peer: dstPeer.String()}
+	if stripes > 1 || codec != kernel.CodecRaw {
+		offerArgs = kernel.OfferStateTuned{
+			ID: id, Attrs: attrs, Peer: dstPeer.String(), Stripes: stripes, Codec: codec}
+	}
+	offer := src.goNoReplace(kernel.MethodOfferState, offerArgs)
 	go func() {
 		err := offer.Wait(s.ctx)
 		if err != nil {
@@ -144,7 +158,7 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 			s.daemon.AbortTransfer(dstPeer, id)
 		}
 		if err == nil {
-			s.countTransfer(func(t *TransferStats) { t.Direct++ })
+			s.recordTransferReport(offer, id)
 			c.finish(nil, nil)
 			return
 		}
@@ -167,6 +181,51 @@ func (s *Simulation) onTransferFallback() func(error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.OnTransferFallback
+}
+
+// transferTuning reads the bulk-transfer knobs under the session lock.
+func (s *Simulation) transferTuning() (stripes int, codec byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.TransferStripes, s.TransferCodec
+}
+
+// checkpointTuning reads the checkpoint-stream knobs under the session
+// lock (striping shares the transfer knob; the codec has its own).
+func (s *Simulation) checkpointTuning() (stripes int, codec byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.TransferStripes, s.CheckpointCodec
+}
+
+// recordTransferReport folds a successful offer's TransferReport into the
+// session counters: striped vs single-stream delivery, and the structured
+// stripe-fallback notification (a striped attempt that completed over a
+// single stream — still worker-to-worker, but worth surfacing to the same
+// observer as hairpin fallbacks).
+func (s *Simulation) recordTransferReport(offer *Call, id uint64) {
+	var rep kernel.TransferReport
+	if err := offer.Decode(&rep); err != nil {
+		rep = kernel.TransferReport{Streams: 1}
+	}
+	s.countTransfer(func(t *TransferStats) {
+		if rep.Streams > 1 {
+			t.Striped++
+		} else {
+			t.Direct++
+		}
+		if rep.StripeFallback {
+			t.StripeFallback++
+		}
+	})
+	if rep.StripeFallback {
+		err := fmt.Errorf("%w: transfer %d: striped path failed (%s); completed over a single stream",
+			ErrTransport, id, rep.StripeErr)
+		s.trace("transfer %d: %v", id, err)
+		if hook := s.onTransferFallback(); hook != nil {
+			hook(err)
+		}
+	}
 }
 
 // runHairpin carries the columns through the coupler: one batched read

@@ -97,6 +97,11 @@ func TestE2TransatlanticPenalty(t *testing.T) {
 	if !strings.Contains(table, "/ 0 fallback") {
 		t.Fatalf("a healthy run fell back to the hairpin:\n%s", table)
 	}
+	// The mix line must distinguish the striped path (off by default, so
+	// zero) from single-stream direct transfers.
+	if !strings.Contains(table, "/ 0 striped") {
+		t.Fatalf("transfer mix does not report the striped path:\n%s", table)
+	}
 }
 
 func TestE3OverlayConnectivity(t *testing.T) {

@@ -14,6 +14,14 @@
 // (cluster front-ends usually accept SSH), and links that could only be
 // established in one direction are tracked as such — these are exactly the
 // red lines and arrows of Fig. 10 in the paper.
+//
+// The overlay is bandwidth-aware: Factory.Goodput measures achievable
+// bandwidth to a peer with netio-style sized-payload probes (cached per
+// peer, reported to the network's link-health recorder), and routed
+// circuits opened with ConnectClass(..., "bulk") follow the
+// widest-bottleneck-bandwidth hub path instead of the lowest-latency one —
+// the path bulk state transfers want. See DESIGN.md §"Bandwidth-aware
+// data plane".
 package smartsockets
 
 import (

@@ -1,0 +1,221 @@
+package smartsockets
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"jungle/internal/vnet"
+)
+
+// goodputSink records goodput reports for assertions.
+type goodputSink struct {
+	mu      sync.Mutex
+	samples map[[2]string]float64
+}
+
+func (s *goodputSink) RecordTraffic(from, to, class string, bytes int) {}
+
+func (s *goodputSink) RecordGoodput(from, to string, bw float64, at time.Duration) {
+	s.mu.Lock()
+	if s.samples == nil {
+		s.samples = make(map[[2]string]float64)
+	}
+	s.samples[[2]string{from, to}] = bw
+	s.mu.Unlock()
+}
+
+// serveProbes accepts connections on l and runs the probe responder for
+// each, dispatching on the first frame's tag the way the peer data plane
+// does.
+func serveProbes(t *testing.T, f *Factory, l *Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				msg, err := conn.Recv()
+				if err != nil {
+					conn.Close()
+					return
+				}
+				if !IsProbeFrame(msg.Data) {
+					conn.Close()
+					return
+				}
+				f.ServeProbeConn(conn, msg.Data, msg.Arrival)
+			}()
+		}
+	}()
+}
+
+// TestProbeGoodputOneWayLink: the responder is firewalled (outbound-only in
+// another site), so the factory falls back to reverse connection setup —
+// the dial-back still crosses the same physical link, and the measured
+// goodput must match that link's configured bandwidth.
+func TestProbeGoodputOneWayLink(t *testing.T) {
+	n := vnet.New()
+	sink := &goodputSink{}
+	n.SetRecorder(sink)
+	hosts := []struct {
+		name, site string
+		pol        vnet.Policy
+	}{
+		{"prober", "sa", vnet.Open},
+		{"resp", "sb", vnet.OutboundOnly},
+		{"hub", "sa", vnet.Open},
+	}
+	for _, h := range hosts {
+		if _, err := n.AddHost(h.name, h.site, h.pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const linkBW = 5e7
+	// The prober<->responder link is the lowest-latency path; hub links are
+	// slower so the dial-back is never routed around it.
+	if err := n.AddLink("prober", "resp", time.Millisecond, linkBW); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"prober", "resp"} {
+		if err := n.AddLink(h, "hub", 5*time.Millisecond, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov, err := StartHubs(n, []string{"hub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Stop()
+
+	fp := newFactory(t, n, "prober", 20000, "hub")
+	fr := newFactory(t, n, "resp", 20000, "hub")
+	l, err := fr.Listen(21000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveProbes(t, fr, l)
+
+	bw, doneAt, err := fp.Goodput(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneAt <= time.Second {
+		t.Fatalf("doneAt = %v, want > sentAt: probing must cost virtual time", doneAt)
+	}
+	if bw < linkBW*0.9 || bw > linkBW*1.1 {
+		t.Fatalf("measured goodput %.3g, want within 10%% of %.3g", bw, linkBW)
+	}
+
+	// The measurement must be reported for the link-health view.
+	sink.mu.Lock()
+	got := sink.samples[[2]string{"prober", "resp"}]
+	sink.mu.Unlock()
+	if got != bw {
+		t.Fatalf("recorded goodput %.3g, want %.3g", got, bw)
+	}
+
+	// Cache: a fresh sample is served without re-probing (zero virtual
+	// cost), a stale one re-probes.
+	bw2, doneAt2, err := fp.Goodput(l.Addr(), doneAt+time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw2 != bw || doneAt2 != doneAt+time.Second {
+		t.Fatalf("cached Goodput = (%.3g, %v), want (%.3g, %v)", bw2, doneAt2, bw, doneAt+time.Second)
+	}
+	stale := doneAt + fp.ProbeTTL + time.Second
+	_, doneAt3, err := fp.Goodput(l.Addr(), stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneAt3 <= stale {
+		t.Fatalf("stale Goodput doneAt = %v, want > %v (re-probe)", doneAt3, stale)
+	}
+}
+
+// TestBulkClassRoutesAroundDecoy builds the 3-hub topology of the
+// acceptance criteria: a direct h1-h3 link that is low-latency but
+// low-bandwidth (the decoy) and a two-hop h1-h2-h3 path of fat links.
+// Default-class circuits must keep preferring the decoy (lowest virtual
+// latency); bulk-class circuits must route around it via h2.
+func TestBulkClassRoutesAroundDecoy(t *testing.T) {
+	n := vnet.New()
+	hosts := []struct {
+		name, site string
+		pol        vnet.Policy
+	}{
+		{"h1", "s1", vnet.Open},
+		{"h2", "s2", vnet.Open},
+		{"h3", "s3", vnet.Open},
+		// Both clients are firewalled so neither direct nor reverse setup
+		// works and every connection is hub-routed.
+		{"c1", "s1", vnet.OutboundOnly},
+		{"c3", "s3", vnet.OutboundOnly},
+	}
+	for _, h := range hosts {
+		if _, err := n.AddHost(h.name, h.site, h.pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := []struct {
+		a, b string
+		lat  time.Duration
+		bw   float64
+	}{
+		{"c1", "h1", 100 * time.Microsecond, 1e9},
+		{"c3", "h3", 100 * time.Microsecond, 1e9},
+		{"h1", "h3", time.Millisecond, 1e6}, // decoy: fast to open, slow to use
+		{"h1", "h2", 2 * time.Millisecond, 1.25e9},
+		{"h2", "h3", 2 * time.Millisecond, 1.25e9},
+	}
+	for _, l := range links {
+		if err := n.AddLink(l.a, l.b, l.lat, l.bw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ov, err := StartHubs(n, []string{"h1", "h2", "h3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Stop()
+
+	f1 := newFactory(t, n, "c1", 20000, "h1")
+	f3 := newFactory(t, n, "c3", 20000, "h3")
+	l, err := f3.Listen(21000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertRoute := func(conn *VirtualConn, want ...string) {
+		t.Helper()
+		if conn.Type() != Routed {
+			t.Fatalf("conn type %v, want routed", conn.Type())
+		}
+		route := conn.Route()
+		if len(route) != len(want) {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+		for i := range want {
+			if route[i] != want[i] {
+				t.Fatalf("route = %v, want %v", route, want)
+			}
+		}
+	}
+
+	rpc, err := f1.Connect(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rpc.Close()
+	assertRoute(rpc, "h1", "h3")
+
+	bulk, err := f1.ConnectClass(l.Addr(), time.Second, "bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+	assertRoute(bulk, "h1", "h2", "h3")
+}

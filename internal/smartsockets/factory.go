@@ -42,11 +42,17 @@ type Factory struct {
 	nextReq     uint64
 	nextCircuit uint64
 	stats       Stats
+	goodput     map[Address]goodputEntry
 	closed      bool
 
 	// Timeout is the real-time budget for overlay round trips during
 	// Connect (reverse and routed attempts). Virtual time is unaffected.
 	Timeout time.Duration
+
+	// ProbeTTL is the virtual-time staleness bound for cached goodput
+	// measurements: Goodput re-probes a peer only when the cached sample
+	// is older than this. Default one virtual minute.
+	ProbeTTL time.Duration
 
 	wg sync.WaitGroup
 }
@@ -70,6 +76,12 @@ type openResult struct {
 func NewFactory(network *vnet.Network, host string, base int, hubHost string) (*Factory, error) {
 	conn, err := network.Dial(host, hubHost, HubPort)
 	if err != nil {
+		// Hubs also listen on the SSH port: a client outside the hub's
+		// site can still register through the front-end's sshd, the same
+		// tunnel trick hubs use among themselves.
+		conn, err = network.Dial(host, hubHost, vnet.SSHPort)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("smartsockets: factory %s cannot reach hub %s: %w", host, hubHost, err)
 	}
 	conn.SetClass("hub")
@@ -80,8 +92,10 @@ func NewFactory(network *vnet.Network, host string, base int, hubHost string) (*
 		pendingOpen: make(map[string]chan openResult),
 		pendingReg:  make(map[Address]chan struct{}),
 		circuits:    make(map[string]*routedEnd),
+		goodput:     make(map[Address]goodputEntry),
 		nextPort:    base + 1,
 		Timeout:     2 * time.Second,
+		ProbeTTL:    time.Minute,
 	}
 	f.wg.Add(1)
 	go f.hubReadLoop()
@@ -301,6 +315,18 @@ func (f *Factory) handleCircuitOpen(fr *frame) {
 // routed strategies in order. sentAt is the caller's virtual clock; the
 // returned connection's EstablishedAt reports the virtual completion time.
 func (f *Factory) Connect(target Address, sentAt time.Duration) (*VirtualConn, error) {
+	return f.connect(target, sentAt, "")
+}
+
+// ConnectClass is Connect with a connection class. Class "bulk" makes
+// hub-routed circuits follow the widest-bottleneck-bandwidth hub path
+// instead of the lowest-latency one; direct and reverse connections are
+// unaffected (they already use the single best physical path).
+func (f *Factory) ConnectClass(target Address, sentAt time.Duration, class string) (*VirtualConn, error) {
+	return f.connect(target, sentAt, class)
+}
+
+func (f *Factory) connect(target Address, sentAt time.Duration, class string) (*VirtualConn, error) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -334,7 +360,7 @@ func (f *Factory) Connect(target Address, sentAt time.Duration) (*VirtualConn, e
 	}
 
 	// 3: routed through the hubs.
-	vc, err := f.connectRouted(target, sentAt)
+	vc, err := f.connectRouted(target, sentAt, class)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrConnectFailed, target, err)
 	}
@@ -396,7 +422,7 @@ func (f *Factory) connectReverse(target Address, sentAt time.Duration) (*Virtual
 	}
 }
 
-func (f *Factory) connectRouted(target Address, sentAt time.Duration) (*VirtualConn, error) {
+func (f *Factory) connectRouted(target Address, sentAt time.Duration, class string) (*VirtualConn, error) {
 	f.mu.Lock()
 	f.nextCircuit++
 	key := fmt.Sprintf("%s/%d", f.Addr(), f.nextCircuit)
@@ -406,7 +432,7 @@ func (f *Factory) connectRouted(target Address, sentAt time.Duration) (*VirtualC
 	f.circuits[key] = end
 	f.mu.Unlock()
 
-	open := &frame{Kind: kCircuitOpen, Src: f.Addr(), Dst: target, Circuit: key, SentAt: sentAt}
+	open := &frame{Kind: kCircuitOpen, Src: f.Addr(), Dst: target, Circuit: key, SentAt: sentAt, Class: class}
 	if err := sendFrame(f.hubConn, open); err != nil {
 		f.dropCircuit(key)
 		return nil, err

@@ -385,6 +385,19 @@ func (h *Hub) handleFlood(origin string, f *frame) {
 	fwd := *f
 	fwd.Path = path
 	fwd.SentAt = f.SentAt + hubProcessing
+	if f.Class != "" {
+		// Class-tagged opens are routed by bandwidth: fold the bandwidth
+		// of the hop this frame just crossed into the bottleneck estimate.
+		prev := f.Src.Host
+		if strings.HasPrefix(origin, "h:") {
+			prev = strings.TrimPrefix(origin, "h:")
+		}
+		if p, err := h.net.Route(prev, h.host); err == nil {
+			if fwd.MinBW == 0 || p.Bandwidth < fwd.MinBW {
+				fwd.MinBW = p.Bandwidth
+			}
+		}
+	}
 
 	if local {
 		if f.Kind == kCircuitOpen {
@@ -456,7 +469,7 @@ func (h *Hub) collectOpen(dstID string, fwd *frame) {
 	}
 	po, ok := h.opens[fwd.Circuit]
 	if ok {
-		if !po.delivered && fwd.SentAt < po.best.SentAt {
+		if !po.delivered && betterOpen(&po.best, fwd) {
 			po.best = *fwd
 		}
 		h.mu.Unlock()
@@ -484,6 +497,17 @@ func (h *Hub) collectOpen(dstID string, fwd *frame) {
 			h.mu.Unlock()
 		})
 	})
+}
+
+// betterOpen decides whether a newly arrived circuit-open copy beats the
+// current best. Bulk-class opens prefer the widest bottleneck bandwidth
+// (ties broken by earliest virtual arrival); every other class keeps the
+// lowest-virtual-latency path.
+func betterOpen(cur, cand *frame) bool {
+	if cand.Class == "bulk" && cand.MinBW != cur.MinBW {
+		return cand.MinBW > cur.MinBW
+	}
+	return cand.SentAt < cur.SentAt
 }
 
 // handleBacktrack walks an ack or nak backwards along the recorded path,

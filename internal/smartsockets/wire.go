@@ -37,6 +37,15 @@ type frame struct {
 	ReqID     uint64
 	ReplyPort int
 
+	// Connection class of a circuit open ("" = default RPC class, routed
+	// by lowest virtual latency). Bulk-class opens are routed by bottleneck
+	// bandwidth instead: each hub folds the bandwidth of the hop the frame
+	// just crossed into MinBW, and the destination hub picks the copy with
+	// the widest bottleneck. Both fields are zero on default-class frames,
+	// so gob's zero-field omission keeps the wire bytes unchanged.
+	Class string
+	MinBW float64
+
 	// Virtual clock of the sender when the frame was emitted; relays
 	// re-stamp with their arrival time plus processing delay.
 	SentAt time.Duration

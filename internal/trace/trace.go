@@ -27,11 +27,20 @@ type Recorder struct {
 	mu      sync.Mutex
 	traffic map[trafficKey]int
 	load    map[string][]LoadSample
+	goodput map[[2]string]GoodputSample
 	events  []Event
 }
 
 type trafficKey struct {
 	From, To, Class string
+}
+
+// GoodputSample is the most recent measured goodput for a directed link,
+// as reported by the SmartSockets prober.
+type GoodputSample struct {
+	BytesPerSec float64
+	At          time.Duration // virtual time of the measurement
+	Probes      int           // how many measurements have been folded in
 }
 
 // LoadSample is a point-in-time CPU load observation for a host.
@@ -45,7 +54,65 @@ func New() *Recorder {
 	return &Recorder{
 		traffic: make(map[trafficKey]int),
 		load:    make(map[string][]LoadSample),
+		goodput: make(map[[2]string]GoodputSample),
 	}
+}
+
+// RecordGoodput implements vnet.GoodputRecorder: it stores the latest
+// measured goodput for the directed from->to link.
+func (r *Recorder) RecordGoodput(from, to string, bytesPerSec float64, at time.Duration) {
+	r.mu.Lock()
+	s := r.goodput[[2]string{from, to}]
+	s.BytesPerSec, s.At = bytesPerSec, at
+	s.Probes++
+	r.goodput[[2]string{from, to}] = s
+	r.mu.Unlock()
+}
+
+// Goodput returns the latest goodput sample for from->to; ok is false when
+// the link has never been probed.
+func (r *Recorder) Goodput(from, to string) (GoodputSample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.goodput[[2]string{from, to}]
+	return s, ok
+}
+
+// GoodputRow is one line of the link-health table.
+type GoodputRow struct {
+	From, To string
+	Sample   GoodputSample
+}
+
+// GoodputTable returns all probed links sorted lexicographically.
+func (r *Recorder) GoodputTable() []GoodputRow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]GoodputRow, 0, len(r.goodput))
+	for k, v := range r.goodput {
+		rows = append(rows, GoodputRow{From: k[0], To: k[1], Sample: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].From != rows[j].From {
+			return rows[i].From < rows[j].From
+		}
+		return rows[i].To < rows[j].To
+	})
+	return rows
+}
+
+// RenderGoodput renders the per-link health view: measured goodput per
+// directed link with the virtual time of the last probe.
+func (r *Recorder) RenderGoodput() string {
+	rows := r.GoodputTable()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-28s %14s %10s %7s\n", "FROM", "TO", "GOODPUT(MB/s)", "AT(ms)", "PROBES")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s %-28s %14.2f %10.1f %7d\n",
+			row.From, row.To, row.Sample.BytesPerSec/1e6,
+			float64(row.Sample.At.Microseconds())/1e3, row.Sample.Probes)
+	}
+	return b.String()
 }
 
 // RecordTraffic implements vnet.TrafficRecorder.

@@ -62,6 +62,11 @@ func (p Policy) String() string {
 // SSHPort is the well-known port that SSHOnly hosts still accept.
 const SSHPort = 22
 
+// LoopbackBandwidth is the modeled bandwidth of a same-host connection
+// (bytes/second); see Route. Exported so overlay-aware consumers (the
+// goodput prober) can discount loopback legs from path measurements.
+const LoopbackBandwidth = 2e9
+
 // Host is a machine in the virtual network.
 type Host struct {
 	Name   string
@@ -74,27 +79,39 @@ type Host struct {
 }
 
 // Link connects two hosts (bidirectionally) with a latency and a bandwidth
-// in bytes/second.
+// in bytes/second. StreamCap, when non-zero, limits the bandwidth a single
+// connection (stream) can extract from the link — the classic WAN situation
+// where one TCP stream saturates far below the link capacity and tools like
+// GridFTP open parallel streams to fill the pipe. Zero means a single
+// stream may use the full Bandwidth.
 type Link struct {
 	A, B      string
 	Latency   time.Duration
 	Bandwidth float64
+	StreamCap float64
 }
 
 // Path is the routed property set between two hosts: total latency, the
-// minimum bandwidth along the way, and the hop sequence.
+// minimum bandwidth along the way, and the hop sequence. StreamBandwidth is
+// the bottleneck per-stream bandwidth (see Link.StreamCap); it equals
+// Bandwidth when no link on the path caps single streams.
 type Path struct {
-	Latency   time.Duration
-	Bandwidth float64
-	Hops      []string
+	Latency         time.Duration
+	Bandwidth       float64
+	StreamBandwidth float64
+	Hops            []string
 }
 
 // TransferTime returns the virtual time needed to move n bytes across the
-// path: latency plus serialization at the bottleneck bandwidth.
+// path: latency plus serialization at the bottleneck per-stream bandwidth.
 func (p Path) TransferTime(n int) time.Duration {
 	d := p.Latency
-	if n > 0 && p.Bandwidth > 0 {
-		d += time.Duration(float64(n) / p.Bandwidth * float64(time.Second))
+	bw := p.Bandwidth
+	if p.StreamBandwidth > 0 && p.StreamBandwidth < bw {
+		bw = p.StreamBandwidth
+	}
+	if n > 0 && bw > 0 {
+		d += time.Duration(float64(n) / bw * float64(time.Second))
 	}
 	return d
 }
@@ -103,6 +120,13 @@ func (p Path) TransferTime(n int) time.Duration {
 // package to regenerate the Fig. 11 traffic visualization.
 type TrafficRecorder interface {
 	RecordTraffic(from, to, class string, bytes int)
+}
+
+// GoodputRecorder is optionally implemented by a TrafficRecorder to receive
+// measured per-link goodput samples (bytes/second) from the SmartSockets
+// prober, feeding the per-link health view.
+type GoodputRecorder interface {
+	RecordGoodput(from, to string, bytesPerSec float64, at time.Duration)
 }
 
 // Network is the virtual fabric: hosts, links and routes.
@@ -181,6 +205,28 @@ func (n *Network) AddLink(a, b string, latency time.Duration, bandwidth float64)
 	return nil
 }
 
+// SetLinkStreamCap sets the per-stream bandwidth cap on the a<->b link (both
+// directions). cap 0 removes the cap. Routes are recomputed on next use.
+func (n *Network) SetLinkStreamCap(a, b string, cap float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	found := false
+	for _, host := range [2]string{a, b} {
+		for i := range n.adj[host] {
+			l := &n.adj[host][i]
+			if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+				l.StreamCap = cap
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: no link %s<->%s", ErrNoRoute, a, b)
+	}
+	n.routes = make(map[[2]string]Path)
+	return nil
+}
+
 // SetHostUp marks a host up or down; dialing a down host (or through it)
 // fails, and its listeners are unreachable. Used for fault injection.
 func (n *Network) SetHostUp(name string, up bool) error {
@@ -247,7 +293,8 @@ func (n *Network) Route(from, to string) (Path, error) {
 	if from == to {
 		// Loopback: the paper measures >8 Gbit/s and "extremely small
 		// latency" for the daemon's local socket; model 10 µs / 16 Gbit/s.
-		return Path{Latency: 10 * time.Microsecond, Bandwidth: 2e9, Hops: []string{from}}, nil
+		return Path{Latency: 10 * time.Microsecond, Bandwidth: LoopbackBandwidth,
+			StreamBandwidth: LoopbackBandwidth, Hops: []string{from}}, nil
 	}
 	n.mu.RLock()
 	if p, ok := n.routes[[2]string{from, to}]; ok {
@@ -279,10 +326,11 @@ func (n *Network) dijkstraLocked(from, to string) (Path, error) {
 	type state struct {
 		lat  time.Duration
 		bw   float64
+		sbw  float64
 		prev string
 		done bool
 	}
-	st := map[string]*state{from: {bw: 1e30}}
+	st := map[string]*state{from: {bw: 1e30, sbw: 1e30}}
 	for {
 		// Extract the unfinished node with minimal latency (n is small;
 		// linear scan keeps the code simple).
@@ -309,7 +357,7 @@ func (n *Network) dijkstraLocked(from, to string) (Path, error) {
 			for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
 				hops[i], hops[j] = hops[j], hops[i]
 			}
-			return Path{Latency: curSt.lat, Bandwidth: curSt.bw, Hops: hops}, nil
+			return Path{Latency: curSt.lat, Bandwidth: curSt.bw, StreamBandwidth: curSt.sbw, Hops: hops}, nil
 		}
 		curSt.done = true
 		// Down hosts (other than the endpoints' own status, checked at
@@ -323,11 +371,19 @@ func (n *Network) dijkstraLocked(from, to string) (Path, error) {
 			if l.Bandwidth < bw {
 				bw = l.Bandwidth
 			}
+			linkSBW := l.Bandwidth
+			if l.StreamCap > 0 && l.StreamCap < linkSBW {
+				linkSBW = l.StreamCap
+			}
+			sbw := curSt.sbw
+			if linkSBW < sbw {
+				sbw = linkSBW
+			}
 			s, ok := st[l.B]
 			if !ok {
-				st[l.B] = &state{lat: lat, bw: bw, prev: cur}
+				st[l.B] = &state{lat: lat, bw: bw, sbw: sbw, prev: cur}
 			} else if !s.done && lat < s.lat {
-				s.lat, s.bw, s.prev = lat, bw, cur
+				s.lat, s.bw, s.sbw, s.prev = lat, bw, sbw, cur
 			}
 		}
 	}
@@ -375,6 +431,17 @@ func (n *Network) AllowsInboundFrom(dst, from string, port int) (bool, error) {
 // bypasses Conn) to the installed traffic recorder.
 func (n *Network) RecordTransfer(from, to, class string, bytes int) {
 	n.record(from, to, class, bytes)
+}
+
+// RecordGoodput reports a measured goodput sample to the installed recorder,
+// if it implements GoodputRecorder.
+func (n *Network) RecordGoodput(from, to string, bytesPerSec float64, at time.Duration) {
+	n.mu.RLock()
+	r := n.recorder
+	n.mu.RUnlock()
+	if g, ok := r.(GoodputRecorder); ok {
+		g.RecordGoodput(from, to, bytesPerSec, at)
+	}
 }
 
 func (n *Network) record(from, to, class string, bytes int) {

@@ -41,12 +41,13 @@ race:
 	$(GO) test -race -short ./...
 
 # The paper's evaluation tables/figures plus substrate micro-benchmarks.
-# The run is recorded as a machine-readable perf trajectory in BENCH_6.json
-# (benchmark name -> metric -> value, including the virtual-time metrics);
-# the raw output still prints via benchjson's tee.
+# The run is recorded as a machine-readable perf trajectory in BENCH_7.json
+# (benchmark name -> metric -> value, including the virtual-time metrics
+# and the concurrent-sessions makespans); the raw output still prints via
+# benchjson's tee.
 bench:
 	@$(GO) test -run XXX -bench . -benchmem . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
-	@$(GO) run ./cmd/benchjson -o BENCH_6.json < bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_7.json < bench.out
 	@rm -f bench.out
 
 # Tier-1 gate: everything a PR must keep green, in one command.

@@ -13,10 +13,22 @@
 //
 //	amuse-run -testbed sc11 -placement sc11-worst-case -iters 8 -checkpoint run.ckpt
 //	amuse-run -testbed sc11 -resume run.ckpt
+//
+// With -attach the runner is a thin client of a running jungled control
+// plane instead of building its own testbed: it attaches a named session,
+// submits the workload, and detaches. -keep leaves the session alive on
+// the daemon so a later attach (after an idle-reap, even) continues it
+// bit-identically:
+//
+//	jungled &
+//	amuse-run -attach 127.0.0.1:17979 -session mine -stars 200 -gas 2000 -iters 2 -keep
+//	amuse-run -attach 127.0.0.1:17979 -session mine -iters 2
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +37,7 @@ import (
 	"jungle/internal/core"
 	"jungle/internal/deploy"
 	"jungle/internal/exp"
+	"jungle/internal/sched"
 )
 
 func main() {
@@ -38,7 +51,20 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run; cancellation aborts in-flight worker calls (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "write a resumable run checkpoint to this file after every iteration")
 	resume := flag.String("resume", "", "continue a killed run from its checkpoint file (ignores -placement/-stars/-gas/-iters)")
+	attach := flag.String("attach", "", "run through a jungled control plane at this address instead of a local testbed")
+	session := flag.String("session", "", "session id to attach (required with -attach)")
+	keep := flag.Bool("keep", false, "with -attach: detach without closing, so the session can be re-attached later")
 	flag.Parse()
+
+	if *attach != "" {
+		if *session == "" {
+			log.Fatal("-attach requires -session")
+		}
+		if err := runAttached(*attach, *session, *stars, *gas, *iters, *keep); err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+		return
+	}
 
 	// The run context bounds everything downstream: worker start-up waits,
 	// state uploads and every in-flight RPC of every bridge iteration.
@@ -143,6 +169,51 @@ func checkpointWritten(path string, before os.FileInfo, beforeErr error) bool {
 		return true // did not exist before this run
 	}
 	return after.Size() != before.Size() || !after.ModTime().Equal(before.ModTime())
+}
+
+// runAttached is the thin-client path: attach a session on a running
+// jungled (waiting in its admission queue if the plane is full), submit
+// the workload as one session_run op, report, and detach.
+func runAttached(addr, session string, stars, gas, iters int, keep bool) error {
+	c, err := sched.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	att, err := c.Attach(session, true)
+	if err != nil {
+		return err
+	}
+	if att.Resumed {
+		fmt.Printf("session %s resumed from its eviction snapshot\n", att.Session)
+	} else {
+		fmt.Printf("session %s attached (%s)\n", att.Session, att.State)
+	}
+	work := exp.SessionWork{
+		W:          exp.Workload{Stars: stars, Gas: gas, GasFrac: 0.9, Seed: 42, DT: 1.0 / 64, Eps: 0.05},
+		Iterations: iters,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(work); err != nil {
+		return err
+	}
+	out, err := c.Run(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	var rep exp.SessionReport
+	if err := gob.NewDecoder(bytes.NewReader(out)).Decode(&rep); err != nil {
+		return err
+	}
+	res := rep.Result
+	fmt.Printf("session %s: %d iterations, %v per iteration (setup %v, %d supernovae, state %016x)\n",
+		session, res.Iterations, res.PerIteration, res.Setup, res.Supernovae, res.StateDigest)
+	st, err := c.Detach(!keep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detached (session %s)\n", st)
+	return nil
 }
 
 func report(tb *core.Testbed, res exp.RunResult) {

@@ -1,30 +1,42 @@
-// Command jungled is the stand-alone Ibis daemon process of §5 over a real
-// TCP loopback socket: "The user must start this daemon on his or her
-// machine before running any simulation, but it can be re-used for all
-// simulations run."
+// Command jungled is the stand-alone daemon process of §5, grown into a
+// long-lived multi-tenant control plane: "The user must start this daemon
+// on his or her machine before running any simulation, but it can be
+// re-used for all simulations run" — and here the re-use is concurrent.
+// One jungled serves many attached clients at once, each bound to an
+// isolated session (disjoint worker-id blocks, per-session capacity
+// accounting and checkpoint stores), with admission control, fair-share
+// placement and lease-based idle reaping between them.
 //
-// It serves the daemon channel's length-prefixed frame protocol on
-// 127.0.0.1 and echoes control frames, which is exactly the path the paper
-// benchmarks ("over 8 Gbit/second even on a modest laptop"); run with
-// -selftest to reproduce that measurement against an in-process client.
+// Clients attach with amuse-run -attach <addr> -session <id>. The wire
+// protocol stays the daemon channel's length-prefixed framing: control
+// envelopes drive sessions, and frames that are not envelopes still echo,
+// so the §5 loopback benchmark (-selftest reproduces its "over 8
+// Gbit/second even on a modest laptop" measurement) runs unchanged
+// against a multi-tenant daemon.
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"os"
+	"time"
 
+	"jungle/internal/core"
 	"jungle/internal/exp"
+	"jungle/internal/sched"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:17979", "loopback address to serve")
 	selftest := flag.Bool("selftest", false, "run the §5 loopback benchmark and exit")
+	testbed := flag.String("testbed", "lab", "lab | sc11 (resources the sessions share)")
+	maxLive := flag.Int("max-sessions", 4, "concurrent running sessions (admission control)")
+	queueCap := flag.Int("queue", 8, "admission queue bound")
+	leaseTTL := flag.Duration("lease", 30*time.Second, "idle-session lease; expired sessions are checkpointed and preempted")
+	reapEvery := flag.Duration("reap-every", 5*time.Second, "how often to sweep for expired leases (0 disables)")
 	flag.Parse()
 
 	if *selftest {
@@ -39,48 +51,51 @@ func main() {
 		return
 	}
 
+	var tb *core.Testbed
+	var err error
+	switch *testbed {
+	case "lab":
+		tb, err = core.NewLabTestbed()
+	case "sc11":
+		tb, err = core.NewSC11Testbed()
+	default:
+		log.Fatalf("unknown testbed %q (want lab or sc11)", *testbed)
+	}
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	defer tb.Close()
+
+	s := sched.New(tb.Daemon, sched.Config{
+		MaxLive:  *maxLive,
+		QueueCap: *queueCap,
+		LeaseTTL: *leaseTTL,
+		Recorder: tb.Recorder,
+		Run:      exp.SessionRunner(),
+	})
+	defer s.Shutdown()
+
+	ctx := context.Background()
+	if *reapEvery > 0 {
+		go func() {
+			for range time.Tick(*reapEvery) {
+				if reaped, err := s.ReapIdle(ctx); err != nil {
+					log.Printf("reap: %v", err)
+				} else if len(reaped) > 0 {
+					log.Printf("reaped idle sessions %v", reaped)
+				}
+			}
+		}()
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("jungled: serving daemon channel on %s", l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			log.Fatalf("accept: %v", err)
-		}
-		go serve(conn)
-	}
-}
-
-// serve echoes framed messages: 4-byte little-endian length + payload. The
-// real daemon relays to IPL; the stand-alone binary echoes so clients can
-// measure the loopback hop in isolation.
-func serve(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 1<<20)
-	w := bufio.NewWriterSize(conn, 1<<20)
-	var hdr [4]byte
-	buf := make([]byte, 1<<20)
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return
-		}
-		n := int(binary.LittleEndian.Uint32(hdr[:]))
-		if n > len(buf) {
-			buf = make([]byte, n)
-		}
-		if _, err := io.ReadFull(r, buf[:n]); err != nil {
-			return
-		}
-		if _, err := w.Write(hdr[:]); err != nil {
-			return
-		}
-		if _, err := w.Write(buf[:n]); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
+	log.Printf("jungled: control plane on %s (max %d sessions, lease %v)",
+		l.Addr(), *maxLive, *leaseTTL)
+	g := &sched.Gateway{Sched: s, Ctx: ctx}
+	if err := g.Serve(l); err != nil {
+		log.Fatalf("serve: %v", err)
 	}
 }

@@ -1,0 +1,139 @@
+// Multi-tenant: three users share one jungled control plane. The plane
+// admits at most two running sessions, so the third tenant first bounces
+// off admission control (a structured busy rejection with a retry-after
+// hint), then parks in the admission queue. Meanwhile one admitted tenant
+// goes idle past its lease and is reaped — checkpointed into a snapshot,
+// its workers stopped, its capacity freed — which admits the queued
+// tenant. When the reaped tenant comes back, it resumes from the snapshot
+// and finishes bit-identically to an uninterrupted run: the digests
+// printed at the end must match.
+//
+// Everything here also works over TCP through cmd/jungled and amuse-run
+// -attach; the example drives the scheduler in-process so the whole story
+// fits in one program.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"jungle/internal/core"
+	"jungle/internal/exp"
+	"jungle/internal/sched"
+)
+
+func main() {
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	// A small plane: two live sessions, short leases.
+	clock := time.Unix(0, 0)
+	s := sched.New(tb.Daemon, sched.Config{
+		MaxLive:  2,
+		LeaseTTL: time.Minute,
+		Recorder: tb.Recorder,
+		Now:      func() time.Time { return clock },
+	})
+	defer s.Shutdown()
+
+	ctx := context.Background()
+	w := exp.DefaultWorkload().Scaled(0.02)
+	const iters = 4
+
+	// A reference tenant runs straight through: this is the digest the
+	// preempted tenant must reproduce.
+	ref, err := exp.RunSessionWorkload(ctx, s, "reference", w, exp.AutoPlacement(), iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %d iterations, digest %016x\n", ref.Iterations, ref.StateDigest)
+
+	// Tenants alice and bob fill the plane.
+	alice, _, err := s.Attach(ctx, "alice", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aliceRun, err := exp.StartSessionScenario(ctx, alice, w, exp.AutoPlacement())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := aliceRun.Step(ctx, iters/2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice: running, %d/%d iterations done\n", aliceRun.Done(), iters)
+	if _, _, err := s.Attach(ctx, "bob", false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Carol bounces off admission control with a structured hint...
+	_, _, err = s.Attach(ctx, "carol", false)
+	var busy *sched.BusyError
+	if !errors.As(err, &busy) {
+		log.Fatalf("expected a busy rejection, got %v", err)
+	}
+	fmt.Printf("carol: rejected, retry after %v (%d queued)\n", busy.RetryAfter, busy.Queued)
+
+	// ...and parks in the queue on the second try.
+	admitted := make(chan error, 1)
+	go func() {
+		_, _, err := s.Attach(ctx, "carol", true)
+		admitted <- err
+	}()
+
+	// Alice idles past her lease (bob heartbeats); the reaper evicts her,
+	// which admits carol into the freed slot.
+	clock = clock.Add(2 * time.Minute)
+	if _, err := s.Heartbeat("bob"); err != nil {
+		log.Fatal(err)
+	}
+	reaped, err := s.ReapIdle(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reaped: %v\n", reaped)
+	if err := <-admitted; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("carol: admitted from the queue")
+
+	// Bob finishes and closes, freeing a slot; alice re-attaches, resumes
+	// from her eviction snapshot, and finishes.
+	if err := s.Close("bob"); err != nil {
+		log.Fatal(err)
+	}
+	aliceAgain, resumed, err := s.Attach(ctx, "alice", false)
+	if err != nil || !resumed {
+		log.Fatalf("re-attach alice: resumed=%v err=%v", resumed, err)
+	}
+	aliceRun, err = exp.ResumeSessionScenario(ctx, aliceAgain, aliceAgain.Snapshot())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := aliceRun.Step(ctx, iters-aliceRun.Done()); err != nil {
+		log.Fatal(err)
+	}
+	res, err := aliceRun.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice: resumed and finished, digest %016x\n", res.StateDigest)
+	if res.StateDigest != ref.StateDigest {
+		log.Fatalf("alice diverged from the uninterrupted run: %016x != %016x",
+			res.StateDigest, ref.StateDigest)
+	}
+	fmt.Println("bit-identical across preemption ✓")
+
+	for _, id := range []string{"alice", "carol"} {
+		if err := s.Close(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(tb.Recorder.RenderSessions())
+}

@@ -13,6 +13,7 @@ import (
 	"jungle/internal/amuse/units"
 	"jungle/internal/core/kernel"
 	"jungle/internal/phys/bridge"
+	"jungle/internal/trace"
 	"jungle/internal/vnet"
 	"jungle/internal/vtime"
 )
@@ -59,6 +60,20 @@ type Simulation struct {
 	mu        sync.Mutex
 	models    []*modelProxy
 	transfers TransferStats
+
+	// Session identity for multi-tenant control planes: the id namespaces
+	// every worker this simulation starts (disjoint worker-id blocks, and
+	// with them pool port names, peer-plane ports and checkpoint refs) and
+	// labels its capacity in the deployment ledger. Empty for standalone
+	// simulations — the seed single-tenant behavior.
+	session string
+	// sessionRec, when set with a session id, receives per-session call,
+	// transfer and worker accounting (trace.RenderSessions).
+	sessionRec *trace.Recorder
+	// placer, when set, resolves WorkerSpecs that leave Resource open —
+	// the scheduler installs its capacity-aware fair-share policy here.
+	// nil means SelectResource, the single-session default.
+	placer func(WorkerSpec) (string, error)
 }
 
 // NewSimulation creates a coupler session on a running daemon. ctx is the
@@ -89,6 +104,55 @@ func (s *Simulation) Converter() *units.Converter { return s.conv }
 // Daemon returns the daemon this simulation talks to.
 func (s *Simulation) Daemon() *Daemon { return s.daemon }
 
+// SetSession binds the simulation to a control-plane session: id
+// namespaces every worker it starts and labels its capacity in the
+// deployment ledger; rec (optional) receives per-session accounting.
+// Call before starting models.
+func (s *Simulation) SetSession(id string, rec *trace.Recorder) {
+	s.mu.Lock()
+	s.session = id
+	s.sessionRec = rec
+	s.mu.Unlock()
+}
+
+// Session returns the control-plane session id ("" for standalone runs).
+func (s *Simulation) Session() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.session
+}
+
+// SetPlacer installs the placement policy used to resolve WorkerSpecs
+// that leave Resource open. nil restores SelectResource.
+func (s *Simulation) SetPlacer(f func(WorkerSpec) (string, error)) {
+	s.mu.Lock()
+	s.placer = f
+	s.mu.Unlock()
+}
+
+// place resolves an open spec to a resource name through the installed
+// placement policy (SelectResource when none is installed).
+func (s *Simulation) place(spec WorkerSpec) (string, error) {
+	s.mu.Lock()
+	p := s.placer
+	s.mu.Unlock()
+	if p != nil {
+		return p(spec)
+	}
+	return SelectResource(s.daemon.Deployment(), spec)
+}
+
+// sessionAccount runs f against the recorder when the simulation belongs
+// to a session with accounting enabled.
+func (s *Simulation) sessionAccount(f func(rec *trace.Recorder, id string)) {
+	s.mu.Lock()
+	rec, id := s.sessionRec, s.session
+	s.mu.Unlock()
+	if rec != nil && id != "" {
+		f(rec, id)
+	}
+}
+
 func (s *Simulation) trace(format string, args ...any) {
 	if s.Trace != nil {
 		s.Trace(fmt.Sprintf(format, args...))
@@ -117,6 +181,15 @@ func (s *Simulation) Stop() error {
 	models := append([]*modelProxy(nil), s.models...)
 	s.models = nil
 	s.mu.Unlock()
+	for _, m := range models {
+		workers := len(m.WorkerIDs())
+		if workers == 0 {
+			workers = 1
+		}
+		s.sessionAccount(func(rec *trace.Recorder, id string) {
+			rec.SessionWorkerDelta(id, -workers)
+		})
+	}
 	errs := make([]error, len(models))
 	var wg sync.WaitGroup
 	for i, m := range models {
@@ -199,6 +272,7 @@ func (s *Simulation) newModel(ctx context.Context, kind Kind, spec WorkerSpec, s
 	if spec.Channel == "" {
 		spec.Channel = ChannelIbis
 	}
+	spec.Session = s.Session()
 	m := &modelProxy{sim: s, kind: kind, spec: spec, setupArgs: setup}
 	if err := m.start(ctx); err != nil {
 		return nil, err
@@ -210,6 +284,13 @@ func (s *Simulation) newModel(ctx context.Context, kind Kind, spec WorkerSpec, s
 	s.mu.Lock()
 	s.models = append(s.models, m)
 	s.mu.Unlock()
+	workers := len(m.WorkerIDs())
+	if workers == 0 {
+		workers = 1 // in-process mpi-channel model
+	}
+	s.sessionAccount(func(rec *trace.Recorder, id string) {
+		rec.SessionWorkerDelta(id, workers)
+	})
 	s.trace("worker started kind=%s kernel=%s resource=%s channel=%s",
 		kind, spec.Kernel, m.resource(), spec.Channel)
 	return m, nil
@@ -228,17 +309,22 @@ func (m *modelProxy) start(ctx context.Context) error {
 	if spec.Workers > 1 && spec.Channel != ChannelIbis {
 		return fmt.Errorf("core: gangs require the ibis channel, not %q (ranks exchange halos over their peer planes)", spec.Channel)
 	}
+	if spec.Resource == "" {
+		// Resolve open specs here, through the session's placement policy,
+		// for every channel — the daemon then starts the worker on exactly
+		// the resource the policy picked.
+		resource, err := s.place(spec)
+		if err != nil {
+			return err
+		}
+		spec.Resource = resource
+		m.mu.Lock()
+		m.spec.Resource = resource
+		m.mu.Unlock()
+	}
 	switch spec.Channel {
 	case ChannelMPI:
-		// In-process worker on the local resource (AMUSE's default
-		// channel): resolve the resource for device models.
-		if spec.Resource == "" {
-			resource, err := SelectResource(s.daemon.Deployment(), spec)
-			if err != nil {
-				return err
-			}
-			spec.Resource = resource
-		}
+		// In-process worker on the local resource (AMUSE's default channel).
 		res, err := s.daemon.Deployment().Resource(spec.Resource)
 		if err != nil {
 			return err
@@ -291,7 +377,7 @@ func (m *modelProxy) start(ctx context.Context) error {
 func (m *modelProxy) startGang(ctx context.Context, spec WorkerSpec) error {
 	s := m.sim
 	if spec.Resource == "" {
-		resource, err := SelectResource(s.daemon.Deployment(), spec)
+		resource, err := s.place(spec)
 		if err != nil {
 			return err
 		}
@@ -516,6 +602,9 @@ func (m *modelProxy) startCall(c *Call, method string, args []byte, mayReplace b
 		c.finish(nil, fmt.Errorf("core: %s.%s: %w", m.kind, method, ErrChannelClosed))
 		return
 	}
+	m.sim.sessionAccount(func(rec *trace.Recorder, id string) {
+		rec.SessionCall(id)
+	})
 	req := request{
 		ID: reqIDs.Add(1), Worker: worker, Method: method,
 		Args: args, SentAt: m.sim.clock.Now(),
@@ -656,7 +745,7 @@ func (m *modelProxy) replace() error {
 	}
 	// Re-select the resource: the failed one may be gone.
 	spec.Resource = ""
-	resource, err := SelectResource(m.sim.daemon.Deployment(), spec)
+	resource, err := m.sim.place(spec)
 	if err != nil {
 		return err
 	}

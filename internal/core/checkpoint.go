@@ -11,6 +11,7 @@ import (
 	"jungle/internal/amuse/units"
 	"jungle/internal/core/kernel"
 	"jungle/internal/deploy"
+	"jungle/internal/trace"
 )
 
 // Coupler-side checkpoint/restore. Simulation.Checkpoint snapshots every
@@ -163,6 +164,7 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 		// so a long checkpointing session holds one snapshot per model,
 		// not one per checkpoint.
 		s.daemon.StoreCheckpoint(p.id, p.blob)
+		s.daemon.TagCheckpoint(p.id, s.Session())
 		if prev := p.m.cacheSnapshot(p.blob, p.id, p.seq); prev != 0 {
 			s.daemon.DropCheckpoint(prev)
 		}
@@ -197,7 +199,17 @@ func (m *modelProxy) goCheckpointPull(out *[]byte) *Call {
 // wrap them with AsGravity/AsHydro/AsStellar/AsField to recover typed
 // handles. On any failure the partially resumed session is stopped.
 func ResumeSimulation(ctx context.Context, d *Daemon, conv *units.Converter, man *Manifest) (*Simulation, []*Model, error) {
+	return ResumeSessionSimulation(ctx, d, conv, man, "", nil)
+}
+
+// ResumeSessionSimulation is ResumeSimulation for a control-plane
+// session: the resumed simulation is bound to the session id (every
+// restarted worker is stamped with it, so id blocks, ports and capacity
+// accounting stay namespaced) and, when rec is non-nil, to per-session
+// accounting. Empty session and nil rec give exactly ResumeSimulation.
+func ResumeSessionSimulation(ctx context.Context, d *Daemon, conv *units.Converter, man *Manifest, session string, rec *trace.Recorder) (*Simulation, []*Model, error) {
 	sim := NewSimulation(ctx, d, conv)
+	sim.SetSession(session, rec)
 	sim.clock.AdvanceTo(man.VTime)
 	models := make([]*Model, 0, len(man.Models))
 	fail := func(err error) (*Simulation, []*Model, error) {
@@ -208,6 +220,9 @@ func ResumeSimulation(ctx context.Context, d *Daemon, conv *units.Converter, man
 		if !kernel.Registered(string(mc.Kind)) {
 			return fail(fmt.Errorf("%w: %q (missing adapter import? see internal/kernels)", ErrBadKind, mc.Kind))
 		}
+		// Restarted workers belong to the resuming session, whatever session
+		// (if any) saved the manifest.
+		mc.Spec.Session = session
 		m := &modelProxy{sim: sim, kind: mc.Kind, spec: mc.Spec, setupRaw: mc.Setup}
 		if err := m.start(ctx); err != nil {
 			return fail(fmt.Errorf("core: resume model %d (%s): %w", i, mc.Kind, err))
@@ -231,6 +246,13 @@ func ResumeSimulation(ctx context.Context, d *Daemon, conv *units.Converter, man
 		sim.mu.Lock()
 		sim.models = append(sim.models, m)
 		sim.mu.Unlock()
+		workers := len(m.WorkerIDs())
+		if workers == 0 {
+			workers = 1
+		}
+		sim.sessionAccount(func(rec *trace.Recorder, id string) {
+			rec.SessionWorkerDelta(id, workers)
+		})
 		sim.trace("model resumed kind=%s resource=%s gang=%d", mc.Kind, m.resource(), mc.Spec.Workers)
 		models = append(models, &Model{modelProxy: m})
 	}

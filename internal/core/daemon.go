@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,14 @@ type Daemon struct {
 	byMember map[string]*workerHandle // member identifier string -> handle
 	nextID   int
 	closed   bool
+	// Session worker-id blocks: each named session gets a disjoint id
+	// range (slot * sessionIDBlock), so everything keyed on the worker id
+	// — pool port names, the per-id peer/loopback port block, checkpoint
+	// refs — is namespaced per session. The default session ("") keeps the
+	// plain nextID sequence, so single-tenant daemons number workers
+	// exactly as before.
+	sessionSlots map[string]int // session -> block slot (1-based)
+	sessionSeq   map[string]int // session -> ids handed out in its block
 
 	// Checkpoint store: snapshot blobs streamed by worker proxies over the
 	// daemon's own peer listener (or deposited directly by the coupler's
@@ -49,6 +58,10 @@ type Daemon struct {
 	ckptLis    *smartsockets.Listener
 	ckptClosed bool
 	ckptBlobs  map[uint64][]byte
+	// ckptOwner tags store entries with the session that made them, so an
+	// evicted or detached session's blobs can be trimmed in one sweep
+	// without touching other tenants' checkpoints.
+	ckptOwner map[uint64]string
 	// ckptWire records, per blob ref, the encoded size that actually
 	// crossed the peer plane (post-compression, pre-decode) — what the
 	// compression codecs are measured by. Hairpinned blobs have no entry.
@@ -68,6 +81,9 @@ type Daemon struct {
 	wg sync.WaitGroup
 }
 
+// sessionIDBlock is the worker-id range reserved per named session.
+const sessionIDBlock = 4096
+
 // workerHandle is the daemon-side state for one worker.
 type workerHandle struct {
 	id   int
@@ -79,6 +95,11 @@ type workerHandle struct {
 	sendPort *ipl.SendPort
 	pending  map[uint64]*vnet.Conn // request id -> coupler conn awaiting reply
 	dead     bool
+	// Capacity accounting: the nodes this worker committed on its
+	// resource, released exactly once (released guards the stop/fail/
+	// error-path races) when the worker goes away.
+	capNodes int
+	released bool
 
 	ready chan ipl.Identifier
 	// sockets channel: the worker's direct address instead of IPL state.
@@ -102,6 +123,13 @@ type WorkerSpec struct {
 	// kernel.Shardable; ranks are co-located on one resource so the halo
 	// traffic rides the fast intra-site links. 0 and 1 mean a solo worker.
 	Workers int
+	// Session names the control-plane session the worker belongs to ("" =
+	// the daemon's default session). Sessions namespace everything derived
+	// from the worker id — pool identities, peer-plane ports, checkpoint
+	// refs — and scope capacity accounting, so concurrent sessions on one
+	// daemon cannot collide. Simulations stamp it automatically from their
+	// own session label; only direct Daemon users set it by hand.
+	Session string
 }
 
 // NewDaemon starts the daemon for a deployment: an IPL registry and the
@@ -118,6 +146,8 @@ func NewDaemon(dep *deploy.Deployment, pool string) (*Daemon, error) {
 		env: env, deployment: dep, registry: reg,
 		workers:      make(map[int]*workerHandle),
 		byMember:     make(map[string]*workerHandle),
+		sessionSlots: make(map[string]int),
+		sessionSeq:   make(map[string]int),
 		ReadyTimeout: 30 * time.Second,
 	}
 
@@ -152,6 +182,7 @@ func NewDaemon(dep *deploy.Deployment, pool string) (*Daemon, error) {
 	d.listener = l
 	d.ckptBlobs = make(map[uint64][]byte)
 	d.ckptWire = make(map[uint64]int)
+	d.ckptOwner = make(map[uint64]string)
 	d.ckptStripes = newStripeBox(func(id uint64, payload []byte, arrival time.Duration, mconn *smartsockets.VirtualConn) {
 		if !d.storeCheckpointWire(id, payload) {
 			mconn.Close() // no ack: the sender falls back to a single stream
@@ -339,6 +370,34 @@ func (d *Daemon) DropCheckpoint(id uint64) {
 	d.ckptMu.Lock()
 	delete(d.ckptBlobs, id)
 	delete(d.ckptWire, id)
+	delete(d.ckptOwner, id)
+	d.ckptMu.Unlock()
+}
+
+// TagCheckpoint records which session owns a stored blob so the control
+// plane can trim an evicted session's checkpoints in one sweep.
+func (d *Daemon) TagCheckpoint(id uint64, session string) {
+	if session == "" {
+		return
+	}
+	d.ckptMu.Lock()
+	d.ckptOwner[id] = session
+	d.ckptMu.Unlock()
+}
+
+// DropSessionCheckpoints releases every blob the session owns.
+func (d *Daemon) DropSessionCheckpoints(session string) {
+	if session == "" {
+		return
+	}
+	d.ckptMu.Lock()
+	for id, owner := range d.ckptOwner {
+		if owner == session {
+			delete(d.ckptBlobs, id)
+			delete(d.ckptWire, id)
+			delete(d.ckptOwner, id)
+		}
+	}
 	d.ckptMu.Unlock()
 }
 
@@ -354,6 +413,27 @@ func (d *Daemon) WorkerAlive(id int) bool {
 	wh.mu.Lock()
 	defer wh.mu.Unlock()
 	return !wh.dead
+}
+
+// SessionWorkers returns the live worker ids owned by a session, sorted.
+func (d *Daemon) SessionWorkers(session string) []int {
+	d.mu.Lock()
+	handles := make([]*workerHandle, 0, len(d.workers))
+	for _, wh := range d.workers {
+		handles = append(handles, wh)
+	}
+	d.mu.Unlock()
+	var ids []int
+	for _, wh := range handles {
+		wh.mu.Lock()
+		dead := wh.dead
+		wh.mu.Unlock()
+		if !dead && wh.spec.Session == session {
+			ids = append(ids, wh.id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 var reqIDs atomic.Uint64
@@ -481,7 +561,44 @@ func (d *Daemon) failWorker(wh *workerHandle) bool {
 	for id, conn := range pend {
 		d.reply(conn, id, 0, kernel.CodeWorkerDied, ErrWorkerDied.Error())
 	}
+	d.releaseWorkerCapacity(wh)
 	return newly
+}
+
+// nextWorkerIDLocked allocates a worker id. The default session ("") uses
+// the plain counter; a named session draws from its own disjoint id block
+// so its pool port names, peer-plane ports and checkpoint refs never
+// collide with another tenant's. Caller holds d.mu.
+func (d *Daemon) nextWorkerIDLocked(session string) (int, error) {
+	if session == "" {
+		d.nextID++
+		return d.nextID, nil
+	}
+	slot, ok := d.sessionSlots[session]
+	if !ok {
+		slot = len(d.sessionSlots) + 1
+		d.sessionSlots[session] = slot
+	}
+	seq := d.sessionSeq[session] + 1
+	if seq >= sessionIDBlock {
+		return 0, fmt.Errorf("core: session %q exhausted its %d-worker id block", session, sessionIDBlock-1)
+	}
+	d.sessionSeq[session] = seq
+	return slot*sessionIDBlock + seq, nil
+}
+
+// releaseWorkerCapacity returns a worker's committed nodes to the ledger,
+// exactly once across the stop/fail/start-error races.
+func (d *Daemon) releaseWorkerCapacity(wh *workerHandle) {
+	wh.mu.Lock()
+	done := wh.released || wh.capNodes == 0
+	wh.released = true
+	nodes := wh.capNodes
+	wh.mu.Unlock()
+	if done {
+		return
+	}
+	d.deployment.ReleaseNodes(wh.spec.Resource, wh.spec.Session, nodes)
 }
 
 // StartWorker launches a worker per spec and returns its id. For the ibis
@@ -575,8 +692,11 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 		d.mu.Unlock()
 		return 0, ErrChannelClosed
 	}
-	d.nextID++
-	id := d.nextID
+	id, err := d.nextWorkerIDLocked(spec.Session)
+	if err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
 	wh := &workerHandle{
 		id: id, spec: spec,
 		pending: make(map[uint64]*vnet.Conn),
@@ -584,6 +704,18 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 	}
 	d.workers[id] = wh
 	d.mu.Unlock()
+
+	// The worker's job occupies spec.Nodes nodes on the resource from
+	// submission until stop/death; the ledger entry makes that occupancy
+	// visible to other sessions' placement decisions. Released exactly
+	// once — on any start failure below, on StopWorker, or when the pool
+	// observes the death.
+	d.deployment.CommitNodes(resource, spec.Session, spec.Nodes)
+	wh.capNodes = spec.Nodes
+	fail := func(err error) (int, error) {
+		d.releaseWorkerCapacity(wh)
+		return 0, err
+	}
 
 	exe := "amuse-worker"
 	if spec.Channel == ChannelSockets {
@@ -598,7 +730,7 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 	if spec.Channel == ChannelSockets {
 		job, err := d.deployment.Submit(resource, desc)
 		if err != nil {
-			return 0, err
+			return fail(err)
 		}
 		wh.mu.Lock()
 		wh.job = job
@@ -613,12 +745,12 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 		d.onResponse(wh, rm)
 	})
 	if err != nil {
-		return 0, err
+		return fail(err)
 	}
 	_ = rp
 	job, err := d.deployment.Submit(resource, desc)
 	if err != nil {
-		return 0, err
+		return fail(err)
 	}
 	wh.mu.Lock()
 	wh.job = job
@@ -629,7 +761,7 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 		sp := d.ibis.CreateSendPort(ipl.OneToOne, reqPortName(id))
 		if err := sp.Connect(member, reqPortName(id), 0); err != nil {
 			job.Cancel()
-			return 0, fmt.Errorf("core: connect to worker %d: %w", id, err)
+			return fail(fmt.Errorf("core: connect to worker %d: %w", id, err))
 		}
 		wh.mu.Lock()
 		wh.member = member
@@ -644,13 +776,13 @@ func (d *Daemon) startWorker(ctx context.Context, spec WorkerSpec, rank, size in
 		if err == nil {
 			err = errors.New("core: worker job stopped before announcing")
 		}
-		return 0, fmt.Errorf("core: worker %d failed to start: %w", id, err)
+		return fail(fmt.Errorf("core: worker %d failed to start: %w", id, err))
 	case <-ctx.Done():
 		job.Cancel()
-		return 0, fmt.Errorf("core: worker %d start: %w", id, ctx.Err())
+		return fail(fmt.Errorf("core: worker %d start: %w", id, ctx.Err()))
 	case <-time.After(d.ReadyTimeout):
 		job.Cancel()
-		return 0, fmt.Errorf("core: worker %d did not announce within %v", id, d.ReadyTimeout)
+		return fail(fmt.Errorf("core: worker %d did not announce within %v", id, d.ReadyTimeout))
 	}
 }
 
@@ -674,6 +806,7 @@ func (d *Daemon) StopWorker(id int) {
 	if job != nil {
 		job.Cancel() // the proxy observes Cancel and tears itself down
 	}
+	d.releaseWorkerCapacity(wh)
 }
 
 // KillWorker abruptly cancels a worker's job (the scheduler-kill fault of

@@ -55,6 +55,11 @@ var (
 	// worker id, undecodable frame, send on a closed connection) — the
 	// call never reached, or never returned from, a live worker.
 	ErrTransport = errors.New("core: transport fault")
+	// ErrBusy marks an admission-control rejection: the control plane has
+	// no capacity for the request right now and the client should retry
+	// after a backoff. The structured retry-after hint travels in the
+	// response payload; the sentinel is what errors.Is keys on.
+	ErrBusy = errors.New("core: busy, retry later")
 )
 
 // Service is the worker-side model host: it owns the kernel, a virtual

@@ -138,6 +138,7 @@ func TestErrorCodeRoundTrip(t *testing.T) {
 		{CodeWorkerFault, ErrWorkerFault},
 		{CodeWorkerDied, ErrWorkerDied},
 		{CodeTransport, ErrTransport},
+		{CodeBusy, ErrBusy},
 		{Code(250), ErrTransport}, // unknown codes degrade to transport
 	}
 	for _, c := range cases {
@@ -173,6 +174,7 @@ func TestClassifyErr(t *testing.T) {
 		{fmt.Errorf("gravity.%s: %w", "nope", ErrBadMethod), CodeBadMethod},
 		{ErrBadKind, CodeBadKind},
 		{ErrWorkerDied, CodeWorkerDied},
+		{ErrBusy, CodeBusy},
 		{ErrTransport, CodeTransport},
 		{errors.New("physics exploded"), CodeWorkerFault},
 	}

@@ -51,6 +51,7 @@ const (
 	CodeWorkerFault             // the model call itself failed (worker alive)
 	CodeWorkerDied              // worker process/job/host is gone
 	CodeTransport               // channel or daemon failure en route
+	CodeBusy                    // admission control: no capacity, retry after backoff
 )
 
 // Sentinel returns the taxonomy sentinel a code unwraps to (nil for
@@ -68,6 +69,8 @@ func (c Code) Sentinel() error {
 		return ErrWorkerFault
 	case CodeWorkerDied:
 		return ErrWorkerDied
+	case CodeBusy:
+		return ErrBusy
 	default:
 		return ErrTransport
 	}
@@ -86,6 +89,8 @@ func ClassifyErr(err error) Code {
 		return CodeBadKind
 	case errors.Is(err, ErrWorkerDied):
 		return CodeWorkerDied
+	case errors.Is(err, ErrBusy):
+		return CodeBusy
 	case errors.Is(err, ErrTransport):
 		return CodeTransport
 	default:

@@ -55,8 +55,84 @@ var (
 	ErrBadKind       = kernel.ErrBadKind
 	ErrWorkerFault   = kernel.ErrWorkerFault
 	ErrTransport     = kernel.ErrTransport
+	ErrBusy          = kernel.ErrBusy
 	ErrChannelClosed = errors.New("core: channel closed")
 )
+
+// Session control-plane operations. These ride the same Request/Response
+// frames as worker RPC but are served by the jungled gateway itself (the
+// multi-tenant control plane in internal/sched), not by a worker channel:
+// a thin client attaches to a session, keeps its lease alive with
+// heartbeats, submits work, and detaches. Admission rejections come back
+// as CodeBusy responses whose payload is a SessionBusy with the
+// structured retry-after hint.
+const (
+	MethodSessionAttach    = "session_attach"
+	MethodSessionHeartbeat = "session_heartbeat"
+	MethodSessionRun       = "session_run"
+	MethodSessionStatus    = "session_status"
+	MethodSessionDetach    = "session_detach"
+)
+
+// SessionAttachArgs asks the control plane to admit (or re-attach to) a
+// session. Wait queues the attach until capacity frees instead of
+// rejecting with CodeBusy.
+type SessionAttachArgs struct {
+	Session string
+	Wait    bool
+}
+
+// SessionAttachReply reports the admitted session's state.
+type SessionAttachReply struct {
+	Session string
+	State   string
+	Resumed bool // true when the session was revived from its checkpoint
+}
+
+// SessionHeartbeatArgs renews a session's lease.
+type SessionHeartbeatArgs struct{ Session string }
+
+// SessionHeartbeatReply acknowledges a lease renewal.
+type SessionHeartbeatReply struct{ State string }
+
+// SessionRunArgs submits one unit of work to a session. Payload is opaque
+// to the protocol — the control plane's configured run handler interprets
+// it (jungled: a gob-encoded experiment workload).
+type SessionRunArgs struct {
+	Session string
+	Payload []byte
+}
+
+// SessionRunReply carries the run handler's opaque result.
+type SessionRunReply struct{ Payload []byte }
+
+// SessionStatusArgs asks for one session's control-plane view.
+type SessionStatusArgs struct{ Session string }
+
+// SessionStatusReply is the control-plane view of a session.
+type SessionStatusReply struct {
+	State   string
+	Workers int
+	Live    int // sessions currently running on the plane
+	Queued  int // sessions waiting for admission
+}
+
+// SessionDetachArgs detaches a client; Close also ends the session and
+// releases its capacity.
+type SessionDetachArgs struct {
+	Session string
+	Close   bool
+}
+
+// SessionDetachReply reports the state the session was left in.
+type SessionDetachReply struct{ State string }
+
+// SessionBusy is the payload of a CodeBusy response: the structured
+// retry-after hint admission control returns when the plane is full.
+type SessionBusy struct {
+	RetryAfterMs int64
+	Queued       int
+}
 
 // Kind is the model type a worker hosts (Fig. 3's model boxes). The
 // constants below name the four kinds the paper's evaluation uses; any

@@ -15,6 +15,39 @@ func wantsGPU(kernel string) bool {
 	return kernel == "phigrape-gpu" || kernel == "octgrav"
 }
 
+// specDemand returns the effective (nodes per worker, total batch nodes)
+// a spec needs: gangs multiply by the rank count.
+func specDemand(spec WorkerSpec) (nodes, total int) {
+	nodes = spec.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return nodes, workers * nodes
+}
+
+// fitsResource reports whether a spec fits a resource given the capacity
+// other sessions already hold on it. Batch clusters (resources with
+// enumerated nodes) enforce node counts — both the per-worker node demand
+// and, for gangs, room for every rank's job — against the nodes still
+// free after other live sessions' reservations and running workers.
+// ssh/local resources host workers as co-resident processes and never
+// node-limit.
+func fitsResource(d *deploy.Deployment, r *deploy.Resource, spec WorkerSpec) bool {
+	if wantsGPU(spec.Kernel) && !r.HasGPU() {
+		return false
+	}
+	nodes, total := specDemand(spec)
+	if len(r.Nodes) == 0 {
+		return r.NodeCount() >= nodes
+	}
+	free := r.NodeCount() - d.OccupiedNodesByOthers(r.Name, spec.Session)
+	return free >= nodes && free >= total
+}
+
 // SelectResource implements §4.3's requirement 5, which the paper's
 // prototype leaves to the user: "given the list of resources a user has
 // access to, ideally, software should find suitable resources itself". The
@@ -27,31 +60,21 @@ func wantsGPU(kernel string) bool {
 // its traffic rides the site's fast internal links rather than the WAN.
 // Batch clusters must have room for every rank's job; ssh/local resources
 // host the ranks as co-resident processes.
+//
+// Fit is capacity-aware across sessions: nodes reserved or committed by
+// OTHER live sessions (spec.Session scopes "other") are subtracted from a
+// batch cluster's count before the fit check, so two sessions racing for
+// one cluster cannot both be placed onto it when only one fits. A
+// session's own holdings are not subtracted — a session fitting its next
+// worker is not competing with itself.
 func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 	var bestName string
 	var bestScore float64
 	needGPU := wantsGPU(spec.Kernel)
-	nodes := spec.Nodes
-	if nodes < 1 {
-		nodes = 1
-	}
-	workers := spec.Workers
-	if workers < 1 {
-		workers = 1
-	}
 	for _, name := range d.Resources() {
 		r, err := d.Resource(name)
-		if err != nil {
+		if err != nil || !fitsResource(d, r, spec) {
 			continue
-		}
-		if needGPU && !r.HasGPU() {
-			continue
-		}
-		if r.NodeCount() < nodes {
-			continue
-		}
-		if workers > 1 && len(r.Nodes) > 0 && r.NodeCount() < workers*nodes {
-			continue // a batch cluster must fit the whole gang
 		}
 		score := 0.0
 		switch {
@@ -65,6 +88,53 @@ func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 		}
 	}
 	if bestName == "" {
+		nodes, _ := specDemand(spec)
+		return "", fmt.Errorf("%w: kind=%s kernel=%q nodes=%d gpu=%v",
+			ErrNoResource, spec.Kind, spec.Kernel, nodes, needGPU)
+	}
+	return bestName, nil
+}
+
+// SelectLeastLoaded is the scheduler-level placement policy: among the
+// resources a spec fits (same device and capacity constraints as
+// SelectResource), pick the one with the most free capacity — batch
+// clusters by free-node fraction, ssh/local hosts by how few workers the
+// requesting plane already placed there (tracked through the same
+// ledger). Ties break toward SelectResource's compute score, so an idle
+// jungle places exactly like the single-session policy.
+func SelectLeastLoaded(d *deploy.Deployment, spec WorkerSpec) (string, error) {
+	var bestName string
+	var bestFree, bestScore float64
+	first := true
+	needGPU := wantsGPU(spec.Kernel)
+	for _, name := range d.Resources() {
+		r, err := d.Resource(name)
+		if err != nil || !fitsResource(d, r, spec) {
+			continue
+		}
+		occupied := d.OccupiedNodes(r.Name)
+		var free float64
+		if len(r.Nodes) > 0 {
+			free = float64(r.NodeCount()-occupied) / float64(r.NodeCount())
+		} else {
+			// Co-resident hosts never fill up; rank them below an empty
+			// cluster once workers pile on (1/(1+n) decays with load).
+			free = 1 / (1 + float64(occupied))
+		}
+		score := 0.0
+		switch {
+		case needGPU:
+			score = r.GPU.Gflops
+		case r.CPU != nil:
+			score = r.CPU.Gflops * float64(r.CPU.Cores) * float64(r.NodeCount())
+		}
+		if first || free > bestFree || (free == bestFree && score > bestScore) {
+			first = false
+			bestName, bestFree, bestScore = name, free, score
+		}
+	}
+	if bestName == "" {
+		nodes, _ := specDemand(spec)
 		return "", fmt.Errorf("%w: kind=%s kernel=%q nodes=%d gpu=%v",
 			ErrNoResource, spec.Kind, spec.Kernel, nodes, needGPU)
 	}

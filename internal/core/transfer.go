@@ -74,7 +74,11 @@ func (s *Simulation) TransferStats() TransferStats {
 func (s *Simulation) countTransfer(f func(*TransferStats)) {
 	s.mu.Lock()
 	f(&s.transfers)
+	rec, id := s.sessionRec, s.session
 	s.mu.Unlock()
+	if rec != nil && id != "" {
+		rec.SessionTransfer(id)
+	}
 }
 
 // GoTransferState starts moving the named attribute columns (default

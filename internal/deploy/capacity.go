@@ -1,0 +1,147 @@
+package deploy
+
+import "sync"
+
+// Capacity accounting. The control plane needs one truthful answer to
+// "how many nodes of this resource are spoken for, and by whom?" — across
+// every live session sharing the deployment. Two books feed that answer:
+//
+//   - commitments: nodes occupied by actually-running worker jobs. The
+//     core daemon commits when it starts a worker and releases exactly
+//     once when the worker stops or dies.
+//   - reservations: nodes promised to an admitted session whose workers
+//     have not all started yet. The session scheduler reserves a whole
+//     session's demand at admission and releases it at eviction/close.
+//
+// A session's workers start against its own reservation, so the two books
+// overlap for the same owner. The per-resource total therefore merges
+// them per owner with max(reserved, committed) — never the sum — while
+// anonymous commitments (owner "", sessionless simulations) simply add
+// up. That keeps admission, placement and SelectResource fairness all
+// reading one consistent occupancy figure with no double counting.
+
+// capLedger tracks reserved/committed nodes per resource per owner.
+type capLedger struct {
+	mu        sync.Mutex
+	reserved  map[string]map[string]int // resource -> owner -> nodes
+	committed map[string]map[string]int
+}
+
+func (l *capLedger) add(book map[string]map[string]int, resource, owner string, nodes int) map[string]map[string]int {
+	if book == nil {
+		book = make(map[string]map[string]int)
+	}
+	m := book[resource]
+	if m == nil {
+		m = make(map[string]int)
+		book[resource] = m
+	}
+	m[owner] += nodes
+	if m[owner] <= 0 {
+		delete(m, owner)
+	}
+	return book
+}
+
+// ReserveNodes records a capacity reservation for owner on a resource
+// (the scheduler's admission-time claim on a session's whole demand).
+func (d *Deployment) ReserveNodes(resource, owner string, nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	d.cap.mu.Lock()
+	d.cap.reserved = d.cap.add(d.cap.reserved, resource, owner, nodes)
+	d.cap.mu.Unlock()
+}
+
+// ReleaseReserved returns previously reserved nodes.
+func (d *Deployment) ReleaseReserved(resource, owner string, nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	d.cap.mu.Lock()
+	d.cap.reserved = d.cap.add(d.cap.reserved, resource, owner, -nodes)
+	d.cap.mu.Unlock()
+}
+
+// CommitNodes records nodes occupied by a running worker job. owner is
+// the session the worker belongs to ("" for sessionless simulations).
+func (d *Deployment) CommitNodes(resource, owner string, nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	d.cap.mu.Lock()
+	d.cap.committed = d.cap.add(d.cap.committed, resource, owner, nodes)
+	d.cap.mu.Unlock()
+}
+
+// ReleaseNodes returns previously committed nodes (worker stopped/died).
+func (d *Deployment) ReleaseNodes(resource, owner string, nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	d.cap.mu.Lock()
+	d.cap.committed = d.cap.add(d.cap.committed, resource, owner, -nodes)
+	d.cap.mu.Unlock()
+}
+
+// mergedLocked returns one owner's occupancy contribution on a resource.
+func (l *capLedger) ownerLocked(resource, owner string) int {
+	res := l.reserved[resource][owner]
+	com := l.committed[resource][owner]
+	if owner == "" {
+		// Anonymous entries have no session identity to merge under: a
+		// reservation without an owner (which the scheduler never makes)
+		// and sessionless worker commitments are distinct claims.
+		return res + com
+	}
+	if com > res {
+		return com
+	}
+	return res
+}
+
+// occupied sums every owner's merged contribution on a resource,
+// optionally excluding one owner (a caller fitting its OWN work must not
+// count capacity it already holds against itself).
+func (l *capLedger) occupied(resource, except string, useExcept bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	owners := make(map[string]bool)
+	for o := range l.reserved[resource] {
+		owners[o] = true
+	}
+	for o := range l.committed[resource] {
+		owners[o] = true
+	}
+	total := 0
+	for o := range owners {
+		if useExcept && o == except {
+			continue
+		}
+		total += l.ownerLocked(resource, o)
+	}
+	return total
+}
+
+// OccupiedNodes returns the total nodes spoken for on a resource across
+// all owners: running workers plus admission reservations, max-merged per
+// session so a session starting against its own reservation is counted
+// once.
+func (d *Deployment) OccupiedNodes(resource string) int {
+	return d.cap.occupied(resource, "", false)
+}
+
+// OccupiedNodesByOthers returns the nodes spoken for on a resource by
+// every owner except the given one — what a placement decision for that
+// owner's work must subtract from the resource's capacity.
+func (d *Deployment) OccupiedNodesByOthers(resource, owner string) int {
+	return d.cap.occupied(resource, owner, true)
+}
+
+// OwnerNodes returns one owner's merged occupancy on a resource.
+func (d *Deployment) OwnerNodes(resource, owner string) int {
+	d.cap.mu.Lock()
+	defer d.cap.mu.Unlock()
+	return d.cap.ownerLocked(resource, owner)
+}

@@ -1,0 +1,65 @@
+package deploy
+
+import (
+	"testing"
+
+	"jungle/internal/vnet"
+)
+
+func capTestDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	n := vnet.New()
+	if _, err := n.AddHost("client", "site", vnet.Open); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(n, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestCapacityLedgerMaxMerge: a session starting workers against its own
+// admission reservation must be counted once (max-merge), anonymous
+// commitments add up, and releases drain both books back to zero.
+func TestCapacityLedgerMaxMerge(t *testing.T) {
+	d := capTestDeployment(t)
+
+	// Session s1 reserved 4 nodes at admission; 3 of its workers started.
+	d.ReserveNodes("cluster", "s1", 4)
+	d.CommitNodes("cluster", "s1", 3)
+	if got := d.OwnerNodes("cluster", "s1"); got != 4 {
+		t.Fatalf("s1 merged occupancy = %d, want max(4,3)=4", got)
+	}
+	// Its workers overshoot the reservation: commitments dominate.
+	d.CommitNodes("cluster", "s1", 2)
+	if got := d.OwnerNodes("cluster", "s1"); got != 5 {
+		t.Fatalf("s1 merged occupancy = %d, want max(4,5)=5", got)
+	}
+
+	// A second session and two anonymous workers share the cluster.
+	d.ReserveNodes("cluster", "s2", 2)
+	d.CommitNodes("cluster", "", 1)
+	d.CommitNodes("cluster", "", 1)
+	if got := d.OccupiedNodes("cluster"); got != 5+2+2 {
+		t.Fatalf("occupied = %d, want 9", got)
+	}
+	// Fitting s1's next worker must not count s1's own holdings.
+	if got := d.OccupiedNodesByOthers("cluster", "s1"); got != 4 {
+		t.Fatalf("occupied by others = %d, want 4", got)
+	}
+
+	// Releases drain to zero; negative balances never persist.
+	d.ReleaseReserved("cluster", "s1", 4)
+	d.ReleaseNodes("cluster", "s1", 5)
+	d.ReleaseReserved("cluster", "s2", 2)
+	d.ReleaseNodes("cluster", "", 2)
+	if got := d.OccupiedNodes("cluster"); got != 0 {
+		t.Fatalf("occupied after release = %d, want 0", got)
+	}
+	// Other resources are untouched.
+	if got := d.OccupiedNodes("elsewhere"); got != 0 {
+		t.Fatalf("untouched resource occupied = %d", got)
+	}
+}

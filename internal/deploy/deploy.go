@@ -80,6 +80,10 @@ type Deployment struct {
 	overlay   *smartsockets.Overlay
 	localHost string
 	jobs      []*gat.Job
+
+	// cap is the multi-tenant capacity ledger (capacity.go): per-resource
+	// reserved/committed nodes per owning session.
+	cap capLedger
 }
 
 // New creates a deployment submitting from localHost. A hub is started on

@@ -124,6 +124,22 @@ func SC11Placement(tb *core.Testbed) Placement {
 	return p
 }
 
+// AutoPlacement leaves every model's resource open for the control
+// plane's capacity-aware placer to resolve (CPU kernels, ibis channel
+// throughout, so any resource fits). Multi-tenant runs use it: pinned
+// placements would pile every session onto the same resources, while
+// open specs spread by load.
+func AutoPlacement() Placement {
+	open := core.WorkerSpec{Channel: core.ChannelIbis}
+	return Placement{
+		Name:    "scheduler-placed",
+		Gravity: open, GravityKernel: "phigrape-cpu",
+		Hydro: open,
+		Field: open, FieldKernel: "fi",
+		Stellar: open,
+	}
+}
+
 // RunResult is one measured scenario.
 type RunResult struct {
 	Scenario     string
@@ -186,11 +202,19 @@ func bridgeConfig(w Workload, g *core.Gravity, h *core.Hydro, f *core.FieldModel
 // startScenario builds the four models under a placement and assembles
 // the bridge (fresh initial conditions, no restored state).
 func startScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement) (*scenarioBridge, error) {
+	return startScenarioOn(ctx, core.NewSimulation(ctx, tb.Daemon, nil), w, p)
+}
+
+// startScenarioOn is startScenario on a caller-provided simulation — the
+// session path, where the control plane binds the simulation to a tenant
+// (namespace, accounting, placement policy) before the models start. On
+// failure the simulation is stopped.
+func startScenarioOn(ctx context.Context, sim *core.Simulation, w Workload, p Placement) (*scenarioBridge, error) {
 	stars, gas, err := w.Build()
 	if err != nil {
+		sim.Stop()
 		return nil, err
 	}
-	sim := core.NewSimulation(ctx, tb.Daemon, nil)
 	fail := func(err error) (*scenarioBridge, error) {
 		sim.Stop()
 		return nil, err

@@ -120,6 +120,38 @@ func runCheckpointedLoop(ctx context.Context, sb *scenarioBridge, scenario strin
 	return nil
 }
 
+// rebindScenario rebuilds the bridge over models resumed from a run
+// checkpoint's manifest: typed handles are recovered by kind, the bridge
+// is reassembled with the saved workload's coupling parameters, and its
+// clock is rewound to the checkpoint.
+func rebindScenario(rc *RunCheckpoint, sim *core.Simulation, models []*core.Model) (*scenarioBridge, error) {
+	var g *core.Gravity
+	var h *core.Hydro
+	var f *core.FieldModel
+	var st *core.StellarModel
+	for _, m := range models {
+		switch m.Kind() {
+		case core.KindGravity:
+			g = m.AsGravity()
+		case core.KindHydro:
+			h = m.AsHydro()
+		case core.KindField:
+			f = m.AsField()
+		case core.KindStellar:
+			st = m.AsStellar()
+		}
+	}
+	if g == nil || h == nil || f == nil || st == nil {
+		return nil, fmt.Errorf("exp: manifest for %s is missing models (got %d)", rc.Scenario, len(models))
+	}
+	br, err := bridge.New(bridgeConfig(rc.W, g, h, f, st))
+	if err != nil {
+		return nil, err
+	}
+	br.RestoreClock(rc.BridgeTime, rc.BridgeSteps, rc.Supernovae)
+	return &scenarioBridge{sim: sim, bridge: br, grav: g}, nil
+}
+
 // ResumeScenario continues a killed checkpointed run from its run file:
 // workers are rebuilt from the manifest (setup replayed, snapshots
 // restored), the bridge bookkeeping is rewound, and the remaining
@@ -139,34 +171,13 @@ func ResumeScenario(ctx context.Context, tb *core.Testbed, path string) (RunResu
 		return RunResult{}, fmt.Errorf("exp: resume %s: %w", rc.Scenario, err)
 	}
 	defer sim.Stop()
-	var g *core.Gravity
-	var h *core.Hydro
-	var f *core.FieldModel
-	var st *core.StellarModel
-	for _, m := range models {
-		switch m.Kind() {
-		case core.KindGravity:
-			g = m.AsGravity()
-		case core.KindHydro:
-			h = m.AsHydro()
-		case core.KindField:
-			f = m.AsField()
-		case core.KindStellar:
-			st = m.AsStellar()
-		}
-	}
-	if g == nil || h == nil || f == nil || st == nil {
-		return RunResult{}, fmt.Errorf("exp: manifest for %s is missing models (got %d)", rc.Scenario, len(models))
-	}
-	br, err := bridge.New(bridgeConfig(rc.W, g, h, f, st))
+	sb, err := rebindScenario(rc, sim, models)
 	if err != nil {
 		return RunResult{}, err
 	}
-	br.RestoreClock(rc.BridgeTime, rc.BridgeSteps, rc.Supernovae)
 
 	setup := sim.Elapsed()
 	remaining := rc.Iterations - rc.Done
-	sb := &scenarioBridge{sim: sim, bridge: br, grav: g}
 	if err := runCheckpointedLoop(ctx, sb, rc.Scenario, rc.W, rc.Iterations, rc.Done, path); err != nil {
 		return RunResult{}, err
 	}
@@ -180,7 +191,7 @@ func ResumeScenario(ctx context.Context, tb *core.Testbed, path string) (RunResu
 		Iterations:   remaining,
 		PerIteration: total / time.Duration(remaining),
 		Setup:        setup,
-		Supernovae:   br.Supernovae(),
+		Supernovae:   sb.bridge.Supernovae(),
 		Transfers:    sim.TransferStats(),
 		StateDigest:  digest,
 	}, nil

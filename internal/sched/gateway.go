@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"jungle/internal/core"
+	"jungle/internal/core/kernel"
+)
+
+// The gateway wire protocol: the daemon channel's length-prefixed framing
+// (4-byte little-endian length + payload) carrying gob-encoded envelopes.
+// Frames that do not decode as envelopes are echoed back verbatim — the
+// §5 loopback measurement (cmd/jungled -selftest, exp.RunE7) keeps
+// working against a gateway-serving daemon.
+
+// Envelope is one client request frame.
+type Envelope struct {
+	Method string // core.MethodSession*
+	Body   []byte // gob-encoded args struct
+}
+
+// ReplyFrame is one gateway response frame. Code is the wire-error
+// taxonomy byte (0 = success); CodeBusy replies carry a gob-encoded
+// core.SessionBusy in Body.
+type ReplyFrame struct {
+	Code byte
+	Err  string
+	Body []byte
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// Gateway serves control-plane connections for a scheduler. Every
+// accepted connection is handled concurrently and is bound to the session
+// namespace it attaches: after session_attach, the connection's
+// operations address that session and no other.
+type Gateway struct {
+	Sched *Scheduler
+	// Ctx bounds the work the gateway performs on behalf of clients
+	// (default context.Background()).
+	Ctx context.Context
+}
+
+func (g *Gateway) ctx() context.Context {
+	if g.Ctx != nil {
+		return g.Ctx
+	}
+	return context.Background()
+}
+
+// Serve accepts connections until the listener closes.
+func (g *Gateway) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			g.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves one client connection until EOF. Safe to call from
+// many goroutines with distinct connections.
+func (g *Gateway) ServeConn(conn io.ReadWriter) error {
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+	bound := "" // session this connection attached
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return err
+		}
+		var env Envelope
+		if err := gobDecode(payload, &env); err != nil || !strings.HasPrefix(env.Method, "session_") {
+			// Not a control-plane frame: echo it (E7 loopback compat).
+			if err := writeFrame(w, payload); err != nil {
+				return err
+			}
+			continue
+		}
+		reply := g.dispatch(&bound, env)
+		out, err := gobEncode(reply)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(w, out); err != nil {
+			return err
+		}
+	}
+}
+
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// dispatch executes one control-plane op for a connection bound (or
+// binding) to a session.
+func (g *Gateway) dispatch(bound *string, env Envelope) ReplyFrame {
+	switch env.Method {
+	case core.MethodSessionAttach:
+		var args core.SessionAttachArgs
+		if err := gobDecode(env.Body, &args); err != nil {
+			return errReply(fmt.Errorf("%w: bad attach args: %v", kernel.ErrBadMethod, err))
+		}
+		sess, resumed, err := g.Sched.Attach(g.ctx(), args.Session, args.Wait)
+		if err != nil {
+			return errReply(err)
+		}
+		*bound = sess.ID()
+		return okReply(core.SessionAttachReply{
+			Session: sess.ID(), State: string(sess.State()), Resumed: resumed,
+		})
+	case core.MethodSessionHeartbeat:
+		var args core.SessionHeartbeatArgs
+		if err := gobDecode(env.Body, &args); err != nil {
+			return errReply(fmt.Errorf("%w: bad heartbeat args: %v", kernel.ErrBadMethod, err))
+		}
+		id, err := g.sessionFor(*bound, args.Session)
+		if err != nil {
+			return errReply(err)
+		}
+		st, err := g.Sched.Heartbeat(id)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(core.SessionHeartbeatReply{State: string(st)})
+	case core.MethodSessionRun:
+		var args core.SessionRunArgs
+		if err := gobDecode(env.Body, &args); err != nil {
+			return errReply(fmt.Errorf("%w: bad run args: %v", kernel.ErrBadMethod, err))
+		}
+		id, err := g.sessionFor(*bound, args.Session)
+		if err != nil {
+			return errReply(err)
+		}
+		out, err := g.Sched.Run(g.ctx(), id, args.Payload)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(core.SessionRunReply{Payload: out})
+	case core.MethodSessionStatus:
+		var args core.SessionStatusArgs
+		if err := gobDecode(env.Body, &args); err != nil {
+			return errReply(fmt.Errorf("%w: bad status args: %v", kernel.ErrBadMethod, err))
+		}
+		id, err := g.sessionFor(*bound, args.Session)
+		if err != nil {
+			return errReply(err)
+		}
+		st, err := g.Sched.Status(id)
+		if err != nil {
+			return errReply(err)
+		}
+		return okReply(st)
+	case core.MethodSessionDetach:
+		var args core.SessionDetachArgs
+		if err := gobDecode(env.Body, &args); err != nil {
+			return errReply(fmt.Errorf("%w: bad detach args: %v", kernel.ErrBadMethod, err))
+		}
+		id, err := g.sessionFor(*bound, args.Session)
+		if err != nil {
+			return errReply(err)
+		}
+		if args.Close {
+			if err := g.Sched.Close(id); err != nil {
+				return errReply(err)
+			}
+		}
+		st := StatePreempted
+		if sess, err := g.Sched.Session(id); err == nil {
+			st = sess.State()
+		}
+		*bound = ""
+		return okReply(core.SessionDetachReply{State: string(st)})
+	default:
+		return errReply(fmt.Errorf("%w: %q", kernel.ErrNoSuchMethod, env.Method))
+	}
+}
+
+// sessionFor resolves the session an op addresses: the connection's bound
+// session by default; an explicit id must match the binding — one
+// connection, one session namespace.
+func (g *Gateway) sessionFor(bound, explicit string) (string, error) {
+	switch {
+	case explicit == "" && bound == "":
+		return "", errors.New("sched: connection not attached to a session")
+	case explicit == "":
+		return bound, nil
+	case bound != "" && explicit != bound:
+		return "", fmt.Errorf("sched: connection is bound to session %q, not %q", bound, explicit)
+	default:
+		return explicit, nil
+	}
+}
+
+// okReply encodes a success reply body.
+func okReply(body any) ReplyFrame {
+	b, err := gobEncode(body)
+	if err != nil {
+		return errReply(err)
+	}
+	return ReplyFrame{Body: b}
+}
+
+// errReply classifies an error through the wire taxonomy. BusyErrors
+// carry their structured retry-after hint as a SessionBusy payload.
+func errReply(err error) ReplyFrame {
+	code := kernel.ClassifyErr(err)
+	rf := ReplyFrame{Code: byte(code), Err: err.Error()}
+	var be *BusyError
+	if errors.As(err, &be) {
+		if b, encErr := gobEncode(core.SessionBusy{
+			RetryAfterMs: be.RetryAfter.Milliseconds(), Queued: be.Queued,
+		}); encErr == nil {
+			rf.Body = b
+		}
+	}
+	return rf
+}

@@ -29,6 +29,9 @@ type Recorder struct {
 	load    map[string][]LoadSample
 	goodput map[[2]string]GoodputSample
 	events  []Event
+	// sessions holds per-session control-plane accounting (sessions.go);
+	// created lazily so single-tenant recorders pay nothing.
+	sessions map[string]*SessionStats
 }
 
 type trafficKey struct {

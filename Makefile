@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doc-check test test-short race bench ci
+.PHONY: all build vet fmt-check doc-check test test-short race bench bench-check ci
 
 all: ci
 
@@ -41,14 +41,27 @@ race:
 	$(GO) test -race -short ./...
 
 # The paper's evaluation tables/figures plus substrate micro-benchmarks.
-# The run is recorded as a machine-readable perf trajectory in BENCH_7.json
+# The run is recorded as a machine-readable perf trajectory in BENCH_8.json
 # (benchmark name -> metric -> value, including the virtual-time metrics
 # and the concurrent-sessions makespans); the raw output still prints via
 # benchjson's tee.
 bench:
 	@$(GO) test -run XXX -bench . -benchmem . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
-	@$(GO) run ./cmd/benchjson -o BENCH_7.json < bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out
 	@rm -f bench.out
+
+# Perf regression gate: rerun the benchmarks and compare the deterministic
+# virtual-* metrics against the newest committed BENCH_*.json, failing on
+# any >15% regression. Wall-clock ns/op is not gated (host-dependent).
+bench-check:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$base" ]; then echo "bench-check: no BENCH_*.json baseline" >&2; exit 1; fi; \
+	echo "bench-check: baseline $$base"; \
+	$(GO) test -run XXX -bench . -benchmem . > bench.out || { cat bench.out; rm -f bench.out; exit 1; }; \
+	$(GO) run ./cmd/benchjson -o bench-check.json -against $$base \
+	  -match 'PipelinedKick|DirectVsHairpin|ShardedKick|CheckpointRecovery|StripedTransfer|ConcurrentSessions|ElasticGang' \
+	  < bench.out; st=$$?; \
+	rm -f bench.out bench-check.json; exit $$st
 
 # Tier-1 gate: everything a PR must keep green, in one command.
 ci: build vet doc-check test-short race

@@ -564,6 +564,88 @@ func BenchmarkShardedKick(b *testing.B) {
 	b.Run("gang-4", func(b *testing.B) { run(b, 4) })
 }
 
+// BenchmarkElasticGang measures what skew-driven rebalancing buys on a
+// heterogeneous site: a K=4 gravity gang at 1024 particles on the elastic
+// testbed's site-mixed cluster, where one node runs at quarter speed. With
+// static uniform slabs every step waits for the straggler (its quarter-
+// rank costs 4x, so a step costs ~N rows of compute); with the rebalancer
+// armed the slabs converge to throughput-proportional widths and a step
+// costs ~0.31 N — the virtual-us/step ratio should approach 3.25x, and
+// the acceptance bar is >= 2x. The trajectories are bit-identical: the
+// first fixed warm-up segment is state-compared across the two arms.
+func BenchmarkElasticGang(b *testing.B) {
+	const nStars = 1024
+	const warmupLegs = 4
+	stars := ic.Plummer(nStars, 27)
+	var refPos []data.Vec3 // warm-up state of the first arm, for bit-compat
+
+	run := func(b *testing.B, rebalance bool) {
+		tb, err := core.NewElasticTestbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tb.Close()
+		sim := core.NewSimulation(context.Background(), tb.Daemon, nil)
+		defer sim.Stop()
+		g, err := sim.NewGravity(context.Background(),
+			core.WorkerSpec{Resource: tb.Mixed, Channel: core.ChannelIbis, Workers: 4},
+			core.GravityOptions{Eps: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rebalance {
+			if err := g.EnableRebalance(core.ElasticPolicy{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := g.SetParticles(stars); err != nil {
+			b.Fatal(err)
+		}
+		// Warm-up: a fixed segment that (for the elastic arm) lets the
+		// rebalancer observe the skew and reshard, and that pins the
+		// bit-compat contract between the arms.
+		target := 0.0
+		for i := 0; i < warmupLegs; i++ {
+			target += 1e-4
+			if err := g.EvolveTo(context.Background(), target); err != nil {
+				b.Fatal(err)
+			}
+			if rebalance {
+				deadline := time.Now().Add(20 * time.Second)
+				for g.RebalanceRounds() < uint64(i+1) && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+		st, err := g.GetState(nil, data.AttrPos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if refPos == nil {
+			refPos = append([]data.Vec3(nil), st.Vec(data.AttrPos)...)
+		} else {
+			for i, p := range st.Vec(data.AttrPos) {
+				if p != refPos[i] {
+					b.Fatalf("particle %d: rebalanced arm diverged from static arm", i)
+				}
+			}
+		}
+
+		start := sim.Elapsed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target += 1e-6
+			if err := g.EvolveTo(context.Background(), target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64((sim.Elapsed()-start).Microseconds())/float64(b.N), "virtual-us/step")
+	}
+	b.Run("static", func(b *testing.B) { run(b, false) })
+	b.Run("rebalanced", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkConcurrentSessions measures what the multi-tenant control
 // plane buys: 8 single-tenant workloads through one scheduler, run
 // back-to-back ("sequential" — the single-tenant daemon, where each user

@@ -6,6 +6,17 @@
 // the standard ns/op and -benchmem columns.
 //
 //	go test -bench . | benchjson -o BENCH_6.json
+//
+// With -against it additionally compares the run to an earlier JSON file
+// and exits 1 when any shared virtual-time metric regressed by more than
+// -tolerance (default 15%). Only virtual-* metrics are gated — wall-clock
+// ns/op varies with the host and would flake — and -match restricts the
+// gate to benchmarks whose name matches a regexp (`make bench-check`
+// scopes it to the headline benchmarks: a few scenario metrics, E2SC11's
+// transfer-fallback mix in particular, are timing-dependent and not
+// deterministic enough to gate):
+//
+//	go test -bench . | benchjson -o BENCH_8.json -against BENCH_7.json
 package main
 
 import (
@@ -15,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,8 +53,57 @@ func parseMetrics(rest string) map[string]float64 {
 	return m
 }
 
+// compare checks cur against base: every benchmark/metric pair present in
+// both, whose unit names a deterministic virtual-time quantity, must not
+// exceed the baseline by more than tol (fractional). It returns one line
+// per regression; an empty slice means the gate passes. Benchmarks or
+// metrics present on only one side are ignored — adding a benchmark must
+// not fail the gate, and neither must retiring one.
+// A nil match gates every benchmark; otherwise only matching names are.
+func compare(cur, base map[string]map[string]float64, tol float64, match *regexp.Regexp) []string {
+	var regressions []string
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old, ok := base[name]
+		if !ok {
+			continue
+		}
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		metrics := make([]string, 0, len(cur[name]))
+		for unit := range cur[name] {
+			metrics = append(metrics, unit)
+		}
+		sort.Strings(metrics)
+		for _, unit := range metrics {
+			if !strings.HasPrefix(unit, "virtual-") {
+				continue
+			}
+			was, ok := old[unit]
+			if !ok || was <= 0 {
+				continue
+			}
+			now := cur[name][unit]
+			if now > was*(1+tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, unit, was, now, (now/was-1)*100, tol*100))
+			}
+		}
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "BENCH_6.json", "output JSON file")
+	against := flag.String("against", "", "baseline JSON file to gate regressions against")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression for virtual-* metrics")
+	matchExpr := flag.String("match", "", "regexp limiting the gate to matching benchmark names (empty gates all)")
 	flag.Parse()
 
 	results := map[string]map[string]float64{}
@@ -86,4 +147,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base := map[string]map[string]float64{}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *against, err)
+			os.Exit(1)
+		}
+		var match *regexp.Regexp
+		if *matchExpr != "" {
+			if match, err = regexp.Compile(*matchExpr); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if regressions := compare(results, base, *tolerance, match); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s:\n", len(regressions), *against)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no virtual-metric regressions vs %s\n", *against)
+	}
 }

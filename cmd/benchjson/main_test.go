@@ -1,0 +1,66 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	m := parseMetrics("14601428 ns/op\t562633 virtual-us/transfer")
+	if m == nil || m["ns/op"] != 14601428 || m["virtual-us/transfer"] != 562633 {
+		t.Fatalf("parseMetrics = %v", m)
+	}
+	if parseMetrics("not a benchmark line") != nil {
+		t.Fatal("garbage parsed as metrics")
+	}
+}
+
+// TestCompareGatesVirtualMetrics: only virtual-* metrics are gated;
+// wall-clock ns/op may regress freely (host-dependent), and benchmarks or
+// metrics present on one side only are ignored.
+func TestCompareGatesVirtualMetrics(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkA":    {"virtual-us/step": 100, "ns/op": 1000},
+		"BenchmarkB":    {"virtual-us/step": 50},
+		"BenchmarkGone": {"virtual-us/step": 10},
+	}
+	cur := map[string]map[string]float64{
+		"BenchmarkA":   {"virtual-us/step": 110, "ns/op": 99999}, // +10%: within tolerance
+		"BenchmarkB":   {"virtual-us/step": 80},                  // +60%: regression
+		"BenchmarkNew": {"virtual-us/step": 1e9},                 // no baseline: ignored
+	}
+	regs := compare(cur, base, 0.15, nil)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB") {
+		t.Fatalf("compare = %v, want exactly the BenchmarkB regression", regs)
+	}
+	if regs := compare(cur, base, 0.65, nil); len(regs) != 0 {
+		t.Fatalf("tolerance 65%%: compare = %v, want none", regs)
+	}
+}
+
+// TestCompareImprovementPasses: getting faster is never a regression.
+func TestCompareImprovementPasses(t *testing.T) {
+	base := map[string]map[string]float64{"BenchmarkA": {"virtual-us/step": 100}}
+	cur := map[string]map[string]float64{"BenchmarkA": {"virtual-us/step": 30}}
+	if regs := compare(cur, base, 0.15, nil); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+// TestCompareMatchScopesGate: -match limits the gate to headline
+// benchmarks, so known timing-dependent scenario metrics cannot flake it.
+func TestCompareMatchScopesGate(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkNoisy":    {"virtual-s/iter": 0.9},
+		"BenchmarkHeadline": {"virtual-us/step": 100},
+	}
+	cur := map[string]map[string]float64{
+		"BenchmarkNoisy":    {"virtual-s/iter": 1.2}, // +33%, out of scope
+		"BenchmarkHeadline": {"virtual-us/step": 130},
+	}
+	regs := compare(cur, base, 0.15, regexp.MustCompile("Headline"))
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkHeadline") {
+		t.Fatalf("compare = %v, want only the in-scope regression", regs)
+	}
+}

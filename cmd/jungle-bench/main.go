@@ -64,6 +64,7 @@ func main() {
 		return exp.E7Report(res), nil
 	})
 	run("e8", func() (string, error) { return exp.E8(*iters) })
+	run("e9", func() (string, error) { return exp.E9(512, 8) })
 
 	// Design ablations (DESIGN.md §6): not paper artifacts, so they run
 	// only when requested explicitly.

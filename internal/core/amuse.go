@@ -57,6 +57,13 @@ type Simulation struct {
 	TransferCodec   byte
 	CheckpointCodec byte
 
+	// Monitor, when set, receives elastic-gang telemetry: per-rank step
+	// timing, the skew gauge and reshard/migration events
+	// (trace.RenderGangs). Independent of the per-session recorder so
+	// standalone simulations can watch their gangs too. Set before
+	// enabling rebalancing.
+	Monitor *trace.Recorder
+
 	mu        sync.Mutex
 	models    []*modelProxy
 	transfers TransferStats
@@ -250,6 +257,41 @@ type modelProxy struct {
 	// seq numbers calls in issue order so replacement retries can restore
 	// the per-worker FIFO that pipelined callers rely on.
 	seq atomic.Uint64
+
+	// migMu serializes endpoint rebuilds: dead-worker replacement
+	// (ensureReplaced), voluntary migration (Migrate) and gang resize
+	// (Resize) each tear the endpoint down and rebuild it, and exactly
+	// one such operation may run at a time — a drainer restarting the
+	// old ranks while a migration starts new ones would strand workers.
+	// Lock order: migMu strictly before m.mu; never call into migMu
+	// holders while holding m.mu.
+	migMu sync.Mutex
+
+	// rebuilding counts endpoint rebuilds in flight (replacement,
+	// migration, resize). A call that races the rebuild's teardown can
+	// fail on the just-closed channel instead of observing the worker's
+	// death; the counter (plus the generation check in endpointChanging)
+	// lets that failure take the retry path rather than sticking.
+	rebuilding atomic.Int32
+
+	// elastic holds the rebalancer state when EnableRebalance armed it
+	// (rebalance.go); nil means the feature is off — the default, which
+	// keeps every existing session byte-identical.
+	elastic *elasticGang
+}
+
+// endpointChanging reports whether a closed-channel failure on a call
+// issued against generation gen raced an endpoint rebuild: one is still
+// in flight, or one already completed and bumped the generation. Either
+// way the call belongs on the retry queue — the channel was closed by
+// teardown, not by Stop.
+func (m *modelProxy) endpointChanging(gen int) bool {
+	if m.rebuilding.Load() > 0 {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen != gen && !m.stopped
 }
 
 // retryItem is one failed call awaiting re-issue on a replacement worker.
@@ -590,8 +632,23 @@ func (m *modelProxy) Go(method string, args any) *Call {
 func (m *modelProxy) goRaw(method string, args []byte, after func([]byte) error) *Call {
 	c := newCall(m.kind, method, after)
 	c.seq = m.seq.Add(1)
+	if method == "evolve" {
+		if e := m.elasticState(); e != nil {
+			// The rebalancer samples rank loads after evolve steps; the
+			// hook only bumps a counter and possibly spawns the async
+			// measurement round (rebalance.go), so completion stays cheap.
+			c.success = func([]byte) { e.evolveDone() }
+		}
+	}
 	m.startCall(c, method, args, true)
 	return c
+}
+
+// elasticState returns the armed rebalancer state, or nil.
+func (m *modelProxy) elasticState() *elasticGang {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elastic
 }
 
 // startCall issues one attempt of a call. On worker death with
@@ -622,7 +679,9 @@ func (m *modelProxy) startCall(c *Call, method string, args []byte, mayReplace b
 			}
 		}
 		err = fmt.Errorf("core: %s.%s: %w", m.kind, method, err)
-		if mayReplace && errors.Is(err, ErrWorkerDied) && m.isReplaceable() {
+		retryable := errors.Is(err, ErrWorkerDied) ||
+			(errors.Is(err, ErrChannelClosed) && m.endpointChanging(gen))
+		if mayReplace && retryable && m.isReplaceable() {
 			// Replacement resubmits a job and replays state — far too slow
 			// for a channel delivery goroutine. Queue the retry: a single
 			// drainer replaces the worker once and re-issues every failed
@@ -708,8 +767,13 @@ func (m *modelProxy) Call(ctx context.Context, method string, args, reply any) e
 // ensureReplaced replaces the worker if no earlier retry pass got there
 // first (gen is the replacement generation the failed call was issued
 // against) and the model has not been stopped. It is only called from
-// the proxy's single drainer goroutine.
+// the proxy's single drainer goroutine. migMu serializes it against
+// voluntary migrations and resizes: the gen re-check under the lock
+// makes a death observed against the pre-migration endpoint a no-op
+// once the migration has rebuilt it.
 func (m *modelProxy) ensureReplaced(gen int) error {
+	m.migMu.Lock()
+	defer m.migMu.Unlock()
 	m.mu.Lock()
 	current, stopped := m.gen, m.stopped
 	m.mu.Unlock()
@@ -725,6 +789,8 @@ func (m *modelProxy) ensureReplaced(gen int) error {
 // replace starts a substitute worker (or restarts a gang's dead ranks)
 // and replays state.
 func (m *modelProxy) replace() error {
+	m.rebuilding.Add(1)
+	defer m.rebuilding.Add(-1)
 	if m.isGang() {
 		return m.replaceGangRanks()
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -128,9 +129,13 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 					p.blob = blob
 				}
 			}
-			if err != nil && isPeerPathErr(err) {
+			if err != nil && (isPeerPathErr(err) ||
+				errors.Is(err, ErrWorkerDied) || errors.Is(err, ErrChannelClosed)) {
 				// Same fallback contract as TransferState: the direct path
-				// failed, the RPC plane carries the frame instead.
+				// failed, the RPC plane carries the frame instead. A worker
+				// torn down under the offer (death, migration, resize) falls
+				// back too — the pull is replaceable, so it rides the retry
+				// queue and completes against the rebuilt endpoint.
 				s.countTransfer(func(t *TransferStats) { t.Fallback++ })
 				s.trace("checkpoint %d: direct path failed (%v); pulling over the channel", p.id, err)
 				if hook := s.onTransferFallback(); hook != nil {
@@ -183,12 +188,21 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 // goCheckpointPull issues the snapshot call over the RPC plane and copies
 // the raw frame out when the result is observed.
 func (m *modelProxy) goCheckpointPull(out *[]byte) *Call {
+	return m.goCheckpointPullOpt(out, true)
+}
+
+// goCheckpointPullOpt is goCheckpointPull with replacement control.
+// mayReplace=false is for callers already holding migMu (migration,
+// resize): a worker death during the pull must fail the call directly —
+// queuing it for the retry drainer would deadlock, since the drainer's
+// replacement path blocks on migMu itself.
+func (m *modelProxy) goCheckpointPullOpt(out *[]byte, mayReplace bool) *Call {
 	c := newCall(m.kind, kernel.MethodCheckpoint, func(raw []byte) error {
 		*out = append([]byte(nil), raw...)
 		return nil
 	})
 	c.seq = m.seq.Add(1)
-	m.startCall(c, kernel.MethodCheckpoint, nil, true)
+	m.startCall(c, kernel.MethodCheckpoint, nil, mayReplace)
 	return c
 }
 

@@ -50,6 +50,14 @@ type gangChannel struct {
 	// its replacement's while pipelined callers keep issuing.
 	mu      sync.Mutex
 	workers []int // daemon worker ids, rank order
+
+	// issueMu makes the member-by-member issue loop of a broadcast atomic
+	// with respect to other issuers. The proxy's call path is one
+	// goroutine, but the elastic-gang rebalancer issues reshard
+	// broadcasts and per-rank rank_load queries concurrently with it;
+	// without this lock two broadcasts could interleave across member
+	// FIFOs and reach different ranks in different orders.
+	issueMu sync.Mutex
 }
 
 func newGangChannel(members []channel, workers []int) *gangChannel {
@@ -80,6 +88,8 @@ func (g *gangChannel) setWorkers(ids []int) {
 // actionable failure (a dead rank beats a surviving rank's aborted-
 // collective fault, so the coupler sees ErrWorkerDied when a rank died).
 func (g *gangChannel) start(req request, done completion) {
+	g.issueMu.Lock()
+	defer g.issueMu.Unlock()
 	workers := g.rankWorkers()
 	if !gangFanout(req.Method) {
 		req.Worker = workers[0]
@@ -109,6 +119,20 @@ func (g *gangChannel) start(req request, done completion) {
 			done(mergeGangOutcomes(req.ID, outcomes))
 		})
 	}
+}
+
+// size returns the gang's rank count.
+func (g *gangChannel) size() int { return len(g.members) }
+
+// startRank issues a request on one rank's member FIFO (the worker id is
+// filled in from the current rank mapping). The rebalancer uses it for
+// rank_load queries, which must reach each rank individually — a
+// broadcast would answer with rank 0's numbers K times over.
+func (g *gangChannel) startRank(rank int, req request, done completion) {
+	g.issueMu.Lock()
+	defer g.issueMu.Unlock()
+	req.Worker = g.rankWorkers()[rank]
+	g.members[rank].start(req, done)
 }
 
 // gangOutcome is one rank's completion of a broadcast call.
@@ -191,6 +215,7 @@ func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
 	gangID := newGangID()
 	errs := make([]error, k)
 	var wg sync.WaitGroup
+	g.issueMu.Lock()
 	for rank := range g.members {
 		args := encode(kernel.GangInitArgs{ID: gangID, Rank: rank, Size: k, Peers: peers})
 		req := request{
@@ -210,6 +235,7 @@ func (g *gangChannel) wireGang(ctx context.Context, s *Simulation) error {
 			}
 		})
 	}
+	g.issueMu.Unlock()
 	wired := make(chan struct{})
 	go func() {
 		wg.Wait()

@@ -103,11 +103,21 @@ func SelectResource(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 // ledger). Ties break toward SelectResource's compute score, so an idle
 // jungle places exactly like the single-session policy.
 func SelectLeastLoaded(d *deploy.Deployment, spec WorkerSpec) (string, error) {
+	return selectLeastLoaded(d, spec, "")
+}
+
+// selectLeastLoaded is SelectLeastLoaded with an optional excluded
+// resource — migration off a contended resource must not pick the
+// resource it is fleeing.
+func selectLeastLoaded(d *deploy.Deployment, spec WorkerSpec, exclude string) (string, error) {
 	var bestName string
 	var bestFree, bestScore float64
 	first := true
 	needGPU := wantsGPU(spec.Kernel)
 	for _, name := range d.Resources() {
+		if name == exclude {
+			continue
+		}
 		r, err := d.Resource(name)
 		if err != nil || !fitsResource(d, r, spec) {
 			continue
@@ -128,7 +138,15 @@ func SelectLeastLoaded(d *deploy.Deployment, spec WorkerSpec) (string, error) {
 		case r.CPU != nil:
 			score = r.CPU.Gflops * float64(r.CPU.Cores) * float64(r.NodeCount())
 		}
-		if first || free > bestFree || (free == bestFree && score > bestScore) {
+		// Strictly better free fraction wins; equal free falls to compute
+		// score; a full tie breaks on the lexicographically smallest name.
+		// The explicit name clause pins the choice even if the candidate
+		// iteration order ever stops being sorted — placement must be a
+		// pure function of the ledger, never of map iteration order.
+		better := free > bestFree ||
+			(free == bestFree && score > bestScore) ||
+			(free == bestFree && score == bestScore && name < bestName)
+		if first || better {
 			first = false
 			bestName, bestFree, bestScore = name, free, score
 		}

@@ -28,6 +28,10 @@ type Testbed struct {
 
 	// DSL testbed sites (NewDSLTestbed only).
 	SiteA, SiteB string
+
+	// Elastic testbed resources (NewElasticTestbed only): the skewed
+	// cluster and the uniform migration target.
+	Mixed, Spare string
 }
 
 // Device models: honest relative peaks for the paper's hardware.
@@ -259,6 +263,76 @@ func NewDSLTestbed() (*Testbed, error) {
 		if err := dep.AddResource(r); err != nil {
 			return nil, err
 		}
+	}
+	d, err := NewDaemon(dep, "amuse")
+	if err != nil {
+		return nil, err
+	}
+	tb.Daemon = d
+	return tb, nil
+}
+
+// NewElasticTestbed builds the elastic-gang topology: a desktop client
+// and two 4-node SGE clusters. "site-mixed" is heterogeneous — its last
+// node runs at a quarter of the others' speed (a straggler batch node,
+// the kind a uniform slab decomposition cannot see until it measures) —
+// while "site-spare" is uniform and idle, the natural migration target.
+func NewElasticTestbed() (*Testbed, error) {
+	n := vnet.New()
+	rec := trace.New()
+	n.SetRecorder(rec)
+	if _, err := n.AddHost("desktop", "home", vnet.Open); err != nil {
+		return nil, err
+	}
+	mixed, err := n.AddCluster(vnet.ClusterSpec{
+		Name: "site-mixed", Site: "mixed", Nodes: 4,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spare, err := n.AddCluster(vnet.ClusterSpec{
+		Name: "site-spare", Site: "spare", Nodes: 4,
+		FrontendPolicy: vnet.SSHOnly, NodePolicy: vnet.OutboundOnly,
+		InternalLatency: lanLat, InternalBandwidth: tenG,
+	})
+	if err != nil {
+		return nil, err
+	}
+	links := []struct {
+		a, b string
+	}{
+		{"desktop", mixed.Frontend},
+		{"desktop", spare.Frontend},
+		{mixed.Frontend, spare.Frontend},
+	}
+	for _, l := range links {
+		if err := n.AddLink(l.a, l.b, metroLat, tenG); err != nil {
+			return nil, err
+		}
+	}
+
+	dep, err := deploy.New(n, "desktop")
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Net: n, Recorder: rec, Deployment: dep, Client: "desktop",
+		Mixed: "site-mixed", Spare: "site-spare"}
+	resources := []deploy.Resource{
+		{Name: "desktop", Middleware: "local", Frontend: "desktop", CPU: desktopCPU()},
+		{Name: "site-mixed", Middleware: "sge", Frontend: mixed.Frontend, Nodes: mixed.NodeName, CPU: das4Node()},
+		{Name: "site-spare", Middleware: "sge", Frontend: spare.Frontend, Nodes: spare.NodeName, CPU: das4Node()},
+	}
+	for _, r := range resources {
+		if err := dep.AddResource(r); err != nil {
+			return nil, err
+		}
+	}
+	// The straggler: one mixed node at quarter speed. Whichever rank the
+	// scheduler lands there computes its slab 4x slower than its peers.
+	if err := dep.SetNodeSpeed("site-mixed", mixed.NodeName[3], 0.25); err != nil {
+		return nil, err
 	}
 	d, err := NewDaemon(dep, "amuse")
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 //	cpu        = xeon 5.0 8          # name gflops cores [launch-us]
 //	gpu        = gtx480 350          # name gflops [launch-us]
 //	hub        = das4-vu.fe
+//	speed      = das4-vu.node01 0.25 # per-node derating factor
 func ParseConfig(text string) ([]Resource, error) {
 	var out []Resource
 	var cur *Resource
@@ -85,6 +86,19 @@ func ParseConfig(text string) ([]Resource, error) {
 				return nil, fmt.Errorf("deploy: config line %d: %w", lineNo+1, err)
 			}
 			cur.GPU = dev
+		case "speed":
+			f := strings.Fields(value)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("deploy: config line %d: speed wants <node> <factor>, got %q", lineNo+1, value)
+			}
+			factor, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || factor <= 0 {
+				return nil, fmt.Errorf("deploy: config line %d: bad speed factor %q", lineNo+1, f[1])
+			}
+			if cur.NodeSpeed == nil {
+				cur.NodeSpeed = make(map[string]float64)
+			}
+			cur.NodeSpeed[f[0]] = factor
 		default:
 			return nil, fmt.Errorf("deploy: config line %d: unknown key %q", lineNo+1, key)
 		}

@@ -54,6 +54,24 @@ type Resource struct {
 	// accelerators (the Multi-Kernel selector keys on this).
 	CPU *vtime.Device
 	GPU *vtime.Device
+
+	// NodeSpeed optionally derates (or boosts) individual nodes of a
+	// batch cluster relative to the resource's device model: a factor of
+	// 0.25 means the node computes at a quarter of CPU/GPU Gflops. Nodes
+	// absent from the map run at factor 1. This is the jungle
+	// heterogeneity input the elastic-gang rebalancer reacts to.
+	NodeSpeed map[string]float64
+}
+
+// NodeSpeedOf returns the speed factor for a node (1 when unset).
+func (r *Resource) NodeSpeedOf(node string) float64 {
+	if r.NodeSpeed == nil {
+		return 1
+	}
+	if f, ok := r.NodeSpeed[node]; ok && f > 0 {
+		return f
+	}
+	return 1
 }
 
 // NodeCount returns the schedulable node count (1 for non-batch resources).
@@ -145,6 +163,25 @@ func (d *Deployment) AddResource(r Resource) error {
 	if _, err := d.overlay.AddHub(d.Net, r.HubHost); err != nil {
 		return fmt.Errorf("deploy: hub on %s: %w", r.HubHost, err)
 	}
+	return nil
+}
+
+// SetNodeSpeed records a per-node speed factor on a registered resource
+// (see Resource.NodeSpeed). Testbeds use it to induce rank skew.
+func (d *Deployment) SetNodeSpeed(resource, node string, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("deploy: node speed factor must be positive, got %v", factor)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.resources[resource]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownResource, resource)
+	}
+	if r.NodeSpeed == nil {
+		r.NodeSpeed = make(map[string]float64)
+	}
+	r.NodeSpeed[node] = factor
 	return nil
 }
 

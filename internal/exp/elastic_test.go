@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE9 runs the elastic-gang comparison at a small scale: the report
+// must show both arms, a converged rebalanced skew, and a real speedup
+// (the full >=2x bar is BenchmarkElasticGang's; the tiny workload here
+// still must not be slower than static).
+func TestE9(t *testing.T) {
+	out, err := E9(192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static slabs", "rebalanced", "rebalancing speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E9 report missing %q:\n%s", want, out)
+		}
+	}
+	t.Log("\n" + out)
+}

@@ -361,3 +361,114 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// UniformCuts returns the size+1 slab boundaries of the uniform
+// decomposition, so that CutRange(UniformCuts(n, size), r) == Slab(n, r,
+// size) for every rank r.
+func UniformCuts(n, size int) []int {
+	cuts := make([]int, size+1)
+	for r := 0; r < size; r++ {
+		cuts[r], _ = Slab(n, r, size)
+	}
+	cuts[size] = n
+	return cuts
+}
+
+// CutRange returns rank's half-open row range under an explicit cuts
+// vector (size+1 monotone boundaries with cuts[0] == 0). It is the
+// cuts-aware generalization of Slab: a nil cuts vector falls back to the
+// uniform decomposition, which keeps default (never-resharded) gangs on
+// exactly the code path they used before elastic gangs existed.
+func CutRange(cuts []int, rank, n, size int) (lo, hi int) {
+	if cuts == nil {
+		return Slab(n, rank, size)
+	}
+	return cuts[rank], cuts[rank+1]
+}
+
+// WeightedCuts builds a cuts vector assigning each rank a row count
+// proportional to its weight (a throughput estimate: rows per unit
+// compute time). Every rank keeps at least one row while n allows, so a
+// stalled rank can never be starved into a zero-length slab that would
+// stop producing timing samples. Non-positive or non-finite weights are
+// treated as the smallest positive weight present (or uniform if none
+// is).
+func WeightedCuts(n int, weights []float64) []int {
+	size := len(weights)
+	w := make([]float64, size)
+	minW := math.Inf(1)
+	for _, x := range weights {
+		if x > 0 && !math.IsInf(x, 1) && minW > x {
+			minW = x
+		}
+	}
+	if math.IsInf(minW, 1) {
+		minW = 1
+	}
+	var total float64
+	for i, x := range weights {
+		if x <= 0 || math.IsInf(x, 1) || math.IsNaN(x) {
+			x = minW
+		}
+		w[i] = x
+		total += x
+	}
+	rows := make([]int, size)
+	assigned := 0
+	for i := range w {
+		rows[i] = int(float64(n) * w[i] / total)
+		if rows[i] < 1 && n >= size {
+			rows[i] = 1
+		}
+		assigned += rows[i]
+	}
+	// Distribute the remainder (or claw back an overshoot caused by the
+	// min-one-row clamp) one row at a time, always adjusting the rank
+	// whose current allocation is furthest below (resp. above) its ideal
+	// share. Deterministic: ties go to the lowest rank.
+	for assigned != n {
+		step := 1
+		if assigned > n {
+			step = -1
+		}
+		best, bestGap := -1, math.Inf(-1)
+		for i := range rows {
+			if step < 0 && rows[i] <= 1 && n >= size {
+				continue
+			}
+			ideal := float64(n) * w[i] / total
+			gap := float64(step) * (ideal - float64(rows[i]))
+			if gap > bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		rows[best] += step
+		assigned += step
+	}
+	cuts := make([]int, size+1)
+	for i, r := range rows {
+		cuts[i+1] = cuts[i] + r
+	}
+	return cuts
+}
+
+// ValidCuts reports whether cuts is a well-formed boundary vector for n
+// rows over size ranks: size+1 entries, starting at 0, ending at n,
+// non-decreasing.
+func ValidCuts(cuts []int, n, size int) error {
+	if len(cuts) != size+1 {
+		return fmt.Errorf("mpisim: cuts has %d boundaries, want %d", len(cuts), size+1)
+	}
+	if cuts[0] != 0 || cuts[size] != n {
+		return fmt.Errorf("mpisim: cuts span [%d, %d), want [0, %d)", cuts[0], cuts[size], n)
+	}
+	for i := 1; i <= size; i++ {
+		if cuts[i] < cuts[i-1] {
+			return fmt.Errorf("mpisim: cuts not monotone at rank %d (%d < %d)", i-1, cuts[i], cuts[i-1])
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"jungle/internal/amuse/data"
 )
@@ -39,6 +40,12 @@ type System struct {
 
 	flops float64
 	steps int
+
+	// Sharded-evolution state (shard.go): explicit slab boundaries set by
+	// the elastic-gang rebalancer (nil = uniform decomposition) and the
+	// per-rank slab compute-time accumulator behind the rank_load query.
+	cuts        []int
+	loadCompute time.Duration
 }
 
 // NewSystem returns an empty system using the given kernel.

@@ -32,6 +32,7 @@ func init() {
 // links, and energies reduce across ranks.
 type gravityService struct {
 	res   *deploy.Resource
+	host  string // the node this rank runs on (per-node speed derating)
 	clock *vtime.Clock
 	sys   *System
 	dev   *vtime.Device
@@ -40,7 +41,24 @@ type gravityService struct {
 }
 
 func newGravityService(cfg kernel.Config) (kernel.Service, error) {
-	return &gravityService{res: cfg.Res, clock: vtime.NewClock(), gi: cfg.Gang}, nil
+	s := &gravityService{res: cfg.Res, clock: vtime.NewClock(), gi: cfg.Gang}
+	if len(cfg.Hosts) > 0 {
+		s.host = cfg.Hosts[0]
+	}
+	return s, nil
+}
+
+// Reshard implements kernel.Reshardable: install new slab boundaries.
+// The coupler broadcasts the same cuts to every rank between evolves, so
+// all ranks switch decomposition at the same gang epoch.
+func (s *gravityService) Reshard(cuts []int) error {
+	if s.gi == nil {
+		return fmt.Errorf("nbody: reshard on a solo worker")
+	}
+	if s.sys == nil {
+		return fmt.Errorf("nbody: reshard before setup")
+	}
+	return s.sys.SetCuts(cuts, s.gi.Size)
 }
 
 // SetGang implements kernel.Shardable: the worker host installs the wired
@@ -78,7 +96,7 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		if err != nil {
 			return nil, s.clock.Now(), err
 		}
-		s.dev = kernel.Derate(dev, gravityEfficiency)
+		s.dev = kernel.NodeDerate(kernel.Derate(dev, gravityEfficiency), s.res, s.host)
 		var k Kernel
 		if wantGPU {
 			k = NewGPUKernel(s.dev)
@@ -183,6 +201,23 @@ func (s *gravityService) Dispatch(method string, args []byte, at time.Duration) 
 		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Potential: p}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{N: s.sys.N(), Time: s.sys.Time(), Steps: s.sys.Steps()}), s.clock.Now(), nil
+	case kernel.MethodReshard:
+		var a kernel.ReshardArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.Reshard(a.Cuts); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case kernel.MethodRankLoad:
+		if s.gi == nil || s.sys == nil {
+			return nil, s.clock.Now(), fmt.Errorf("nbody: rank_load needs a gang rank after setup")
+		}
+		rows, compute := s.sys.TakeLoad(s.gi.Rank, s.gi.Size)
+		return kernel.Encode(kernel.RankLoadResult{
+			Rank: s.gi.Rank, Rows: rows, ComputeNs: compute.Nanoseconds(),
+		}), s.clock.Now(), nil
 	case kernel.MethodCheckpoint, kernel.MethodRestore:
 		out, err := kernel.ServeCheckpoint(s, method, args)
 		return out, s.clock.Now(), err

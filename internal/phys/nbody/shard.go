@@ -3,6 +3,7 @@ package nbody
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/core/kernel"
@@ -31,12 +32,48 @@ const (
 	haloPot  = "pot"
 )
 
+// SetCuts installs explicit slab boundaries for sharded evolution (the
+// elastic-gang reshard hook). cuts must be a valid size+1 boundary
+// vector over the current particle count; nil restores the uniform
+// decomposition. Because every rank holds full replicated arrays,
+// moving a boundary needs no state movement and cannot change results.
+func (s *System) SetCuts(cuts []int, size int) error {
+	if cuts == nil {
+		s.cuts = nil
+		return nil
+	}
+	if err := mpisim.ValidCuts(cuts, len(s.mass), size); err != nil {
+		return fmt.Errorf("nbody: reshard: %w", err)
+	}
+	s.cuts = append([]int(nil), cuts...)
+	return nil
+}
+
+// Cuts returns the installed slab boundaries (nil = uniform).
+func (s *System) Cuts() []int { return s.cuts }
+
+// slabRange returns rank's row range under the installed cuts.
+func (s *System) slabRange(rank, size int) (lo, hi int) {
+	return mpisim.CutRange(s.cuts, rank, len(s.mass), size)
+}
+
+// TakeLoad returns this rank's current slab width and the virtual
+// compute time accumulated by slab force work since the previous call,
+// resetting the accumulator (the rank_load query).
+func (s *System) TakeLoad(rank, size int) (rows int, compute time.Duration) {
+	lo, hi := s.slabRange(rank, size)
+	compute = s.loadCompute
+	s.loadCompute = 0
+	return hi - lo, compute
+}
+
 // forcesComm evaluates this rank's slab into out and allgathers the slab
 // columns so every rank holds the full force arrays. Compute is accounted
 // on the communicator's clock; exchange time comes from the link models.
 func (s *System) forcesComm(c mpisim.Comm, lo, hi int, out *Forces) error {
 	flops := s.kernel.ForcesSlab(s.mass, s.pos, s.vel, s.Eps*s.Eps, lo, hi, out)
 	mpisim.ComputeFlops(c, s.kernel.Device(), flops, 0)
+	s.loadCompute += s.kernel.Device().Time(flops, 0)
 
 	st := kernel.NewState(hi - lo)
 	st.AddVec(haloAcc, out.Acc[lo:hi]).
@@ -55,7 +92,7 @@ func (s *System) forcesComm(c mpisim.Comm, lo, hi int, out *Forces) error {
 		if p == c.ID() {
 			continue
 		}
-		plo, phi := mpisim.Slab(n, p, c.Size())
+		plo, phi := mpisim.CutRange(s.cuts, p, n, c.Size())
 		pst, err := kernel.UnmarshalState(b)
 		if err != nil {
 			return fmt.Errorf("nbody: decode halo from rank %d: %w", p, err)
@@ -92,7 +129,6 @@ func (s *System) EvolveToComm(ctx context.Context, t float64, c mpisim.Comm) err
 	if n == 0 {
 		return ErrNoParticles
 	}
-	lo, hi := mpisim.Slab(n, c.ID(), c.Size())
 	for s.time < t-1e-15 {
 		// All ranks poll the same ctx: worker services evolve under
 		// Background, and a test cancelling a gang cancels every rank's
@@ -100,6 +136,10 @@ func (s *System) EvolveToComm(ctx context.Context, t float64, c mpisim.Comm) err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// Re-read the slab range every step: a reshard lands between
+		// evolve calls, but re-reading here keeps the range honest if a
+		// future caller ever reshards inside a long evolve window.
+		lo, hi := s.slabRange(c.ID(), c.Size())
 		// Refresh forces at the current state (the solo path's fresh
 		// cache does not span decompositions), mirroring EvolveTo's
 		// refresh-evaluate pair so step counts and results match the
@@ -179,7 +219,7 @@ func (s *System) EnergyComm(c mpisim.Comm) (kin, pot float64, err error) {
 	if n == 0 {
 		return 0, 0, ErrNoParticles
 	}
-	lo, hi := mpisim.Slab(n, c.ID(), c.Size())
+	lo, hi := s.slabRange(c.ID(), c.Size())
 	flops := s.kernel.ForcesSlab(s.mass, s.pos, s.vel, s.Eps*s.Eps, lo, hi, &s.f0)
 	mpisim.ComputeFlops(c, s.kernel.Device(), flops, 0)
 	partial := make([]float64, 2)

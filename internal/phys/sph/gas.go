@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	stdtime "time"
 
 	"jungle/internal/amuse/data"
 	"jungle/internal/mpisim"
@@ -54,6 +55,51 @@ type Gas struct {
 
 	flops float64
 	steps int
+
+	// Sharded-evolution state: explicit slab boundaries from the
+	// elastic-gang rebalancer (nil = uniform) and the per-rank slab
+	// compute-time accumulator behind the rank_load query.
+	cuts        []int
+	loadCompute stdtime.Duration
+}
+
+// SetCuts installs explicit slab boundaries for sharded evolution (the
+// elastic-gang reshard hook); nil restores the uniform decomposition.
+// The SPH exchanges allgather variable-length rank slabs in rank order,
+// so only the local row ranges change — results are unaffected.
+func (g *Gas) SetCuts(cuts []int, size int) error {
+	if cuts == nil {
+		g.cuts = nil
+		return nil
+	}
+	if err := mpisim.ValidCuts(cuts, len(g.mass), size); err != nil {
+		return fmt.Errorf("sph: reshard: %w", err)
+	}
+	g.cuts = append([]int(nil), cuts...)
+	return nil
+}
+
+// Cuts returns the installed slab boundaries (nil = uniform).
+func (g *Gas) Cuts() []int { return g.cuts }
+
+// cutsFor returns the installed cuts when they match the communicator
+// size (gang ranks); a multi-node World of a different size keeps the
+// uniform decomposition.
+func (g *Gas) cutsFor(size int) []int {
+	if len(g.cuts) == size+1 {
+		return g.cuts
+	}
+	return nil
+}
+
+// TakeLoad returns this rank's current slab width and the virtual
+// compute time accumulated by slab work since the previous call,
+// resetting the accumulator (the rank_load query).
+func (g *Gas) TakeLoad(rank, size int) (rows int, compute stdtime.Duration) {
+	lo, hi := mpisim.CutRange(g.cutsFor(size), rank, len(g.mass), size)
+	compute = g.loadCompute
+	g.loadCompute = 0
+	return hi - lo, compute
 }
 
 // New returns an empty gas system with default parameters.
@@ -285,8 +331,9 @@ func (g *Gas) evolve(ctx context.Context, t float64, r mpisim.Comm, dev *vtime.D
 
 	lo, hi := 0, n
 	if r != nil {
-		lo, hi = mpisim.Slab(n, r.ID(), r.Size())
+		lo, hi = mpisim.CutRange(g.cutsFor(r.Size()), r.ID(), n, r.Size())
 	}
+	var load stdtime.Duration
 	time := g.time
 	steps := 0
 	var flops float64
@@ -303,6 +350,7 @@ func (g *Gas) evolve(ctx context.Context, t float64, r mpisim.Comm, dev *vtime.D
 		return err
 	}
 	account(r, dev, f)
+	load += slabTime(r, dev, f)
 	flops += f
 
 	for time < t-1e-15 {
@@ -355,6 +403,7 @@ func (g *Gas) evolve(ctx context.Context, t float64, r mpisim.Comm, dev *vtime.D
 			return err
 		}
 		account(r, dev, f)
+		load += slabTime(r, dev, f)
 		flops += f
 		time += dt
 		steps++
@@ -372,8 +421,18 @@ func (g *Gas) evolve(ctx context.Context, t float64, r mpisim.Comm, dev *vtime.D
 		g.time = time
 		g.steps += steps
 		g.flops += flops * flopScale(r)
+		g.loadCompute += load
 	}
 	return nil
+}
+
+// slabTime prices one rank's slab work for the rank_load accumulator
+// (mirrors account's charge; zero when running serially).
+func slabTime(r mpisim.Comm, dev *vtime.Device, flops float64) stdtime.Duration {
+	if r == nil || dev == nil {
+		return 0
+	}
+	return dev.Time(flops, dev.Cores)
 }
 
 // flopScale converts one rank's counted flops into the communicator total

@@ -48,6 +48,9 @@ func newHydroService(cfg kernel.Config) (kernel.Service, error) {
 	}
 	s := &hydroService{res: cfg.Res, gas: New(), dev: kernel.Derate(dev, hydroEfficiency),
 		clock: vtime.NewClock(), gi: cfg.Gang}
+	if len(cfg.Hosts) > 0 {
+		s.dev = kernel.NodeDerate(s.dev, cfg.Res, cfg.Hosts[0])
+	}
 	if cfg.Gang != nil && len(cfg.Hosts) > 1 {
 		return nil, fmt.Errorf("sph: gang ranks are single-node workers (rank %d got %d hosts); shard across workers or span nodes, not both", cfg.Gang.Rank, len(cfg.Hosts))
 	}
@@ -74,6 +77,16 @@ func (s *hydroService) SetGang(g *mpisim.Gang) error {
 	g.Bind(s.clock)
 	s.gang = g
 	return nil
+}
+
+// Reshard implements kernel.Reshardable: install new slab boundaries on
+// the gas. The SPH exchanges allgather variable-length slabs in rank
+// order, so only the local row range changes; results are unaffected.
+func (s *hydroService) Reshard(cuts []int) error {
+	if s.gi == nil {
+		return fmt.Errorf("sph: reshard on a solo worker")
+	}
+	return s.gas.SetCuts(cuts, s.gi.Size)
 }
 
 func (s *hydroService) Close() {
@@ -199,6 +212,23 @@ func (s *hydroService) Dispatch(method string, args []byte, at time.Duration) ([
 		return kernel.Encode(kernel.EnergiesResult{Kinetic: k, Thermal: th, Potential: p}), s.clock.Now(), nil
 	case "stats":
 		return kernel.Encode(kernel.StatsResult{N: s.gas.N(), Time: s.gas.Time(), Steps: s.gas.Steps()}), s.clock.Now(), nil
+	case kernel.MethodReshard:
+		var a kernel.ReshardArgs
+		if err := kernel.Decode(args, &a); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		if err := s.Reshard(a.Cuts); err != nil {
+			return nil, s.clock.Now(), err
+		}
+		return kernel.Encode(kernel.Empty{}), s.clock.Now(), nil
+	case kernel.MethodRankLoad:
+		if s.gi == nil {
+			return nil, s.clock.Now(), fmt.Errorf("sph: rank_load needs a gang rank")
+		}
+		rows, compute := s.gas.TakeLoad(s.gi.Rank, s.gi.Size)
+		return kernel.Encode(kernel.RankLoadResult{
+			Rank: s.gi.Rank, Rows: rows, ComputeNs: compute.Nanoseconds(),
+		}), s.clock.Now(), nil
 	case kernel.MethodCheckpoint, kernel.MethodRestore:
 		out, err := kernel.ServeCheckpoint(s, method, args)
 		return out, s.clock.Now(), err

@@ -32,6 +32,9 @@ type Recorder struct {
 	// sessions holds per-session control-plane accounting (sessions.go);
 	// created lazily so single-tenant recorders pay nothing.
 	sessions map[string]*SessionStats
+	// gangs holds elastic-gang skew telemetry (gangs.go); lazy like
+	// sessions.
+	gangs map[string]*GangStats
 }
 
 type trafficKey struct {

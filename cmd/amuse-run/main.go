@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"jungle/internal/core"
 	"jungle/internal/deploy"
@@ -54,6 +55,7 @@ func main() {
 	attach := flag.String("attach", "", "run through a jungled control plane at this address instead of a local testbed")
 	session := flag.String("session", "", "session id to attach (required with -attach)")
 	keep := flag.Bool("keep", false, "with -attach: detach without closing, so the session can be re-attached later")
+	observe := flag.Bool("observe", false, "after the run, print the observability plane: per-method call histograms and link health")
 	flag.Parse()
 
 	if *attach != "" {
@@ -119,7 +121,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("resume: %v", err)
 		}
-		report(tb, res)
+		report(tb, res, *observe)
 		return
 	}
 
@@ -153,7 +155,7 @@ func main() {
 		}
 		log.Fatalf("run: %v", err)
 	}
-	report(tb, res)
+	report(tb, res, *observe)
 }
 
 // checkpointWritten reports whether the checkpoint file at path was
@@ -216,9 +218,15 @@ func runAttached(addr, session string, stars, gas, iters int, keep bool) error {
 	return nil
 }
 
-func report(tb *core.Testbed, res exp.RunResult) {
-	fmt.Printf("placement %s: %v per iteration (setup %v, %d supernovae)\n",
-		res.Scenario, res.PerIteration, res.Setup, res.Supernovae)
+func report(tb *core.Testbed, res exp.RunResult, observe bool) {
+	fmt.Printf("placement %s: %v per iteration (setup %v, %d supernovae, %s)\n",
+		res.Scenario, res.PerIteration, res.Setup, res.Supernovae, res.Calls.String())
 	fmt.Println()
 	fmt.Println(tb.Deployment.RenderStatus())
+	if observe {
+		// The run just ended, so "now" is its final virtual time — links
+		// probed more than a staleness window before it are marked STALE.
+		fmt.Println(tb.Recorder.RenderCalls())
+		fmt.Println(tb.Recorder.RenderHealth(res.Setup + res.PerIteration*time.Duration(res.Iterations)))
+	}
 }

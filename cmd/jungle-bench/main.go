@@ -4,6 +4,7 @@
 //	jungle-bench -e e1 -scale 1 -iters 1     # §6.2 lab table at full scale
 //	jungle-bench -e e3,e6,e7                 # overlay, call sequence, loopback
 //	jungle-bench -e all -scale 0.1           # everything, reduced workload
+//	jungle-bench calibrate                   # vnet/vtime calibration report
 package main
 
 import (
@@ -24,6 +25,17 @@ func main() {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	// Positional ids work too: `jungle-bench calibrate`. Naming any
+	// positional id replaces the -e default, so `jungle-bench calibrate`
+	// runs the calibration alone, not "all" plus it.
+	if args := flag.Args(); len(args) > 0 {
+		if *experiments == "all" {
+			want = map[string]bool{}
+		}
+		for _, e := range args {
+			want[strings.TrimSpace(strings.ToLower(e))] = true
+		}
 	}
 	all := want["all"]
 	failed := false
@@ -65,6 +77,19 @@ func main() {
 	})
 	run("e8", func() (string, error) { return exp.E8(*iters) })
 	run("e9", func() (string, error) { return exp.E9(512, 8) })
+
+	// The calibration loop (DESIGN.md "Observability plane"): probe every
+	// configured edge of the DSL and SC11 testbeds and hold the measured
+	// goodput to within 10% of the configured bandwidths. Not a paper
+	// artifact, so explicit-only, like the ablations.
+	if want["calibrate"] {
+		out, err := exp.CalibrateReport()
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate failed: %v\n", err)
+			failed = true
+		}
+	}
 
 	// Design ablations (DESIGN.md §6): not paper artifacts, so they run
 	// only when requested explicitly.

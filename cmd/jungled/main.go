@@ -37,6 +37,7 @@ func main() {
 	queueCap := flag.Int("queue", 8, "admission queue bound")
 	leaseTTL := flag.Duration("lease", 30*time.Second, "idle-session lease; expired sessions are checkpointed and preempted")
 	reapEvery := flag.Duration("reap-every", 5*time.Second, "how often to sweep for expired leases (0 disables)")
+	statusEvery := flag.Duration("status-every", 0, "how often to log the observability plane (sessions, link health, call histograms; 0 disables)")
 	flag.Parse()
 
 	if *selftest {
@@ -84,6 +85,19 @@ func main() {
 				} else if len(reaped) > 0 {
 					log.Printf("reaped idle sessions %v", reaped)
 				}
+			}
+		}()
+	}
+
+	if *statusEvery > 0 {
+		go func() {
+			for range time.Tick(*statusEvery) {
+				// Sessions span virtual clocks, so staleness marking is
+				// off (-1): a link probed once by any tenant stays "ok".
+				log.Printf("status:\n%s\n%s\n%s",
+					tb.Recorder.RenderSessions(),
+					tb.Recorder.RenderHealth(-1),
+					tb.Recorder.RenderCalls())
 			}
 		}()
 	}

@@ -57,11 +57,15 @@ type Simulation struct {
 	TransferCodec   byte
 	CheckpointCodec byte
 
-	// Monitor, when set, receives elastic-gang telemetry: per-rank step
-	// timing, the skew gauge and reshard/migration events
-	// (trace.RenderGangs). Independent of the per-session recorder so
-	// standalone simulations can watch their gangs too. Set before
-	// enabling rebalancing.
+	// Monitor is the observability plane: channel-layer call latency and
+	// queue-depth histograms (trace.RenderCalls), bulk-transfer and store
+	// gauges (trace.RenderHealth) and elastic-gang telemetry
+	// (trace.RenderGangs). NewSimulation defaults it to the network's
+	// recorder when that is a *trace.Recorder — every testbed installs
+	// one, so the plane is on by default; set nil to switch it off.
+	// Recording is passive (it never touches the clock or the wire), so
+	// results are byte-identical either way. Independent of the
+	// per-session recorder so standalone simulations are covered too.
 	Monitor *trace.Recorder
 
 	mu        sync.Mutex
@@ -92,7 +96,11 @@ func NewSimulation(ctx context.Context, d *Daemon, conv *units.Converter) *Simul
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Simulation{daemon: d, conv: conv, clock: vtime.NewClock(), ctx: ctx}
+	s := &Simulation{daemon: d, conv: conv, clock: vtime.NewClock(), ctx: ctx}
+	if rec, ok := d.Deployment().Net.Recorder().(*trace.Recorder); ok {
+		s.Monitor = rec
+	}
+	return s
 }
 
 // Context returns the session context.
@@ -375,7 +383,7 @@ func (m *modelProxy) start(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		m.setEndpoint(spec, newLocalChannel(svc), 0)
+		m.setEndpoint(spec, newLocalChannel(svc, s.observer(m.kind, spec.Resource, "", 0, -1)), 0)
 		return nil
 	case ChannelSockets:
 		id, err := s.daemon.StartWorker(ctx, spec)
@@ -390,7 +398,7 @@ func (m *modelProxy) start(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		m.setEndpoint(spec, newConnChannel(ChannelSockets, conn), id)
+		m.setEndpoint(spec, newConnChannel(ChannelSockets, conn, s.observer(m.kind, spec.Resource, host, id, -1)), id)
 		return nil
 	case ChannelIbis:
 		if spec.Workers > 1 {
@@ -406,7 +414,8 @@ func (m *modelProxy) start(ctx context.Context) error {
 			return err
 		}
 		conn.SetClass("loopback")
-		m.setEndpoint(spec, newConnChannel(ChannelIbis, conn), id)
+		obs := s.observer(m.kind, spec.Resource, s.workerHost(id, spec.Resource), id, -1)
+		m.setEndpoint(spec, newConnChannel(ChannelIbis, conn, obs), id)
 		return nil
 	default:
 		return fmt.Errorf("core: unknown channel %q", spec.Channel)
@@ -446,9 +455,11 @@ func (m *modelProxy) startGang(ctx context.Context, spec WorkerSpec) error {
 			return err
 		}
 		conn.SetClass("loopback")
-		members[i] = newConnChannel(ChannelIbis, conn)
+		members[i] = newConnChannel(ChannelIbis, conn,
+			s.observer(m.kind, spec.Resource, s.workerHost(ids[i], spec.Resource), ids[i], i))
 	}
-	gch := newGangChannel(members, ids)
+	gch := newGangChannel(members, ids,
+		s.gangObserver(m.kind, spec.Resource, s.workerHost(ids[0], spec.Resource), ids[0]))
 	if err := gch.wireGang(ctx, s); err != nil {
 		gch.close()
 		stopAll()
@@ -829,7 +840,7 @@ func (m *modelProxy) replace() error {
 	// snapshot first, then overlay the cache if it is newer (a push or
 	// sync landed after the checkpoint).
 	if snap != nil {
-		if err := m.replay(kernel.MethodRestore, snap); err != nil {
+		if err := m.replayRestore(snap); err != nil {
 			return err
 		}
 	}

@@ -175,7 +175,7 @@ func TestUndecodableResponseFailsChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := newConnChannel("test", conn)
+	ch := newConnChannel("test", conn, nil)
 	defer ch.close()
 
 	done := make(chan error, 1)

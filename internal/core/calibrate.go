@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jungle/internal/smartsockets"
+	"jungle/internal/trace"
+)
+
+// The testbed side of the calibration loop: probe every configured
+// network edge with the SmartSockets goodput prober, then let the
+// recorder compare what the probes measured (and what the channel layer
+// observed) against the configured vnet/vtime constants. cmd/jungle-bench
+// exposes this as the `calibrate` experiment; the E2E honesty tests use
+// it to hold the virtual network to its configuration.
+
+// calibratePortBase is where calibration factories claim ports: above the
+// worker peer plane and the probe-accuracy test harness, 100 per host.
+const calibratePortBase = 52000
+
+// LinkSpecs enumerates every configured network edge, both directions —
+// the configuration the calibration pass checks the live overlay against.
+func (tb *Testbed) LinkSpecs() []trace.LinkSpec {
+	var specs []trace.LinkSpec
+	for _, l := range tb.Net.Links() {
+		specs = append(specs,
+			trace.LinkSpec{From: l.A, To: l.B, Bandwidth: l.Bandwidth},
+			trace.LinkSpec{From: l.B, To: l.A, Bandwidth: l.Bandwidth})
+	}
+	return specs
+}
+
+// calibrateHub picks the hub a calibration factory on host registers
+// through: the host's own hub when the deployment runs one there (the
+// local host and every resource hub host), the resource hub for cluster
+// nodes, and for hosts outside every resource (display clusters) the
+// nearest hub-running neighbor on a configured link.
+func (tb *Testbed) calibrateHub(host string) string {
+	dep := tb.Deployment
+	hubs := map[string]bool{dep.LocalHost(): true}
+	nodeHub := map[string]string{}
+	for _, name := range dep.Resources() {
+		r, err := dep.Resource(name)
+		if err != nil {
+			continue
+		}
+		hub := r.HubHost
+		if hub == "" {
+			hub = r.Frontend
+		}
+		hubs[hub] = true
+		nodeHub[r.Frontend] = hub
+		for _, node := range r.Nodes {
+			nodeHub[node] = hub
+		}
+	}
+	if hubs[host] {
+		return host
+	}
+	if hub, ok := nodeHub[host]; ok {
+		return hub
+	}
+	for _, l := range tb.Net.Links() {
+		if l.A == host && hubs[l.B] {
+			return l.B
+		}
+		if l.B == host && hubs[l.A] {
+			return l.A
+		}
+	}
+	return dep.LocalHost()
+}
+
+// Calibrate probes every configured edge in both directions (standing a
+// goodput responder up on each host) and returns the drift report: the
+// measured goodput of every edge against its configured bandwidth, plus
+// every recorded call key's observed latency against its channel floor.
+// at is the virtual time probing starts from (a running simulation's
+// Elapsed, or 0 on an idle testbed); the returned time is when the last
+// probe completed. Probe traffic rides ordinary virtual connections, so
+// the pass costs virtual time — run it between iterations, not inside a
+// byte-identity comparison.
+func (tb *Testbed) Calibrate(at time.Duration) (trace.Calibration, time.Duration, error) {
+	specs := tb.LinkSpecs()
+	hostSet := map[string]bool{}
+	for _, s := range specs {
+		hostSet[s.From] = true
+	}
+	hosts := make([]string, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	factories := map[string]*smartsockets.Factory{}
+	responders := map[string]smartsockets.Address{}
+	defer func() {
+		for _, f := range factories {
+			f.Close()
+		}
+	}()
+	base := calibratePortBase
+	for _, h := range hosts {
+		f, err := smartsockets.NewFactory(tb.Net, h, base, tb.calibrateHub(h))
+		if err != nil {
+			return trace.Calibration{}, at, fmt.Errorf("core: calibrate factory on %s: %w", h, err)
+		}
+		factories[h] = f
+		l, err := f.Listen(base + 50)
+		if err != nil {
+			return trace.Calibration{}, at, fmt.Errorf("core: calibrate responder on %s: %w", h, err)
+		}
+		go f.ServeGoodput(l)
+		responders[h] = l.Addr()
+		base += 100
+	}
+	if at <= 0 {
+		at = time.Second
+	}
+	for _, s := range specs {
+		_, doneAt, err := factories[s.From].Goodput(responders[s.To], at)
+		if err != nil {
+			return trace.Calibration{}, at, fmt.Errorf("core: calibrate probe %s -> %s: %w", s.From, s.To, err)
+		}
+		// Space probes out so each measurement sees a quiet link.
+		at = doneAt + time.Second
+	}
+	return tb.Recorder.Calibrate(specs), at, nil
+}

@@ -49,6 +49,7 @@ const (
 type localChannel struct {
 	svc     service
 	latency time.Duration
+	obs     *chanObs
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -66,8 +67,8 @@ type localSubmission struct {
 // mpiMessageLatency is the per-call cost of the local MPI channel.
 const mpiMessageLatency = 5 * time.Microsecond
 
-func newLocalChannel(svc service) *localChannel {
-	c := &localChannel{svc: svc, latency: mpiMessageLatency, stopped: make(chan struct{})}
+func newLocalChannel(svc service, obs *chanObs) *localChannel {
+	c := &localChannel{svc: svc, latency: mpiMessageLatency, obs: obs, stopped: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	go c.serve()
 	return c
@@ -76,6 +77,7 @@ func newLocalChannel(svc service) *localChannel {
 func (c *localChannel) name() string { return ChannelMPI }
 
 func (c *localChannel) start(req request, done completion) {
+	done = c.obs.observe(req.Method, req.SentAt, done)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -138,6 +140,7 @@ func (c *localChannel) close() error {
 type connChannel struct {
 	chName string
 	conn   *vnet.Conn
+	obs    *chanObs
 
 	mu      sync.Mutex
 	pending map[uint64]completion
@@ -145,8 +148,8 @@ type connChannel struct {
 	readErr error
 }
 
-func newConnChannel(name string, conn *vnet.Conn) *connChannel {
-	c := &connChannel{chName: name, conn: conn, pending: make(map[uint64]completion)}
+func newConnChannel(name string, conn *vnet.Conn, obs *chanObs) *connChannel {
+	c := &connChannel{chName: name, conn: conn, obs: obs, pending: make(map[uint64]completion)}
 	go c.readLoop()
 	return c
 }
@@ -198,6 +201,7 @@ func (c *connChannel) fail(err error) {
 }
 
 func (c *connChannel) start(req request, done completion) {
+	done = c.obs.observe(req.Method, req.SentAt, done)
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr

@@ -125,7 +125,7 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 				if !ok {
 					err = fmt.Errorf("%w: checkpoint %d acked but blob missing from store", ErrTransport, p.id)
 				} else {
-					s.recordTransferReport(p.c, p.id)
+					s.recordTransferReport(p.c, p.id, p.m.peerHost(), daddr.Host)
 					p.blob = blob
 				}
 			}
@@ -170,6 +170,13 @@ func (s *Simulation) Checkpoint(ctx context.Context) (*Manifest, error) {
 		// not one per checkpoint.
 		s.daemon.StoreCheckpoint(p.id, p.blob)
 		s.daemon.TagCheckpoint(p.id, s.Session())
+		if rec := s.Monitor; rec != nil {
+			wire, ok := s.daemon.CheckpointWireBytes(p.id)
+			if !ok {
+				wire = len(p.blob)
+			}
+			rec.RecordCheckpoint(string(p.m.kind), len(p.blob), wire)
+		}
 		if prev := p.m.cacheSnapshot(p.blob, p.id, p.seq); prev != 0 {
 			s.daemon.DropCheckpoint(prev)
 		}
@@ -246,7 +253,7 @@ func ResumeSessionSimulation(ctx context.Context, d *Daemon, conv *units.Convert
 			return fail(fmt.Errorf("core: resume %s setup: %w", mc.Kind, err))
 		}
 		if len(mc.Snapshot) > 0 {
-			if err := m.replay(kernel.MethodRestore, mc.Snapshot); err != nil {
+			if err := m.replayRestore(mc.Snapshot); err != nil {
 				m.shutdown()
 				return fail(fmt.Errorf("core: resume %s restore: %w", mc.Kind, err))
 			}

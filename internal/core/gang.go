@@ -45,6 +45,7 @@ func gangFanout(method string) bool {
 // before returning, keeping the pipelining property of the async API.
 type gangChannel struct {
 	members []channel // one per rank, rank order
+	obs     *chanObs  // merged-completion observer (model label = kind)
 
 	// mu guards workers: rank recovery swaps a dead rank's worker id for
 	// its replacement's while pipelined callers keep issuing.
@@ -60,8 +61,8 @@ type gangChannel struct {
 	issueMu sync.Mutex
 }
 
-func newGangChannel(members []channel, workers []int) *gangChannel {
-	return &gangChannel{members: members, workers: workers}
+func newGangChannel(members []channel, workers []int, obs *chanObs) *gangChannel {
+	return &gangChannel{members: members, workers: workers, obs: obs}
 }
 
 func (g *gangChannel) name() string { return ChannelIbis }
@@ -88,6 +89,7 @@ func (g *gangChannel) setWorkers(ids []int) {
 // actionable failure (a dead rank beats a surviving rank's aborted-
 // collective fault, so the coupler sees ErrWorkerDied when a rank died).
 func (g *gangChannel) start(req request, done completion) {
+	done = g.obs.observe(req.Method, req.SentAt, done)
 	g.issueMu.Lock()
 	defer g.issueMu.Unlock()
 	workers := g.rankWorkers()
@@ -315,7 +317,7 @@ func (m *modelProxy) replaceGangRanks() error {
 	if err := m.replay("setup", setup); err != nil {
 		return fmt.Errorf("core: gang setup replay: %w", err)
 	}
-	if err := m.replay(kernel.MethodRestore, snap); err != nil {
+	if err := m.replayRestore(snap); err != nil {
 		return fmt.Errorf("core: gang restore: %w", err)
 	}
 	if state != nil && stateSeq > snapSeq {

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 
-	"jungle/internal/core/kernel"
 	"jungle/internal/trace"
 )
 
@@ -169,7 +168,7 @@ func (m *modelProxy) rebuildEndpoint(ctx context.Context, reason, target string,
 	if err := m.replay("setup", setup); err != nil {
 		return fmt.Errorf("%w: %s setup replay on %s: %w", ErrMigration, reason, target, err)
 	}
-	if err := m.replay(kernel.MethodRestore, blob); err != nil {
+	if err := m.replayRestore(blob); err != nil {
 		return fmt.Errorf("%w: %s restore on %s: %w", ErrMigration, reason, target, err)
 	}
 	if state != nil && stateSeq > snapSeq {

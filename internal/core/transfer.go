@@ -11,6 +11,7 @@ import (
 	"jungle/internal/core/kernel"
 	"jungle/internal/phys/bridge"
 	"jungle/internal/smartsockets"
+	"jungle/internal/trace"
 )
 
 // Third-party state transfer: the coupler orchestrates ("send your columns
@@ -128,6 +129,7 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 	// hairpin handles all three cases at ordinary RPC cost.
 	if !srcOK || !dstOK || src == dst {
 		s.countTransfer(func(t *TransferStats) { t.Hairpin++ })
+		s.linkTransfer(src.peerHost(), dst.peerHost(), trace.LinkHairpin)
 		go s.runHairpin(c, src, dst, apply, slot, attrs)
 		return c
 	}
@@ -162,7 +164,7 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 			s.daemon.AbortTransfer(dstPeer, id)
 		}
 		if err == nil {
-			s.recordTransferReport(offer, id)
+			s.recordTransferReport(offer, id, src.peerHost(), dstPeer.Host)
 			c.finish(nil, nil)
 			return
 		}
@@ -172,6 +174,7 @@ func (s *Simulation) goTransfer(src, dst *modelProxy, apply string, slot uint64,
 		}
 		// Direct path failed: carry the columns over the coupler instead.
 		s.countTransfer(func(t *TransferStats) { t.Fallback++ })
+		s.linkTransfer(src.peerHost(), dstPeer.Host, trace.LinkFallback)
 		s.trace("transfer %d: direct path failed (%v); falling back to coupler hairpin", id, err)
 		if hook := s.onTransferFallback(); hook != nil {
 			hook(err)
@@ -207,7 +210,7 @@ func (s *Simulation) checkpointTuning() (stripes int, codec byte) {
 // stripe-fallback notification (a striped attempt that completed over a
 // single stream — still worker-to-worker, but worth surfacing to the same
 // observer as hairpin fallbacks).
-func (s *Simulation) recordTransferReport(offer *Call, id uint64) {
+func (s *Simulation) recordTransferReport(offer *Call, id uint64, from, to string) {
 	var rep kernel.TransferReport
 	if err := offer.Decode(&rep); err != nil {
 		rep = kernel.TransferReport{Streams: 1}
@@ -222,6 +225,14 @@ func (s *Simulation) recordTransferReport(offer *Call, id uint64) {
 			t.StripeFallback++
 		}
 	})
+	if rep.Streams > 1 {
+		s.linkTransfer(from, to, trace.LinkStriped)
+	} else {
+		s.linkTransfer(from, to, trace.LinkDirect)
+	}
+	if rep.StripeFallback {
+		s.linkTransfer(from, to, trace.LinkStripeFallback)
+	}
 	if rep.StripeFallback {
 		err := fmt.Errorf("%w: transfer %d: striped path failed (%s); completed over a single stream",
 			ErrTransport, id, rep.StripeErr)

@@ -20,11 +20,40 @@ import "sync"
 // up. That keeps admission, placement and SelectResource fairness all
 // reading one consistent occupancy figure with no double counting.
 
+// CapacityMonitor receives a capacity gauge update whenever a resource's
+// occupancy changes (trace.Recorder satisfies it; see RenderHealth).
+type CapacityMonitor interface {
+	RecordCapacity(resource string, occupied, total int)
+}
+
 // capLedger tracks reserved/committed nodes per resource per owner.
 type capLedger struct {
 	mu        sync.Mutex
 	reserved  map[string]map[string]int // resource -> owner -> nodes
 	committed map[string]map[string]int
+	mon       CapacityMonitor
+}
+
+// SetMonitor installs the capacity gauge observer. Every ledger mutation
+// afterwards reports the resource's fresh occupancy to it.
+func (d *Deployment) SetMonitor(m CapacityMonitor) {
+	d.cap.mu.Lock()
+	d.cap.mon = m
+	d.cap.mu.Unlock()
+}
+
+// recordCapacity pushes one resource's current occupancy to the monitor.
+// Called after the ledger mutation's unlock — OccupiedNodes retakes the
+// ledger lock.
+func (d *Deployment) recordCapacity(m CapacityMonitor, resource string) {
+	if m == nil {
+		return
+	}
+	total := 0
+	if r, err := d.Resource(resource); err == nil {
+		total = r.NodeCount()
+	}
+	m.RecordCapacity(resource, d.OccupiedNodes(resource), total)
 }
 
 func (l *capLedger) add(book map[string]map[string]int, resource, owner string, nodes int) map[string]map[string]int {
@@ -51,7 +80,9 @@ func (d *Deployment) ReserveNodes(resource, owner string, nodes int) {
 	}
 	d.cap.mu.Lock()
 	d.cap.reserved = d.cap.add(d.cap.reserved, resource, owner, nodes)
+	m := d.cap.mon
 	d.cap.mu.Unlock()
+	d.recordCapacity(m, resource)
 }
 
 // ReleaseReserved returns previously reserved nodes.
@@ -61,7 +92,9 @@ func (d *Deployment) ReleaseReserved(resource, owner string, nodes int) {
 	}
 	d.cap.mu.Lock()
 	d.cap.reserved = d.cap.add(d.cap.reserved, resource, owner, -nodes)
+	m := d.cap.mon
 	d.cap.mu.Unlock()
+	d.recordCapacity(m, resource)
 }
 
 // CommitNodes records nodes occupied by a running worker job. owner is
@@ -72,7 +105,9 @@ func (d *Deployment) CommitNodes(resource, owner string, nodes int) {
 	}
 	d.cap.mu.Lock()
 	d.cap.committed = d.cap.add(d.cap.committed, resource, owner, nodes)
+	m := d.cap.mon
 	d.cap.mu.Unlock()
+	d.recordCapacity(m, resource)
 }
 
 // ReleaseNodes returns previously committed nodes (worker stopped/died).
@@ -82,7 +117,9 @@ func (d *Deployment) ReleaseNodes(resource, owner string, nodes int) {
 	}
 	d.cap.mu.Lock()
 	d.cap.committed = d.cap.add(d.cap.committed, resource, owner, -nodes)
+	m := d.cap.mon
 	d.cap.mu.Unlock()
+	d.recordCapacity(m, resource)
 }
 
 // mergedLocked returns one owner's occupancy contribution on a resource.

@@ -18,6 +18,7 @@ import (
 	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
 	"jungle/internal/phys/bridge"
+	"jungle/internal/trace"
 
 	// The experiment runners start workers of all four standard kinds.
 	_ "jungle/internal/kernels"
@@ -156,6 +157,10 @@ type RunResult struct {
 	// the same state iff their digests match — the observable the
 	// checkpoint/resume bit-compatibility guarantee is checked against.
 	StateDigest uint64
+	// Calls summarizes the channel-layer telemetry this run added to the
+	// testbed's observability plane: RPC count, error count and latency
+	// quantiles (zero when the testbed records nothing).
+	Calls trace.CallSummary
 }
 
 // scenarioBridge bundles one placement's running models and their bridge.
@@ -269,6 +274,7 @@ func startScenarioOn(ctx context.Context, sim *core.Simulation, w Workload, p Pl
 // whole run — worker startup, state uploads and every bridge iteration
 // (nil means no deadline).
 func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement, iterations int) (RunResult, error) {
+	before := tb.Recorder.CallsSnapshot()
 	sb, err := startScenario(ctx, tb, w, p)
 	if err != nil {
 		return RunResult{}, err
@@ -293,6 +299,9 @@ func RunScenario(ctx context.Context, tb *core.Testbed, w Workload, p Placement,
 		Supernovae:   sb.bridge.Supernovae(),
 		Transfers:    sb.sim.TransferStats(),
 		StateDigest:  digest,
+		// A shared testbed serves many runs; the snapshot diff isolates
+		// this one's calls from whatever the recorder held before.
+		Calls: trace.DiffCalls(before, tb.Recorder.CallsSnapshot()),
 	}, nil
 }
 

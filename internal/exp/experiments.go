@@ -102,12 +102,14 @@ func E2(scale float64, iterations int) (string, error) {
 	}
 	rows := [][]string{
 		{"desktop client (Fig.12)", fmt.Sprintf("%.2f", labRes.PerIteration.Seconds()),
-			fmt.Sprintf("%.2f", labRes.Setup.Seconds()), transferMix(labRes.Transfers)},
+			fmt.Sprintf("%.2f", labRes.Setup.Seconds()), transferMix(labRes.Transfers),
+			labRes.Calls.String()},
 		{"Seattle laptop (Fig.9)", fmt.Sprintf("%.2f", scRes.PerIteration.Seconds()),
-			fmt.Sprintf("%.2f", scRes.Setup.Seconds()), transferMix(scRes.Transfers)},
+			fmt.Sprintf("%.2f", scRes.Setup.Seconds()), transferMix(scRes.Transfers),
+			scRes.Calls.String()},
 	}
 	table := Table("E2 SC11 worst case (Fig. 9): transatlantic coupler",
-		[]string{"client", "s/iteration", "setup s", "state transfers"}, rows)
+		[]string{"client", "s/iteration", "setup s", "state transfers", "rpc plane"}, rows)
 	penalty := scRes.PerIteration.Seconds() - labRes.PerIteration.Seconds()
 	table += fmt.Sprintf("transatlantic penalty: %+.2f s/iteration\n\n%s", penalty, overlay)
 	return table, nil
@@ -400,6 +402,44 @@ func E8(iterations int) (string, error) {
 		[]string{"deployment", "fitted exponent", "projected s/iter at 100x"}, rows)
 	table += fmt.Sprintf("projected jungle advantage at 100x: %.1fx\n", dProj/jProj)
 	return table, nil
+}
+
+// CalibrateReport runs the observability plane's calibration loop on the
+// DSL and SC11 testbeds: probe every configured network edge in both
+// directions (Testbed.Calibrate) and compare the measured goodput against
+// the configured vnet bandwidths, plus any recorded call floors. It
+// errors when an edge is unmeasured or drifts 10% or more — the honesty
+// bar the virtual network model is held to.
+func CalibrateReport() (string, error) {
+	var b strings.Builder
+	testbeds := []struct {
+		name  string
+		build func() (*core.Testbed, error)
+	}{
+		{"dsl", core.NewDSLTestbed},
+		{"sc11", core.NewSC11Testbed},
+	}
+	for _, t := range testbeds {
+		tb, err := t.build()
+		if err != nil {
+			return "", err
+		}
+		cal, _, err := tb.Calibrate(0)
+		tb.Close()
+		if err != nil {
+			return "", fmt.Errorf("calibrate %s: %w", t.name, err)
+		}
+		worst, all := cal.MaxLinkDrift()
+		fmt.Fprintf(&b, "== calibrate %s: %d directed edges, worst drift %.2f%% ==\n%s\n",
+			t.name, len(cal.Links), worst*100, cal.Render())
+		if !all {
+			return b.String(), fmt.Errorf("calibrate %s: unmeasured edges in the report", t.name)
+		}
+		if worst >= 0.10 {
+			return b.String(), fmt.Errorf("calibrate %s: worst link drift %.1f%% breaches the 10%% bar", t.name, worst*100)
+		}
+	}
+	return b.String(), nil
 }
 
 var _ = time.Second

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"time"
 
 	"jungle/internal/core"
 	"jungle/internal/core/kernel"
@@ -108,7 +109,18 @@ func (g *Gateway) ServeConn(conn io.ReadWriter) error {
 			}
 			continue
 		}
+		start := time.Now()
 		reply := g.dispatch(&bound, env)
+		// Control ops run on the wall clock (the gateway fronts a real
+		// listener), so their latency histograms are wall time — model
+		// "control" keeps them apart from the virtual-time call rows.
+		if rec := g.Sched.Recorder(); rec != nil {
+			if reply.Code != 0 {
+				rec.RecordCallError(bound, "control", env.Method)
+			} else {
+				rec.RecordCall(bound, "control", env.Method, time.Since(start), 0)
+			}
+		}
 		out, err := gobEncode(reply)
 		if err != nil {
 			return err

@@ -131,6 +131,29 @@ func (f *Factory) ServeProbeConn(conn *VirtualConn, first []byte, arrival time.D
 	}
 }
 
+// ServeGoodput runs a stand-alone goodput responder on a listener: it
+// accepts connections, dispatches those opening the probe protocol to
+// ServeProbeConn and drops anything else, until the listener closes.
+// The peer data plane embeds the same dispatch in its own accept loop;
+// this helper serves hosts that run no peer plane — the calibration
+// pass stands one up per probed host.
+func (f *Factory) ServeGoodput(l *Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn *VirtualConn) {
+			msg, err := conn.Recv()
+			if err != nil || !IsProbeFrame(msg.Data) {
+				conn.Close()
+				return
+			}
+			f.ServeProbeConn(conn, msg.Data, msg.Arrival)
+		}(conn)
+	}
+}
+
 // Goodput returns the measured goodput (bytes/second) from this factory's
 // host to the peer's probe responder at target. Measurements are cached:
 // a sample younger than ProbeTTL (in virtual time) is returned without

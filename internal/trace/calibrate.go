@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The calibration loop (MONARC-style monitoring-driven simulation): the
+// virtual-time model is configured with vnet link bandwidths and vtime
+// channel costs; the observability plane measures what the live system
+// actually achieves. Calibrate joins the two and reports drift, so a
+// growing system can tell when its configured constants stopped being
+// honest. core exposes it as Testbed.Calibrate (probing every configured
+// edge) and cmd/jungle-bench as the `calibrate` experiment.
+
+// LinkSpec is one configured directed edge: the vnet bandwidth the model
+// charges for transfers on the from->to link.
+type LinkSpec struct {
+	From, To  string
+	Bandwidth float64 // bytes/second
+}
+
+// LinkDrift compares one configured edge against its latest observed
+// goodput sample. Drift is |observed-configured|/configured; Measured is
+// false when the link has no goodput sample (drift is then meaningless).
+type LinkDrift struct {
+	From, To   string
+	Configured float64
+	Observed   float64
+	Probes     int
+	Drift      float64
+	Measured   bool
+}
+
+// CallDrift compares one call key's observed latency against the
+// configured vtime floor its channel recorded (2x routed path latency;
+// the mpi message cost in-process). Drift is (min observed - floor)/floor
+// — the part of the fastest round trip the network model does not
+// explain (compute, queueing).
+type CallDrift struct {
+	CallKey
+	Floor time.Duration
+	Min   time.Duration
+	P50   time.Duration
+	Count uint64
+	Drift float64
+}
+
+// Calibration is one calibration pass: every configured edge's drift and
+// every floored call key's drift.
+type Calibration struct {
+	Links []LinkDrift
+	Calls []CallDrift
+}
+
+// Calibrate compares the recorder's observations against the configured
+// constants: each edge in links against its latest goodput sample, and
+// each recorded call key that carries a channel floor against that floor.
+func (r *Recorder) Calibrate(links []LinkSpec) Calibration {
+	var c Calibration
+	for _, spec := range links {
+		d := LinkDrift{From: spec.From, To: spec.To, Configured: spec.Bandwidth}
+		if s, ok := r.Goodput(spec.From, spec.To); ok {
+			d.Observed, d.Probes, d.Measured = s.BytesPerSec, s.Probes, true
+			if spec.Bandwidth > 0 {
+				d.Drift = (d.Observed - spec.Bandwidth) / spec.Bandwidth
+				if d.Drift < 0 {
+					d.Drift = -d.Drift
+				}
+			}
+		}
+		c.Links = append(c.Links, d)
+	}
+	sort.Slice(c.Links, func(i, j int) bool {
+		if c.Links[i].From != c.Links[j].From {
+			return c.Links[i].From < c.Links[j].From
+		}
+		return c.Links[i].To < c.Links[j].To
+	})
+	for _, row := range r.CallTable() {
+		if row.Stats.Floor <= 0 || row.Stats.Hist.Count == 0 {
+			continue
+		}
+		min := time.Duration(row.Stats.Hist.Min)
+		c.Calls = append(c.Calls, CallDrift{
+			CallKey: row.CallKey,
+			Floor:   row.Stats.Floor,
+			Min:     min,
+			P50:     time.Duration(row.Stats.Hist.Quantile(0.5)),
+			Count:   row.Stats.Hist.Count,
+			Drift:   float64(min-row.Stats.Floor) / float64(row.Stats.Floor),
+		})
+	}
+	return c
+}
+
+// MaxLinkDrift returns the worst drift over the measured edges, and
+// whether every configured edge was measured at all.
+func (c Calibration) MaxLinkDrift() (worst float64, allMeasured bool) {
+	allMeasured = true
+	for _, d := range c.Links {
+		if !d.Measured {
+			allMeasured = false
+			continue
+		}
+		if d.Drift > worst {
+			worst = d.Drift
+		}
+	}
+	return worst, allMeasured
+}
+
+// Render renders the calibration report: per-edge observed vs configured
+// bandwidth with drift, then per-method observed latency vs channel
+// floor.
+func (c Calibration) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-28s %14s %14s %7s %8s\n",
+		"FROM", "TO", "CONF(MB/s)", "OBS(MB/s)", "PROBES", "DRIFT")
+	for _, d := range c.Links {
+		if !d.Measured {
+			fmt.Fprintf(&b, "%-28s %-28s %14.2f %14s %7d %8s\n",
+				d.From, d.To, d.Configured/1e6, "-", 0, "unmeas")
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %-28s %14.2f %14.2f %7d %7.1f%%\n",
+			d.From, d.To, d.Configured/1e6, d.Observed/1e6, d.Probes, d.Drift*100)
+	}
+	if len(c.Calls) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %-14s %-18s %8s %10s %10s %10s %8s\n",
+			"SESSION", "MODEL", "METHOD", "CALLS", "FLOOR", "MIN", "P50", "DRIFT")
+		for _, d := range c.Calls {
+			sess := d.Session
+			if sess == "" {
+				sess = "-"
+			}
+			fmt.Fprintf(&b, "%-12s %-14s %-18s %8d %10s %10s %10s %7.1f%%\n",
+				sess, d.Model, d.Method, d.Count,
+				d.Floor.Round(time.Microsecond), d.Min.Round(time.Microsecond),
+				d.P50.Round(time.Microsecond), d.Drift*100)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Channel-layer call telemetry: every RPC any channel (mpi, conn, gang)
+// completes records its virtual round-trip latency under a
+// session/model/method key, and every issue records the channel's
+// in-flight depth under a per-worker key. Recording is lock-striped —
+// a fixed shard array keyed by a hash of the label — so many channels
+// hammering one Recorder contend only per shard, and the hot path
+// allocates nothing once a key's histogram exists.
+
+// callStripes is the number of lock stripes for call/queue recording.
+const callStripes = 16
+
+// CallKey labels one call-latency histogram.
+type CallKey struct {
+	Session string // "" for standalone simulations
+	Model   string // worker kind, with a "/r<rank>" suffix for gang ranks
+	Method  string
+}
+
+// CallStats is the recorded telemetry for one call key.
+type CallStats struct {
+	Hist   Histogram // virtual round-trip latency, nanoseconds
+	Errors uint64    // transport-level failures (no response arrived)
+	// Floor is the configured vtime round-trip minimum for the channel
+	// that recorded the calls (2x the routed path latency; the mpi
+	// message cost for in-process channels). Calibrate compares observed
+	// latency against it.
+	Floor time.Duration
+}
+
+type callShard struct {
+	mu     sync.Mutex
+	calls  map[CallKey]*CallStats
+	queues map[string]*Histogram
+}
+
+func stripeOf(a, b, c string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	h.Write([]byte{0})
+	h.Write([]byte(c))
+	return h.Sum32() % callStripes
+}
+
+func (r *Recorder) callShard(i uint32) *callShard { return &r.callShards[i] }
+
+// RecordCall records one completed call's virtual round-trip latency.
+// floor is the channel's configured minimum round trip (kept with the
+// stats for calibration; pass 0 when unknown).
+func (r *Recorder) RecordCall(session, model, method string, latency, floor time.Duration) {
+	key := CallKey{Session: session, Model: model, Method: method}
+	s := r.callShard(stripeOf(session, model, method))
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[CallKey]*CallStats)
+	}
+	st := s.calls[key]
+	if st == nil {
+		st = &CallStats{}
+		s.calls[key] = st
+	}
+	st.Hist.Record(int64(latency))
+	if floor > 0 {
+		st.Floor = floor
+	}
+	s.mu.Unlock()
+}
+
+// RecordCallError counts a call that failed at the transport level (the
+// completion carried an error instead of a response).
+func (r *Recorder) RecordCallError(session, model, method string) {
+	key := CallKey{Session: session, Model: model, Method: method}
+	s := r.callShard(stripeOf(session, model, method))
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[CallKey]*CallStats)
+	}
+	st := s.calls[key]
+	if st == nil {
+		st = &CallStats{}
+		s.calls[key] = st
+	}
+	st.Errors++
+	s.mu.Unlock()
+}
+
+// RecordQueueDepth records a channel's in-flight call count, sampled at
+// issue time, under the worker's label.
+func (r *Recorder) RecordQueueDepth(worker string, depth int) {
+	s := r.callShard(stripeOf(worker, "", ""))
+	s.mu.Lock()
+	if s.queues == nil {
+		s.queues = make(map[string]*Histogram)
+	}
+	h := s.queues[worker]
+	if h == nil {
+		h = &Histogram{}
+		s.queues[worker] = h
+	}
+	h.Record(int64(depth))
+	s.mu.Unlock()
+}
+
+// CallRow is one line of the per-method latency table.
+type CallRow struct {
+	CallKey
+	Stats CallStats
+}
+
+// CallTable returns every recorded call key with a deep copy of its
+// stats, sorted by session, model, method.
+func (r *Recorder) CallTable() []CallRow {
+	var rows []CallRow
+	for i := range r.callShards {
+		s := &r.callShards[i]
+		s.mu.Lock()
+		for k, st := range s.calls {
+			rows = append(rows, CallRow{CallKey: k, Stats: *st})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		return a.Method < b.Method
+	})
+	return rows
+}
+
+// CallsSnapshot returns a deep copy of all call stats, keyed for
+// point-in-time diffing (see DiffCalls).
+func (r *Recorder) CallsSnapshot() map[CallKey]CallStats {
+	out := make(map[CallKey]CallStats)
+	for i := range r.callShards {
+		s := &r.callShards[i]
+		s.mu.Lock()
+		for k, st := range s.calls {
+			out[k] = *st
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// QueueRow is one line of the per-worker queue-depth table.
+type QueueRow struct {
+	Worker string
+	Hist   Histogram
+}
+
+// QueueTable returns every worker's queue-depth histogram (deep copies),
+// sorted by worker label.
+func (r *Recorder) QueueTable() []QueueRow {
+	var rows []QueueRow
+	for i := range r.callShards {
+		s := &r.callShards[i]
+		s.mu.Lock()
+		for w, h := range s.queues {
+			rows = append(rows, QueueRow{Worker: w, Hist: *h})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Worker < rows[j].Worker })
+	return rows
+}
+
+// CallSummary aggregates a set of call stats into one line.
+type CallSummary struct {
+	Calls  uint64
+	Errors uint64
+	P50    time.Duration
+	P99    time.Duration
+}
+
+// String renders the summary for per-iteration experiment lines.
+func (c CallSummary) String() string {
+	if c.Calls == 0 {
+		return "no calls"
+	}
+	s := fmt.Sprintf("%d calls, rpc p50 %s / p99 %s",
+		c.Calls, c.P50.Round(time.Microsecond), c.P99.Round(time.Microsecond))
+	if c.Errors > 0 {
+		s += fmt.Sprintf(", %d errors", c.Errors)
+	}
+	return s
+}
+
+// DiffCalls merges the per-key growth between two CallsSnapshot maps
+// (before may be nil) into one summary — the call telemetry attributable
+// to the work done between the snapshots.
+func DiffCalls(before, after map[CallKey]CallStats) CallSummary {
+	var merged Histogram
+	var errors uint64
+	for k, st := range after {
+		h := st.Hist
+		errs := st.Errors
+		if prev, ok := before[k]; ok {
+			h.Sub(&prev.Hist)
+			errs -= prev.Errors
+		}
+		merged.Merge(&h)
+		errors += errs
+	}
+	return CallSummary{
+		Calls:  merged.Count,
+		Errors: errors,
+		P50:    time.Duration(merged.Quantile(0.5)),
+		P99:    time.Duration(merged.Quantile(0.99)),
+	}
+}
+
+// RenderCalls renders the channel-layer telemetry: per-method latency
+// histograms (count, errors, p50/p90/p99/max, and the configured floor)
+// followed by the per-worker queue-depth table.
+func (r *Recorder) RenderCalls() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %-18s %8s %6s %10s %10s %10s %10s %10s\n",
+		"SESSION", "MODEL", "METHOD", "CALLS", "ERRS", "P50", "P90", "P99", "MAX", "FLOOR")
+	for _, row := range r.CallTable() {
+		sess := row.Session
+		if sess == "" {
+			sess = "-"
+		}
+		h := &row.Stats.Hist
+		fmt.Fprintf(&b, "%-12s %-14s %-18s %8d %6d %10s %10s %10s %10s %10s\n",
+			sess, row.Model, row.Method, h.Count, row.Stats.Errors,
+			fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.9)), fmtDur(h.Quantile(0.99)),
+			fmtDur(h.Max), row.Stats.Floor.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\n%-40s %10s %8s %8s %8s\n", "WORKER QUEUE", "SAMPLES", "P50", "P99", "MAX")
+	for _, row := range r.QueueTable() {
+		fmt.Fprintf(&b, "%-40s %10d %8d %8d %8d\n",
+			row.Worker, row.Hist.Count, row.Hist.Quantile(0.5), row.Hist.Quantile(0.99), row.Hist.Max)
+	}
+	return b.String()
+}

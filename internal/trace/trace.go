@@ -3,6 +3,19 @@
 // monitoring of the system") and regenerates the data behind the IbisDeploy
 // GUI views of Figures 10 and 11: the SmartSockets overlay map, the per-link
 // traffic visualization (IPL vs MPI bytes) and per-node load.
+//
+// Beyond the paper's views, the package is the system's observability
+// plane, default-on and allocation-light. The channel layer records every
+// RPC's virtual round-trip latency and every worker's in-flight queue
+// depth into lock-striped fixed-bucket histograms (hist.go, calls.go;
+// RenderCalls). The SmartSockets goodput probes and the bulk-transfer
+// outcome counters roll up into a per-link health table with staleness
+// marking, alongside the daemon store's checkpoint-size and
+// restore-latency gauges and the deployment's capacity gauges (health.go;
+// RenderHealth). Calibrate (calibrate.go) closes the loop: it compares
+// the observed goodput and latency against the configured vnet/vtime
+// constants and reports drift, keeping the virtual-time model honest as
+// the system grows.
 package trace
 
 import (
@@ -35,6 +48,16 @@ type Recorder struct {
 	// gangs holds elastic-gang skew telemetry (gangs.go); lazy like
 	// sessions.
 	gangs map[string]*GangStats
+	// linkXfer counts bulk-transfer outcomes per directed link, store
+	// holds per-model checkpoint/restore gauges and capacity the latest
+	// per-resource occupancy (health.go); all lazy.
+	linkXfer map[[2]string]*LinkTransfers
+	store    map[string]*StoreStats
+	capacity map[string][2]int
+
+	// callShards stripe the channel-layer call/queue-depth histograms
+	// (calls.go) so concurrent channels contend per shard, not on mu.
+	callShards [callStripes]callShard
 }
 
 type trafficKey struct {

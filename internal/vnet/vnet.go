@@ -205,6 +205,46 @@ func (n *Network) AddLink(a, b string, latency time.Duration, bandwidth float64)
 	return nil
 }
 
+// Recorder returns the installed traffic recorder (nil when none). The
+// observability plane uses it to find the testbed's trace recorder from
+// layers that only see the network.
+func (n *Network) Recorder() TrafficRecorder {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.recorder
+}
+
+// Links returns every configured link once (undirected, in insertion
+// order per host, deduplicated), sorted by (A, B) with A < B. The
+// calibration pass enumerates them to compare configured bandwidth
+// against measured goodput edge by edge.
+func (n *Network) Links() []Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	seen := make(map[[2]string]bool)
+	var links []Link
+	for _, adj := range n.adj {
+		for _, l := range adj {
+			a, b := l.A, l.B
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]string{a, b}] {
+				continue
+			}
+			seen[[2]string{a, b}] = true
+			links = append(links, Link{A: a, B: b, Latency: l.Latency, Bandwidth: l.Bandwidth, StreamCap: l.StreamCap})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	return links
+}
+
 // SetLinkStreamCap sets the per-stream bandwidth cap on the a<->b link (both
 // directions). cap 0 removes the cap. Routes are recomputed on next use.
 func (n *Network) SetLinkStreamCap(a, b string, cap float64) error {

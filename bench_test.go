@@ -19,8 +19,10 @@ import (
 	"jungle/internal/amuse/ic"
 	"jungle/internal/core"
 	"jungle/internal/core/kernel"
+	"jungle/internal/ensemble"
 	"jungle/internal/exp"
 	"jungle/internal/mpisim"
+	"jungle/internal/phys/abm"
 	"jungle/internal/phys/nbody"
 	"jungle/internal/phys/sph"
 	"jungle/internal/phys/tree"
@@ -701,6 +703,87 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, false) })
 	b.Run("concurrent-8", func(b *testing.B) { run(b, true) })
+}
+
+// ensembleBenchDigests remembers the first arm's per-member digest set so
+// the other arm (a separate sub-benchmark) can assert bit-equality: the
+// sweep's results must be identical whether members run one at a time or
+// race through 16 admission slots.
+var ensembleBenchDigests []uint64
+
+// BenchmarkEnsemble measures the ensemble layer at sweep scale: a
+// 256-member agent-based campaign (4 initial-condition streams × 64
+// couplings) run strictly sequentially versus fanned through 16 scheduler
+// admission slots. The headline metric is the campaign's virtual
+// makespan; the acceptance bar is the fan-out arm modelling >= 3x better
+// with every member digest bit-equal across arms.
+func BenchmarkEnsemble(b *testing.B) {
+	const members = 256
+	newSweep := func(sequential bool) *ensemble.ABMSweep {
+		ics := []float64{0, 1, 2, 3}
+		bs := make([]float64, members/len(ics))
+		for i := range bs {
+			bs[i] = 0.05 + 0.01*float64(i)
+		}
+		return &ensemble.ABMSweep{
+			Plan: &ensemble.Plan{
+				Name:     "bench",
+				BaseSeed: 256,
+				Axes: []ensemble.Axis{
+					{Name: ensemble.AxisIC, Values: ics},
+					{Name: ensemble.AxisB, Values: bs},
+				},
+				SetupAxes: []string{ensemble.AxisIC},
+			},
+			Base:       abm.Params{W: 16, H: 16, D: 0.15, R: 0.6, B: 0.2, DT: 0.01},
+			Steps:      16,
+			Spec:       core.WorkerSpec{Channel: core.ChannelIbis},
+			Sequential: sequential,
+		}
+	}
+	run := func(b *testing.B, sequential bool) {
+		var wall, makespan, bound time.Duration
+		for i := 0; i < b.N; i++ {
+			tb, err := core.NewLabTestbed()
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := sched.New(tb.Daemon, sched.Config{
+				MaxLive: 16, QueueCap: members,
+				RetryAfter: time.Millisecond, Recorder: tb.Recorder,
+			})
+			t0 := time.Now()
+			rep, err := newSweep(sequential).Run(context.Background(), s)
+			wall += time.Since(t0)
+			s.Shutdown()
+			tb.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Failures != 0 {
+				b.Fatalf("%d members failed", rep.Failures)
+			}
+			if ensembleBenchDigests == nil {
+				ensembleBenchDigests = rep.Digests()
+			}
+			for j, d := range rep.Digests() {
+				if d == 0 || d != ensembleBenchDigests[j] {
+					b.Fatalf("member %d digest diverged across arms: %016x vs %016x",
+						j, d, ensembleBenchDigests[j])
+				}
+			}
+			makespan += rep.Makespan
+			bound += rep.SumVirtual
+		}
+		if !sequential && makespan*3 > bound {
+			b.Fatalf("fan-out makespan %v not 3x under the sequential bound %v",
+				makespan/time.Duration(b.N), bound/time.Duration(b.N))
+		}
+		b.ReportMetric(float64(wall.Milliseconds())/float64(b.N), "wall-ms/campaign")
+		b.ReportMetric(float64(makespan.Milliseconds())/float64(b.N), "virtual-ms/makespan")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, true) })
+	b.Run("fanout-16", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkIbisChannelRoundTrip measures one coupler->daemon->IPL->proxy->

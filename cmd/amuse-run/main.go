@@ -23,6 +23,13 @@
 //	jungled &
 //	amuse-run -attach 127.0.0.1:17979 -session mine -stars 200 -gas 2000 -iters 2 -keep
 //	amuse-run -attach 127.0.0.1:17979 -session mine -iters 2
+//
+// With -sweep N the runner is an ensemble campaign instead of one
+// simulation: N agent-based colonies (4 initial-condition streams crossed
+// with N/4 couplings) fan through a local control plane's admission queue
+// and the aggregate report is printed:
+//
+//	amuse-run -sweep 32 -sweep-steps 24 -sweep-slots 8
 package main
 
 import (
@@ -37,8 +44,12 @@ import (
 
 	"jungle/internal/core"
 	"jungle/internal/deploy"
+	"jungle/internal/ensemble"
 	"jungle/internal/exp"
+	"jungle/internal/phys/abm"
 	"jungle/internal/sched"
+
+	_ "jungle/internal/kernels"
 )
 
 func main() {
@@ -56,7 +67,17 @@ func main() {
 	session := flag.String("session", "", "session id to attach (required with -attach)")
 	keep := flag.Bool("keep", false, "with -attach: detach without closing, so the session can be re-attached later")
 	observe := flag.Bool("observe", false, "after the run, print the observability plane: per-method call histograms and link health")
+	sweepN := flag.Int("sweep", 0, "run an ensemble sweep of this many agent-based members instead of one simulation (multiple of 4)")
+	sweepSteps := flag.Int("sweep-steps", 24, "generations per sweep member")
+	sweepSlots := flag.Int("sweep-slots", 8, "control-plane admission slots the sweep fans over")
 	flag.Parse()
+
+	if *sweepN > 0 {
+		if err := runSweep(*sweepN, *sweepSteps, *sweepSlots); err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		return
+	}
 
 	if *attach != "" {
 		if *session == "" {
@@ -171,6 +192,63 @@ func checkpointWritten(path string, before os.FileInfo, beforeErr error) bool {
 		return true // did not exist before this run
 	}
 	return after.Size() != before.Size() || !after.ModTime().Equal(before.ModTime())
+}
+
+// runSweep is the ensemble path: expand a members-sized campaign (4
+// initial-condition streams crossed with members/4 couplings), fan it
+// through a local control plane over slots admission slots, and print
+// the aggregate report.
+func runSweep(members, steps, slots int) error {
+	const nIC = 4
+	if members%nIC != 0 {
+		return fmt.Errorf("-sweep %d must be a multiple of %d", members, nIC)
+	}
+	ics := make([]float64, nIC)
+	for i := range ics {
+		ics[i] = float64(i)
+	}
+	bs := make([]float64, members/nIC)
+	for i := range bs {
+		bs[i] = 0.05 + 0.02*float64(i)
+	}
+	sweep := &ensemble.ABMSweep{
+		Plan: &ensemble.Plan{
+			Name:     "amuse-run",
+			BaseSeed: 42,
+			Axes: []ensemble.Axis{
+				{Name: ensemble.AxisIC, Values: ics},
+				{Name: ensemble.AxisB, Values: bs},
+			},
+			SetupAxes: []string{ensemble.AxisIC},
+		},
+		Base:  abm.Params{W: 24, H: 24, D: 0.15, R: 0.6, B: 0.2, DT: 0.01},
+		Steps: steps,
+		Spec:  core.WorkerSpec{Channel: core.ChannelIbis},
+	}
+	tb, err := core.NewLabTestbed()
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	s := sched.New(tb.Daemon, sched.Config{
+		MaxLive: slots, QueueCap: members,
+		RetryAfter: 2 * time.Millisecond, Recorder: tb.Recorder,
+	})
+	defer s.Shutdown()
+	rep, err := sweep.Run(context.Background(), s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	for _, m := range rep.Members {
+		if m.Err != "" {
+			fmt.Printf("  member %04d FAILED: %s\n", m.Index, m.Err)
+		}
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d of %d members failed", rep.Failures, len(rep.Members))
+	}
+	return nil
 }
 
 // runAttached is the thin-client path: attach a session on a running

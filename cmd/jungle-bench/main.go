@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	experiments := flag.String("e", "all", "comma-separated experiment ids (e1..e8, all)")
+	experiments := flag.String("e", "all", "comma-separated experiment ids (e1..e10, all)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = calibrated paper workload)")
 	iters := flag.Int("iters", 1, "bridge iterations per measurement")
 	flag.Parse()
@@ -77,6 +77,7 @@ func main() {
 	})
 	run("e8", func() (string, error) { return exp.E8(*iters) })
 	run("e9", func() (string, error) { return exp.E9(512, 8) })
+	run("e10", func() (string, error) { return exp.E10(64, 24) })
 
 	// The calibration loop (DESIGN.md "Observability plane"): probe every
 	// configured edge of the DSL and SC11 testbeds and hold the measured

@@ -1,0 +1,45 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// DigestState returns an FNV-1a hash over a state payload's column bit
+// patterns. Columns are folded in attribute-name order (keys first), so
+// two payloads carrying the same columns digest equally regardless of
+// the order the columns were added — the identity ensemble members and
+// conformance suites compare is "same bits", not "same payload layout".
+func DigestState(s *StatePayload) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	mix := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	mix(uint64(s.N))
+	for _, k := range s.Key {
+		mix(k)
+	}
+	names := make([]string, 0, len(s.FloatAttrs)+len(s.VecAttrs))
+	names = append(names, s.FloatAttrs...)
+	names = append(names, s.VecAttrs...)
+	sort.Strings(names)
+	for _, a := range names {
+		h.Write([]byte(a))
+		if col := s.Float(a); col != nil {
+			for _, v := range col {
+				mix(math.Float64bits(v))
+			}
+			continue
+		}
+		for _, v := range s.Vec(a) {
+			mix(math.Float64bits(v[0]))
+			mix(math.Float64bits(v[1]))
+			mix(math.Float64bits(v[2]))
+		}
+	}
+	return h.Sum64()
+}

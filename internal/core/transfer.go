@@ -30,6 +30,12 @@ import (
 // process-wide so concurrent simulations on one daemon cannot collide.
 var transferIDs atomic.Uint64
 
+// NewStoreRef allocates a fresh process-unique id from the transfer-id
+// space, for callers (the ensemble layer) that stage their own blobs in
+// a daemon's checkpoint store and must not collide with checkpoint or
+// transfer ids.
+func NewStoreRef() uint64 { return transferIDs.Add(1) }
+
 // StateEndpoint is any coupler-side model handle whose worker holds
 // particle state — Gravity, Hydro, FieldModel, StellarModel and the
 // generic Model all satisfy it.

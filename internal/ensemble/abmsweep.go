@@ -1,0 +1,135 @@
+package ensemble
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"jungle/internal/core"
+	"jungle/internal/core/kernel"
+	"jungle/internal/phys/abm"
+	"jungle/internal/sched"
+)
+
+// Axis names the ABM sweep understands: "D", "R" and "B" override the
+// colony's dynamics parameters per member; "ic" selects the initial-
+// condition stream (and is the natural SetupAxes entry — members sharing
+// an ic value share one staged colony).
+const (
+	AxisD  = "D"
+	AxisR  = "R"
+	AxisB  = "B"
+	AxisIC = "ic"
+)
+
+// ABMSweep is the standard agent-based campaign: one abm colony per
+// member, parameters taken from the member's axes, initial state staged
+// per distinct ic. Tests, the E10 experiment and BenchmarkEnsemble all
+// run sweeps through this one adapter.
+type ABMSweep struct {
+	Plan *Plan
+	// Base is the colony every member starts from; D/R/B axes override
+	// its fields per member.
+	Base abm.Params
+	// Steps is each member's generation count.
+	Steps int
+	// Spec is the per-member worker spec. Leave Resource empty for
+	// scheduler placement.
+	Spec core.WorkerSpec
+	// Attempts and Sequential pass through to the run Config.
+	Attempts   int
+	Sequential bool
+	// OnModel, when set, observes each member's live model right after
+	// setup — the fault-injection hook the isolation tests use.
+	OnModel func(m Member, model *core.Model)
+}
+
+// params is the member's effective colony configuration.
+func (s *ABMSweep) params(m Member) abm.Params {
+	p := s.Base
+	if v, ok := m.Params[AxisD]; ok {
+		p.D = v
+	}
+	if v, ok := m.Params[AxisR]; ok {
+		p.R = v
+	}
+	if v, ok := m.Params[AxisB]; ok {
+		p.B = v
+	}
+	return p
+}
+
+// icSeed is the member's initial-condition stream seed.
+func (s *ABMSweep) icSeed(m Member) int64 {
+	return s.Plan.BaseSeed + int64(m.Params[AxisIC])
+}
+
+// SetupBlob builds the staged initial colony for a member's setup
+// signature: the deterministic InitialU stream for the member's ic,
+// marshaled as a state payload every member sharing the sig applies.
+func (s *ABMSweep) SetupBlob(m Member) ([]byte, error) {
+	if err := s.Base.Check(); err != nil {
+		return nil, err
+	}
+	n := s.Base.W * s.Base.H
+	st := kernel.NewState(n)
+	st.AddFloat(abm.AttrState, abm.InitialU(s.Base, s.icSeed(m)))
+	// A standalone sweep biases the colony with a fixed parabolic bowl
+	// over the grid's [-1,1]² frame, so the B axis has a potential to
+	// couple to. Coupled campaigns (exp.E10) overwrite this column from a
+	// live field kernel instead.
+	pot := make([]float64, n)
+	for i := range pot {
+		v := abm.CellPos(s.Base, i)
+		pot[i] = v[0]*v[0] + v[1]*v[1]
+	}
+	st.AddFloat(abm.AttrPotential, pot)
+	return kernel.MarshalState(st)
+}
+
+// RunMember executes one member: session-bound sim, colony worker,
+// staged initial state, Steps generations, digest of the end state.
+func (s *ABMSweep) RunMember(ctx context.Context, sess *sched.Session, m Member, setup []byte) (uint64, time.Duration, error) {
+	sim := sess.NewSim(ctx, nil)
+	p := s.params(m)
+	model, err := sim.NewModel(ctx, core.Kind(abm.Kind), s.Spec,
+		abm.SetupArgs{W: p.W, H: p.H, D: p.D, R: p.R, B: p.B, DT: p.DT})
+	if err != nil {
+		return 0, 0, fmt.Errorf("member %d: %w", m.Index, err)
+	}
+	if s.OnModel != nil {
+		s.OnModel(m, model)
+	}
+	if setup != nil {
+		st, err := kernel.UnmarshalState(setup)
+		if err != nil {
+			return 0, 0, fmt.Errorf("member %d: staged setup: %w", m.Index, err)
+		}
+		if err := model.SetState(ctx, st); err != nil {
+			return 0, 0, fmt.Errorf("member %d: %w", m.Index, err)
+		}
+	}
+	if err := model.Call(ctx, "step", abm.StepArgs{Steps: s.Steps}, nil); err != nil {
+		return 0, 0, fmt.Errorf("member %d: %w", m.Index, err)
+	}
+	st, err := model.GetState(ctx, abm.AttrState)
+	if err != nil {
+		return 0, 0, fmt.Errorf("member %d: %w", m.Index, err)
+	}
+	return kernel.DigestState(st), sim.Elapsed(), nil
+}
+
+// Run executes the sweep through the scheduler.
+func (s *ABMSweep) Run(ctx context.Context, sc *sched.Scheduler) (*Report, error) {
+	if s.Steps <= 0 {
+		return nil, fmt.Errorf("ensemble: abm sweep needs Steps > 0")
+	}
+	return Run(ctx, Config{
+		Scheduler:  sc,
+		Plan:       s.Plan,
+		Setup:      s.SetupBlob,
+		Run:        s.RunMember,
+		Attempts:   s.Attempts,
+		Sequential: s.Sequential,
+	})
+}

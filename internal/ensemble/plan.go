@@ -1,0 +1,180 @@
+// Package ensemble is the sweep layer over the multi-tenant control
+// plane: real AMUSE campaigns rarely run one simulation — they fan
+// hundreds of parameter-varied members over one shared jungle. A Plan
+// expands cartesian parameter axes into deterministic members; Run fans
+// the members through sched.Scheduler admission (MaxLive and queue
+// backpressure absorbed with AttachRetry), deduplicates shared setup
+// state through the daemon checkpoint store, and folds the per-member
+// outcomes into a Report (digests, virtual makespan, failure/retry
+// accounting, percentile summaries over trace histograms).
+package ensemble
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Axis is one swept parameter: a name and the list of values the sweep
+// takes it through. Values are a list, so non-uniform spacings (and
+// integer-coded choices like an initial-condition index) express
+// directly.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Plan is a sweep specification: the cartesian product of the axes,
+// each combination a member. Member identity — its seed, its shared-
+// setup signature — is derived from the parameter VALUES, never from
+// axis order or member index, so reordering axes or interleaving
+// members cannot change what any member computes.
+type Plan struct {
+	// Name labels the sweep; member session ids derive from it.
+	Name string
+	// BaseSeed folds into every member seed: two plans with different
+	// base seeds share no member seeds.
+	BaseSeed int64
+	// Axes are the swept parameters; the expansion is their cartesian
+	// product with the LAST axis varying fastest.
+	Axes []Axis
+	// SetupAxes names the axes that select a member's initial conditions.
+	// Members agreeing on all of them share one staged setup blob (the
+	// dedup key SetupSig); an empty list means every member shares one.
+	SetupAxes []string
+}
+
+// Member is one expanded sweep point.
+type Member struct {
+	// Index is the member's position in expansion order (and its FIFO
+	// admission order when run sequentially).
+	Index int
+	// Seed is the member's deterministic seed: a hash of the plan's base
+	// seed and the member's name=value parameter set, independent of axis
+	// order and member index.
+	Seed int64
+	// Params maps axis name to this member's value.
+	Params map[string]float64
+	// SetupSig is the shared-setup dedup key: members with equal sigs
+	// receive the same staged setup blob.
+	SetupSig uint64
+}
+
+// Size returns the expansion count without expanding.
+func (p *Plan) Size() int {
+	if len(p.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, a := range p.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// check rejects degenerate plans: unnamed plans, empty or unnamed axes,
+// duplicate axis names, duplicate values within an axis (two members
+// would be indistinguishable), NaN values (no stable identity), and
+// setup axes that name no axis.
+func (p *Plan) check() error {
+	if p.Name == "" {
+		return fmt.Errorf("ensemble: plan has no name")
+	}
+	if len(p.Axes) == 0 {
+		return fmt.Errorf("ensemble: plan %q has no axes", p.Name)
+	}
+	names := make(map[string]bool, len(p.Axes))
+	for _, a := range p.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("ensemble: plan %q has an unnamed axis", p.Name)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("ensemble: plan %q repeats axis %q", p.Name, a.Name)
+		}
+		names[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("ensemble: axis %q has no values", a.Name)
+		}
+		seen := make(map[float64]bool, len(a.Values))
+		for _, v := range a.Values {
+			if math.IsNaN(v) {
+				return fmt.Errorf("ensemble: axis %q has a NaN value", a.Name)
+			}
+			if seen[v] {
+				return fmt.Errorf("ensemble: axis %q repeats value %v", a.Name, v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, s := range p.SetupAxes {
+		if !names[s] {
+			return fmt.Errorf("ensemble: setup axis %q is not an axis", s)
+		}
+	}
+	return nil
+}
+
+// Expand validates the plan and returns its members in cartesian order
+// (last axis fastest). The expansion is deterministic: same plan, same
+// members, bit for bit.
+func (p *Plan) Expand() ([]Member, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	setupAxes := make(map[string]bool, len(p.SetupAxes))
+	for _, s := range p.SetupAxes {
+		setupAxes[s] = true
+	}
+	members := make([]Member, 0, p.Size())
+	idx := make([]int, len(p.Axes))
+	for {
+		m := Member{Index: len(members), Params: make(map[string]float64, len(p.Axes))}
+		for i, a := range p.Axes {
+			m.Params[a.Name] = a.Values[idx[i]]
+		}
+		m.Seed = int64(p.hashParams(m.Params, nil))
+		m.SetupSig = p.hashParams(m.Params, setupAxes)
+		members = append(members, m)
+		// Odometer: increment the last axis, carrying left.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(p.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return members, nil
+		}
+	}
+}
+
+// hashParams derives a member identity hash: FNV-1a over the base seed
+// and the name=value pairs in sorted name order (axis order must not
+// matter). A non-nil only restricts participation to those axes — the
+// SetupSig restriction (an empty restriction hashes the base seed alone,
+// so every member shares one sig).
+func (p *Plan) hashParams(params map[string]float64, only map[string]bool) uint64 {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		if only != nil && !only[n] {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.BaseSeed))
+	h.Write(buf[:])
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{'='})
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(params[n]))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,261 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func sweepPlan() *Plan {
+	return &Plan{
+		Name:     "sweep",
+		BaseSeed: 99,
+		Axes: []Axis{
+			{Name: "ic", Values: []float64{0, 1}},
+			{Name: "B", Values: []float64{0.1, 0.2, 0.3}},
+			{Name: "D", Values: []float64{0.05, 0.15}},
+		},
+		SetupAxes: []string{"ic"},
+	}
+}
+
+// paramSig is an order-free identity for a member's parameter set.
+func paramSig(m Member) string {
+	return fmt.Sprintf("ic=%v;B=%v;D=%v", m.Params["ic"], m.Params["B"], m.Params["D"])
+}
+
+func TestPlanExpandCartesian(t *testing.T) {
+	p := sweepPlan()
+	members, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * 2; len(members) != want || p.Size() != want {
+		t.Fatalf("expanded %d members (Size %d), want %d", len(members), p.Size(), want)
+	}
+	// Indexes are positional; the last axis varies fastest.
+	for i, m := range members {
+		if m.Index != i {
+			t.Fatalf("member %d has Index %d", i, m.Index)
+		}
+		if len(m.Params) != 3 {
+			t.Fatalf("member %d params = %v", i, m.Params)
+		}
+	}
+	if members[0].Params["D"] == members[1].Params["D"] {
+		t.Fatalf("last axis not fastest: members 0/1 share D=%v", members[0].Params["D"])
+	}
+	if members[0].Params["ic"] != members[5].Params["ic"] {
+		t.Fatal("first axis varied within its block")
+	}
+	// Distinct parameter combinations on every member.
+	sigs := make(map[string]bool)
+	for _, m := range members {
+		sigs[paramSig(m)] = true
+	}
+	if len(sigs) != len(members) {
+		t.Fatalf("only %d distinct parameter sets for %d members", len(sigs), len(members))
+	}
+}
+
+func TestPlanSeedsUniqueAndDeterministic(t *testing.T) {
+	p := sweepPlan()
+	a, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[int64]bool)
+	for i := range a {
+		if a[i].Seed != b[i].Seed || a[i].SetupSig != b[i].SetupSig {
+			t.Fatalf("member %d not deterministic across expansions", i)
+		}
+		if seeds[a[i].Seed] {
+			t.Fatalf("member %d repeats seed %d", i, a[i].Seed)
+		}
+		seeds[a[i].Seed] = true
+	}
+	// A different base seed shifts every member seed.
+	p2 := sweepPlan()
+	p2.BaseSeed = 100
+	c, err := p2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed == c[i].Seed {
+			t.Fatalf("member %d seed survived a base-seed change", i)
+		}
+	}
+}
+
+// TestPlanSeedStableUnderAxisReorder: member identity is the parameter
+// VALUES — permuting the axes permutes the member order but must not
+// change any member's seed or setup signature.
+func TestPlanSeedStableUnderAxisReorder(t *testing.T) {
+	p := sweepPlan()
+	members, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sweepPlan()
+	r.Axes = []Axis{p.Axes[2], p.Axes[0], p.Axes[1]}
+	reordered, err := r.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySig := make(map[string]Member, len(members))
+	for _, m := range members {
+		bySig[paramSig(m)] = m
+	}
+	for _, m := range reordered {
+		orig, ok := bySig[paramSig(m)]
+		if !ok {
+			t.Fatalf("reordered member %v has no original counterpart", m.Params)
+		}
+		if m.Seed != orig.Seed {
+			t.Fatalf("params %v: seed %d != %d under axis reorder", m.Params, m.Seed, orig.Seed)
+		}
+		if m.SetupSig != orig.SetupSig {
+			t.Fatalf("params %v: setup sig changed under axis reorder", m.Params)
+		}
+	}
+}
+
+func TestPlanSetupSigSharing(t *testing.T) {
+	p := sweepPlan()
+	members, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(map[uint64]map[float64]bool)
+	for _, m := range members {
+		if sigs[m.SetupSig] == nil {
+			sigs[m.SetupSig] = make(map[float64]bool)
+		}
+		sigs[m.SetupSig][m.Params["ic"]] = true
+	}
+	if len(sigs) != 2 {
+		t.Fatalf("%d distinct setup sigs, want 2 (one per ic)", len(sigs))
+	}
+	for sig, ics := range sigs {
+		if len(ics) != 1 {
+			t.Fatalf("setup sig %x spans ic values %v", sig, ics)
+		}
+	}
+
+	// No setup axes: the whole sweep shares one sig.
+	p2 := sweepPlan()
+	p2.SetupAxes = nil
+	members2, err := p2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members2 {
+		if m.SetupSig != members2[0].SetupSig {
+			t.Fatal("members do not share the setup sig with no setup axes")
+		}
+	}
+}
+
+func TestPlanRejectsDegenerate(t *testing.T) {
+	ok := sweepPlan()
+	cases := map[string]func(*Plan){
+		"no name":        func(p *Plan) { p.Name = "" },
+		"no axes":        func(p *Plan) { p.Axes = nil },
+		"unnamed axis":   func(p *Plan) { p.Axes[1].Name = "" },
+		"duplicate axis": func(p *Plan) { p.Axes[1].Name = p.Axes[0].Name },
+		"empty axis":     func(p *Plan) { p.Axes[2].Values = nil },
+		"repeated value": func(p *Plan) { p.Axes[2].Values = []float64{0.5, 0.5} },
+		"nan value":      func(p *Plan) { p.Axes[2].Values = []float64{math.NaN()} },
+		"bad setup axis": func(p *Plan) { p.SetupAxes = []string{"nope"} },
+	}
+	for name, mutate := range cases {
+		p := sweepPlan()
+		mutate(p)
+		if _, err := p.Expand(); err == nil {
+			t.Errorf("%s: Expand accepted the degenerate plan", name)
+		}
+	}
+	if _, err := ok.Expand(); err != nil {
+		t.Fatalf("baseline plan rejected: %v", err)
+	}
+}
+
+// FuzzPlanExpand drives Expand with generated axis shapes: whenever a
+// plan is accepted, its expansion must satisfy the planner invariants —
+// cartesian count, unique seeds, determinism, axis-order independence.
+func FuzzPlanExpand(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), []byte("abcdef"))
+	f.Add(int64(-7), uint8(3), uint8(2), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(int64(0), uint8(1), uint8(1), []byte{255})
+	f.Fuzz(func(t *testing.T, baseSeed int64, nAxes, nVals uint8, raw []byte) {
+		na := int(nAxes%3) + 1
+		nv := int(nVals%4) + 1
+		p := &Plan{Name: "fuzz", BaseSeed: baseSeed}
+		k := 0
+		for i := 0; i < na; i++ {
+			ax := Axis{Name: fmt.Sprintf("a%d", i)}
+			for j := 0; j < nv; j++ {
+				var v float64
+				if k < len(raw) {
+					v = float64(int(raw[k])*(i+1)) / 7
+					k++
+				} else {
+					v = float64(i*31 + j)
+				}
+				ax.Values = append(ax.Values, v)
+			}
+			p.Axes = append(p.Axes, ax)
+		}
+		p.SetupAxes = []string{"a0"}
+
+		members, err := p.Expand()
+		if err != nil {
+			// Generated duplicates within an axis are legitimately
+			// rejected; rejection must be deterministic.
+			if _, err2 := p.Expand(); err2 == nil {
+				t.Fatal("rejection not deterministic")
+			}
+			return
+		}
+		if len(members) != p.Size() {
+			t.Fatalf("expanded %d members, Size says %d", len(members), p.Size())
+		}
+		seeds := make(map[int64]bool)
+		for i, m := range members {
+			if m.Index != i {
+				t.Fatalf("member %d has index %d", i, m.Index)
+			}
+			if len(m.Params) != na {
+				t.Fatalf("member %d has %d params, want %d", i, len(m.Params), na)
+			}
+			if seeds[m.Seed] {
+				t.Fatalf("seed collision at member %d", i)
+			}
+			seeds[m.Seed] = true
+		}
+		// Reversing the axes preserves every member's identity.
+		r := &Plan{Name: p.Name, BaseSeed: p.BaseSeed, SetupAxes: p.SetupAxes}
+		for i := len(p.Axes) - 1; i >= 0; i-- {
+			r.Axes = append(r.Axes, p.Axes[i])
+		}
+		reordered, err := r.Expand()
+		if err != nil {
+			t.Fatalf("reordered plan rejected: %v", err)
+		}
+		want := make(map[int64]uint64, len(members))
+		for _, m := range members {
+			want[m.Seed] = m.SetupSig
+		}
+		for _, m := range reordered {
+			sig, ok := want[m.Seed]
+			if !ok || sig != m.SetupSig {
+				t.Fatalf("member identity changed under axis reorder: %v", m.Params)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jungle/internal/trace"
+)
+
+// MemberResult is one member's outcome.
+type MemberResult struct {
+	Member
+	// Digest is the member's end-state digest (0 when the member failed).
+	Digest uint64
+	// Virtual is the member's virtual-time makespan.
+	Virtual time.Duration
+	// Retries counts the busy rejections the member's attach absorbed.
+	Retries int
+	// Err is the member's structured failure ("" on success). A failed
+	// member never poisons the others: it is accounted here and the sweep
+	// carries on.
+	Err string
+}
+
+// Report aggregates a sweep: per-member results in member order plus the
+// campaign-level accounting the paper-style tables report.
+type Report struct {
+	Plan    string
+	Slots   int // admission slots the makespan model schedules over
+	Members []MemberResult
+
+	Failures int
+	Retries  int
+	// StagedSetups counts the distinct setup blobs staged for the sweep —
+	// the shared-setup dedup observable (== number of distinct SetupSigs,
+	// not the member count).
+	StagedSetups int
+
+	// SumVirtual is the total virtual compute across members (the
+	// sequential-makespan bound); Makespan is the list-scheduled virtual
+	// makespan over Slots admission slots in member order.
+	SumVirtual time.Duration
+	Makespan   time.Duration
+
+	// Hist is the per-member virtual-makespan distribution (nanosecond
+	// samples); P50/P90/MaxMember are its trace-histogram summaries.
+	Hist      trace.Histogram
+	P50, P90  time.Duration
+	MaxMember time.Duration
+}
+
+// buildReport folds member results (any order) into a Report.
+func buildReport(plan string, slots int, results []MemberResult) *Report {
+	if slots < 1 {
+		slots = 1
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	r := &Report{Plan: plan, Slots: slots, Members: results}
+	sigs := make(map[uint64]bool)
+	// List-schedule the members over the admission slots in member order
+	// (the FIFO order the scheduler admits them in): each member lands on
+	// the least-loaded slot; the makespan is the fullest slot.
+	load := make([]time.Duration, slots)
+	for _, m := range results {
+		r.Retries += m.Retries
+		sigs[m.SetupSig] = true
+		if m.Err != "" {
+			r.Failures++
+			continue
+		}
+		r.SumVirtual += m.Virtual
+		r.Hist.Record(int64(m.Virtual))
+		min := 0
+		for i := range load {
+			if load[i] < load[min] {
+				min = i
+			}
+		}
+		load[min] += m.Virtual
+	}
+	for _, l := range load {
+		if l > r.Makespan {
+			r.Makespan = l
+		}
+	}
+	r.StagedSetups = len(sigs)
+	r.P50 = time.Duration(r.Hist.Quantile(0.5))
+	r.P90 = time.Duration(r.Hist.Quantile(0.9))
+	r.MaxMember = time.Duration(r.Hist.Max)
+	return r
+}
+
+// Digests returns the per-member digest set in member order (failed
+// members contribute 0). Two runs of the same plan are compared by this.
+func (r *Report) Digests() []uint64 {
+	out := make([]uint64, len(r.Members))
+	for i, m := range r.Members {
+		out[i] = m.Digest
+	}
+	return out
+}
+
+// Render formats the campaign summary (the jungle-bench table style).
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ensemble %q: %d members over %d slots\n", r.Plan, len(r.Members), r.Slots)
+	fmt.Fprintf(&b, "  virtual makespan %v (sequential bound %v, %.1fx)\n",
+		r.Makespan.Round(time.Millisecond), r.SumVirtual.Round(time.Millisecond), r.speedup())
+	fmt.Fprintf(&b, "  member virtual p50/p90/max %v/%v/%v\n",
+		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond), r.MaxMember.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  staged setups %d, retries %d, failures %d\n", r.StagedSetups, r.Retries, r.Failures)
+	return b.String()
+}
+
+func (r *Report) speedup() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.SumVirtual) / float64(r.Makespan)
+}

@@ -1,0 +1,134 @@
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jungle/internal/core"
+	"jungle/internal/sched"
+)
+
+// SetupFunc builds the shared setup blob for a member's SetupSig. It is
+// called once per distinct sig — not once per member — and the blob is
+// staged in the daemon checkpoint store for every member sharing the sig.
+type SetupFunc func(m Member) ([]byte, error)
+
+// RunnerFunc executes one member inside its admitted session: create the
+// session-bound simulation, apply the staged setup blob (nil when the
+// sweep stages none), run the member's work, and return the end-state
+// digest plus the member's virtual makespan. The runner owns the member's
+// simulation; the engine closes the session (stopping the sim) afterward.
+type RunnerFunc func(ctx context.Context, sess *sched.Session, m Member, setup []byte) (digest uint64, virtual time.Duration, err error)
+
+// Config wires one sweep run.
+type Config struct {
+	Scheduler *sched.Scheduler
+	Plan      *Plan
+	// Setup stages shared setup blobs (optional).
+	Setup SetupFunc
+	// Run executes one member (required).
+	Run RunnerFunc
+	// Attempts bounds each member's AttachRetry loop (default 64).
+	Attempts int
+	// Sequential runs the members one at a time in member order instead
+	// of fanning them out — the baseline arm benchmarks compare against.
+	Sequential bool
+}
+
+func (c Config) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return 64
+}
+
+// Run expands the plan, stages the deduplicated setup blobs, fans the
+// members through scheduler admission, and aggregates their outcomes.
+// A member failure is accounted in the report, not returned: one broken
+// member must not sink a 256-member campaign. Run itself errors only on
+// a degenerate plan, staging failure, or missing configuration.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Scheduler == nil || cfg.Plan == nil || cfg.Run == nil {
+		return nil, errors.New("ensemble: Config needs Scheduler, Plan and Run")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	members, err := cfg.Plan.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage one blob per distinct setup signature in the daemon store.
+	// Members sharing initial conditions share the staged bytes — the
+	// sweep builds (and ships) each IC once, not once per member.
+	daemon := cfg.Scheduler.Daemon()
+	refs := make(map[uint64]uint64)
+	if cfg.Setup != nil {
+		defer func() {
+			for _, ref := range refs {
+				daemon.DropCheckpoint(ref)
+			}
+		}()
+		for _, m := range members {
+			if _, ok := refs[m.SetupSig]; ok {
+				continue
+			}
+			blob, err := cfg.Setup(m)
+			if err != nil {
+				return nil, fmt.Errorf("ensemble: stage setup for member %d: %w", m.Index, err)
+			}
+			ref := core.NewStoreRef()
+			daemon.StoreCheckpoint(ref, blob)
+			refs[m.SetupSig] = ref
+		}
+	}
+
+	results := make([]MemberResult, len(members))
+	runOne := func(m Member) MemberResult {
+		res := MemberResult{Member: m}
+		id := fmt.Sprintf("%s/m%04d", cfg.Plan.Name, m.Index)
+		sess, _, retries, err := cfg.Scheduler.AttachRetry(ctx, id, true, cfg.attempts())
+		res.Retries = retries
+		if err != nil {
+			res.Err = fmt.Sprintf("attach: %v", err)
+			return res
+		}
+		defer cfg.Scheduler.Close(id)
+		var setup []byte
+		if ref, ok := refs[m.SetupSig]; ok {
+			setup, _ = daemon.CheckpointBlob(ref)
+		}
+		digest, virtual, err := cfg.Run(ctx, sess, m, setup)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Digest, res.Virtual = digest, virtual
+		return res
+	}
+
+	slots := 1
+	if cfg.Sequential {
+		for i, m := range members {
+			results[i] = runOne(m)
+		}
+	} else {
+		if slots = cfg.Scheduler.MaxLive(); slots > len(members) {
+			slots = len(members)
+		}
+		var wg sync.WaitGroup
+		for i, m := range members {
+			wg.Add(1)
+			go func(i int, m Member) {
+				defer wg.Done()
+				results[i] = runOne(m)
+			}(i, m)
+		}
+		wg.Wait()
+	}
+	return buildReport(cfg.Plan.Name, slots, results), nil
+}

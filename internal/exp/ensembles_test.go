@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE10 runs the ensemble evaluation at a small scale: the sweep table
+// (bit-equal arms enforced inside E10), the shared-setup dedup count and
+// the coupled-demo divergence check all have to hold.
+func TestE10(t *testing.T) {
+	out, err := E10(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"E10 ensemble sweep", "digests bit-equal", "staged setups 4",
+		"E10 coupled demo", "field effect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E10 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE10RejectsBadMembers: the campaign shape is 4 IC streams crossed
+// with members/4 couplings, so a non-multiple is a configuration error.
+func TestE10RejectsBadMembers(t *testing.T) {
+	if _, err := E10(6, 12); err == nil {
+		t.Fatal("E10 accepted members not divisible by the IC streams")
+	}
+}

@@ -3,7 +3,7 @@
 // internal/core/kernel registry and registers nothing itself, so any
 // program (or test) that starts workers must import, for its side
 // effects, every adapter package it wants available — this package
-// bundles the four kinds the paper's evaluation uses:
+// bundles the kinds the paper's evaluation uses:
 //
 //	import _ "jungle/internal/kernels"
 //
@@ -13,6 +13,7 @@
 package kernels
 
 import (
+	_ "jungle/internal/phys/abm"    // agent-based colony (BioDynaMo-style)
 	_ "jungle/internal/phys/bridge" // stellar (SSE)
 	_ "jungle/internal/phys/nbody"  // gravity (PhiGRAPE)
 	_ "jungle/internal/phys/sph"    // hydro (Gadget)

@@ -212,13 +212,25 @@ func (s *Scheduler) Attach(ctx context.Context, id string, wait bool) (sess *Ses
 		return sess, resumed, nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		found := false
 		for i, q := range s.queue {
 			if q == w {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				found = true
 				break
 			}
 		}
 		s.mu.Unlock()
+		if !found {
+			// The pump (or shutdown) already took this waiter off the
+			// queue and resolved it; its outcome is on the channel. Honor
+			// that outcome instead of the context — returning ctx.Err()
+			// here would leak the admitted session's live slot.
+			if err := <-w.ready; err != nil {
+				return nil, false, err
+			}
+			return sess, resumed, nil
+		}
 		return nil, false, ctx.Err()
 	}
 }
@@ -235,14 +247,62 @@ func (s *Scheduler) admitLocked(sess *Session, resumed bool) {
 	}
 }
 
-// pumpLocked admits queued sessions while live slots are free. Caller
-// holds s.mu.
+// pumpLocked admits queued sessions in FIFO order while live slots are
+// free. A session can be parked more than once (two attaches racing while
+// it was queued); only the first waiter claims a slot — later waiters for
+// the same session find it already running and share it, so one session
+// can never consume two live slots. Caller holds s.mu.
 func (s *Scheduler) pumpLocked() {
-	for s.live < s.cfg.maxLive() && len(s.queue) > 0 {
-		w := s.queue[0]
-		s.queue = s.queue[1:]
-		s.admitLocked(w.sess, w.sess.hasSnapshot())
-		w.ready <- nil
+	for i := 0; i < len(s.queue); {
+		w := s.queue[i]
+		st := w.sess.getState()
+		switch {
+		case st == StateRunning:
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			w.sess.touch(s.cfg.now())
+			w.ready <- nil
+		case st == StateClosed:
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			w.ready <- fmt.Errorf("%w: %q", ErrSessionClosed, w.sess.id)
+		case s.live < s.cfg.maxLive():
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.admitLocked(w.sess, w.sess.hasSnapshot())
+			w.ready <- nil
+		default:
+			// No slot for this waiter; keep its FIFO position and keep
+			// scanning — waiters behind it may be duplicates of already
+			// running (or closed) sessions that resolve without a slot.
+			i++
+		}
+	}
+}
+
+// MaxLive returns the admission bound: how many sessions may run at
+// once. Fan-out layers (internal/ensemble) size their concurrency and
+// makespan models from it.
+func (s *Scheduler) MaxLive() int { return s.cfg.maxLive() }
+
+// AttachRetry attaches like Attach but absorbs busy rejections: on a
+// *BusyError it sleeps the structured RetryAfter hint and tries again,
+// up to attempts tries in total (attempts <= 1 behaves like Attach). It
+// reports how many busy rejections it absorbed — ensemble runs account
+// retries per member.
+func (s *Scheduler) AttachRetry(ctx context.Context, id string, wait bool, attempts int) (sess *Session, resumed bool, retries int, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		sess, resumed, err = s.Attach(ctx, id, wait)
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) || retries+1 >= attempts {
+			return sess, resumed, retries, err
+		}
+		retries++
+		select {
+		case <-time.After(be.RetryAfter):
+		case <-ctx.Done():
+			return nil, false, retries, ctx.Err()
+		}
 	}
 }
 
